@@ -1,0 +1,56 @@
+// Ablation of the simulator's instrumentation cost model: sweep the
+// per-event cost and observe the overhead of profiling fib (non-cut-off)
+// at 1 and 8 threads.
+//
+// Expected: at 1 thread, overhead grows ~linearly with the event cost; at
+// 8 threads the management-lock bottleneck shadows it (paper §V-A:
+// "instrumentation shifts some of the overhead from the OpenMP runtime
+// system to the profiling system"), so the same event cost buys much less
+// overhead — and the gap widens with the cost.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taskprof;
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_header(
+      "=== Ablation: per-event instrumentation cost sweep (fib, no cut-off) ===",
+      "Lorenz et al. 2012, Section V-A overhead-shadowing mechanism",
+      options);
+
+  auto kernel = bots::make_kernel("fib");
+  TextTable table({"event cost", "overhead @1 thread", "overhead @8 threads",
+                   "shadowing factor"});
+  for (Ticks event_cost : {Ticks{0}, Ticks{70}, Ticks{140}, Ticks{280},
+                           Ticks{560}}) {
+    bots::KernelConfig config;
+    config.size = options.size;
+    config.seed = options.seed;
+    config.cutoff = false;
+
+    double overheads[2] = {0.0, 0.0};
+    int slot = 0;
+    for (int threads : {1, 8}) {
+      config.threads = threads;
+      rt::SimConfig sim_config;
+      sim_config.costs.instr_event = event_cost;
+      const auto plain = bench::run_sim(*kernel, config, false, sim_config);
+      const auto instrumented =
+          bench::run_sim(*kernel, config, true, sim_config);
+      overheads[slot++] =
+          bench::overhead(plain.result.stats.parallel_ticks,
+                          instrumented.result.stats.parallel_ticks);
+    }
+    const double shadow =
+        overheads[1] <= 0.0 ? 0.0 : overheads[0] / overheads[1];
+    char shadow_str[32];
+    std::snprintf(shadow_str, sizeof(shadow_str), "%.1fx", shadow);
+    table.add_row({format_ticks(event_cost), format_percent(overheads[0]),
+                   format_percent(overheads[1]), shadow_str});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\nreading: the 8-thread overhead stays far below the 1-thread "
+      "overhead at every event cost — the contention shadowing that lets "
+      "the paper's Fig. 14 overheads fall toward zero at scale.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Cut-off strategy comparison: none vs. BOTS' two cut-off styles —
+// *manual* (stop creating tasks, call the serial code) and *if-clause*
+// (keep creating tasks but undeferred below the cut-off, OpenMP `if(0)`).
+//
+// Context: the paper evaluates the manual versions (§V-A, "If a version
+// with a cut-off for recursive task depth was provided ... we chose the
+// cut-off version"); BOTS itself ships both strategies.  The comparison
+// shows why: an undeferred task is cheaper than a deferred one (no queue,
+// no load balancing) but still pays creation and switch bookkeeping, so
+// if-clause lands between no-cut-off and manual.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taskprof;
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_header(
+      "=== Cut-off strategies: none vs manual vs if-clause (4 threads) ===",
+      "BOTS cut-off styles (Duran et al. 2009), evaluated per Lorenz et "
+      "al. SS V-A",
+      options);
+
+  TextTable table({"code", "strategy", "span", "tasks executed",
+                   "speedup vs none"});
+  for (const std::string& name :
+       {std::string("fib"), std::string("nqueens"), std::string("health"),
+        std::string("floorplan"), std::string("strassen")}) {
+    auto kernel = bots::make_kernel(name);
+    Ticks none_span = 0;
+    struct Strategy {
+      const char* label;
+      bool cutoff;
+      bool if_clause;
+    };
+    const Strategy strategies[] = {
+        {"none", false, false},
+        {"if-clause", true, true},
+        {"manual", true, false},
+    };
+    for (const Strategy& strategy : strategies) {
+      bots::KernelConfig config;
+      config.threads = 4;
+      config.size = options.size;
+      config.seed = options.seed;
+      config.cutoff = strategy.cutoff;
+      config.if_clause = strategy.if_clause;
+      const auto run = bench::run_sim(*kernel, config, false);
+      const Ticks span = run.result.stats.parallel_ticks;
+      if (!strategy.cutoff) none_span = span;
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    static_cast<double>(none_span) /
+                        static_cast<double>(span));
+      table.add_row({name, strategy.label, format_ticks(span),
+                     format_count(run.result.stats.tasks_executed),
+                     speedup});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\nreading: manual cut-offs win (no task bookkeeping at all below "
+      "the cut-off); if-clause recovers part of the gain while keeping "
+      "the program shape; both dwarf the no-cut-off versions for the "
+      "fine-grained codes.");
+  return 0;
+}

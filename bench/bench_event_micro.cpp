@@ -1,0 +1,144 @@
+// Microbenchmarks of the measurement-layer primitives (google-benchmark):
+// the per-event costs that bound the instrumentation overhead the paper
+// measures.  Score-P-era profilers aim for O(100 ns) per event; these
+// benches verify our primitives are in that class.
+#include <benchmark/benchmark.h>
+
+#include "common/clock.hpp"
+#include "measure/task_profiler.hpp"
+#include "profile/region.hpp"
+
+namespace {
+
+using namespace taskprof;
+
+struct Fixture {
+  RegionRegistry registry;
+  SteadyClock clock;
+  RegionHandle implicit =
+      registry.register_region("implicit task", RegionType::kImplicitTask);
+  RegionHandle foo = registry.register_region("foo", RegionType::kFunction);
+  RegionHandle barrier = registry.register_region(
+      "implicit barrier", RegionType::kImplicitBarrier);
+  RegionHandle task = registry.register_region("task", RegionType::kTask);
+};
+
+void BM_EnterExit(benchmark::State& state) {
+  Fixture f;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit);
+  for (auto _ : state) {
+    prof.enter(f.foo);
+    prof.exit(f.foo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_EnterExit);
+
+void BM_EnterExitDeepPath(benchmark::State& state) {
+  Fixture f;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit);
+  // Pre-build a path of depth 16, then measure hot enter/exit at the leaf.
+  std::vector<RegionHandle> path;
+  for (int i = 0; i < 16; ++i) {
+    path.push_back(f.registry.register_region("level" + std::to_string(i),
+                                              RegionType::kFunction));
+    prof.enter(path.back());
+  }
+  for (auto _ : state) {
+    prof.enter(f.foo);
+    prof.exit(f.foo);
+  }
+  for (auto it = path.rbegin(); it != path.rend(); ++it) prof.exit(*it);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_EnterExitDeepPath);
+
+void BM_TaskBeginEnd(benchmark::State& state) {
+  Fixture f;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit);
+  prof.enter(f.barrier);
+  TaskInstanceId id = 1;
+  for (auto _ : state) {
+    prof.task_begin(f.task, id);
+    prof.task_end(id);
+    ++id;
+  }
+  prof.exit(f.barrier);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaskBeginEnd);
+
+void BM_TaskBeginEndWithBody(benchmark::State& state) {
+  Fixture f;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit);
+  prof.enter(f.barrier);
+  TaskInstanceId id = 1;
+  for (auto _ : state) {
+    prof.task_begin(f.task, id);
+    prof.enter(f.foo);
+    prof.exit(f.foo);
+    prof.task_end(id);
+    ++id;
+  }
+  prof.exit(f.barrier);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaskBeginEndWithBody);
+
+void BM_TaskSwitchPingPong(benchmark::State& state) {
+  Fixture f;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit);
+  prof.enter(f.barrier);
+  prof.task_begin(f.task, 1);
+  prof.task_begin(f.task, 2);
+  for (auto _ : state) {
+    prof.task_switch(1);
+    prof.task_switch(2);
+  }
+  prof.task_end(2);
+  prof.task_switch(1);
+  prof.task_end(1);
+  prof.exit(f.barrier);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_TaskSwitchPingPong);
+
+void BM_NodePoolAllocateRelease(benchmark::State& state) {
+  NodePool pool;
+  CallNode* root = pool.allocate(0, kNoParameter, false, nullptr);
+  for (auto _ : state) {
+    CallNode* node = pool.allocate(1, kNoParameter, false, root);
+    pool.release_subtree(node);
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_NodePoolAllocateRelease);
+
+void BM_MergeSmallTree(benchmark::State& state) {
+  NodePool src_pool;
+  CallNode* src = src_pool.allocate(0, kNoParameter, false, nullptr);
+  for (RegionHandle r = 1; r <= 4; ++r) {
+    CallNode* child = src_pool.allocate(r, kNoParameter, false, src);
+    child->inclusive = 10;
+    child->visits = 1;
+  }
+  NodePool dst_pool;
+  CallNode* dst = dst_pool.allocate(0, kNoParameter, false, nullptr);
+  for (auto _ : state) {
+    merge_subtree(dst_pool, dst, src);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5);
+}
+BENCHMARK(BM_MergeSmallTree);
+
+void BM_ClockRead(benchmark::State& state) {
+  SteadyClock clock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.now());
+  }
+}
+BENCHMARK(BM_ClockRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Paper Fig. 13: runtime overhead of task profiling, per BOTS code and
+// thread count (1/2/4/8), using the optimized (cut-off) version where one
+// exists.  Overhead = (instrumented - uninstrumented) / uninstrumented of
+// the parallel region span.
+//
+// Paper shapes to hold: alignment / sparselu / strassen ~0 %; nqueens and
+// sort a few percent; fib is the pathological outlier (hundreds of %,
+// paper: 310 % at 1 thread); fft and health start higher (17 % / 32 %) and
+// decay with threads.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taskprof;
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_header(
+      "=== Fig. 13: profiling overhead, cut-off versions ===",
+      "Lorenz et al. 2012, Figure 13", options);
+
+  TextTable table({"code", "version", "1 thread", "2 threads", "4 threads",
+                   "8 threads"});
+  for (auto& kernel : bots::make_all_kernels()) {
+    std::vector<std::string> row;
+    row.push_back(std::string(kernel->name()));
+    row.push_back(kernel->has_cutoff_version() ? "cut-off" : "plain");
+    for (int threads : {1, 2, 4, 8}) {
+      bots::KernelConfig config;
+      config.threads = threads;
+      config.size = options.size;
+      config.seed = options.seed;
+      config.cutoff = kernel->has_cutoff_version();
+      const auto plain = bench::run_sim(*kernel, config, false);
+      const auto instrumented = bench::run_sim(*kernel, config, true);
+      row.push_back(format_percent(
+          bench::overhead(plain.result.stats.parallel_ticks,
+                          instrumented.result.stats.parallel_ticks)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\npaper reference (Juropa, medium inputs): alignment/sparselu/"
+      "strassen ~0%, nqueens/sort ~6%, floorplan 6-11%, fft 17->10%, "
+      "health 32->6%, fib ~310%.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Paper Fig. 15: runtime of the *uninstrumented* non-cut-off BOTS
+// versions over 1/2/4/8 threads, each code normalized to its highest
+// measured runtime (percent of max).
+//
+// Paper shape to hold: for the too-fine-grained codes the runtime
+// *increases* with the thread count (task management contention outweighs
+// parallelism) — the maximum sits at 8 threads; strassen is the
+// exception and becomes faster with more threads.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taskprof;
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_header(
+      "=== Fig. 15: runtime vs threads, uninstrumented non-cut-off ===",
+      "Lorenz et al. 2012, Figure 15", options);
+
+  TextTable table({"code", "1 thread", "2 threads", "4 threads", "8 threads",
+                   "max runtime"});
+  for (const std::string& name : bots::nocutoff_study_kernels()) {
+    auto kernel = bots::make_kernel(name);
+    std::vector<Ticks> runtimes;
+    for (int threads : {1, 2, 4, 8}) {
+      bots::KernelConfig config;
+      config.threads = threads;
+      config.size = options.size;
+      config.seed = options.seed;
+      config.cutoff = false;
+      const auto run = bench::run_sim(*kernel, config, false);
+      runtimes.push_back(run.result.stats.parallel_ticks);
+    }
+    const Ticks max_runtime =
+        *std::max_element(runtimes.begin(), runtimes.end());
+    std::vector<std::string> row{name};
+    for (Ticks t : runtimes) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f %%",
+                    100.0 * static_cast<double>(t) /
+                        static_cast<double>(max_runtime));
+      row.emplace_back(buf);
+    }
+    row.push_back(format_ticks(max_runtime));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\npaper reference: runtimes grow with thread count for fib, "
+      "floorplan, health, nqueens (100% of max at 8 threads); strassen "
+      "shrinks instead.");
+  return 0;
+}

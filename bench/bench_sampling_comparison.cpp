@@ -1,0 +1,88 @@
+// Paper §II quantified: direct instrumentation vs. sampling.
+//
+// The paper dismisses sampling for task analysis: HPCToolkit-style tools
+// "cannot identify those tasks that may cause overhead or imbalance".
+// This bench reconstructs a sampling profiler from the trace and compares
+// it with the direct-instrumentation profile on nqueens:
+//
+//  * aggregate task time per construct — sampling converges to the exact
+//    value as the rate increases (sampling is fine for aggregates);
+//  * instance-level statistics (count, min/mean/max, creation time) —
+//    structurally unavailable to sampling at any rate, while §VI's
+//    diagnosis rests exactly on them.
+#include "common.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sampling.hpp"
+
+using namespace taskprof;
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_header(
+      "=== Sampling vs direct instrumentation (nqueens, 4 threads) ===",
+      "Lorenz et al. 2012, Section II (sampling cannot identify tasks)",
+      options);
+
+  auto kernel = bots::make_kernel("nqueens");
+  bots::KernelConfig config;
+  config.threads = 4;
+  config.size = options.size;
+  config.seed = options.seed;
+
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  Instrumentor instr(registry);
+  trace::TraceRecorder recorder;
+  rt::FanoutHooks fanout{&instr, &recorder};
+  sim.set_hooks(&fanout);
+  const auto result = kernel->run(sim, registry, config);
+  sim.set_hooks(nullptr);
+  instr.finalize();
+  if (!result.ok) {
+    std::fprintf(stderr, "FATAL: kernel self-check failed\n");
+    return 1;
+  }
+
+  const trace::Trace trace = recorder.take();
+  const AggregateProfile profile = instr.aggregate();
+  const RegionHandle region =
+      registry.register_region("nqueens_task", RegionType::kTask);
+  const CallNode* merged = profile.task_root(region);
+  if (merged == nullptr) {
+    std::fputs("no task tree found\n", stderr);
+    return 1;
+  }
+  const Ticks exact = merged->inclusive;
+
+  TextTable table({"sampling period", "samples", "estimated task time",
+                   "error vs exact", "instance stats?"});
+  for (Ticks period : {Ticks{100'000}, Ticks{10'000}, Ticks{1'000},
+                       Ticks{100}}) {
+    const trace::SampleHistogram histogram =
+        trace::sample_trace(trace, period);
+    const Ticks estimate = histogram.estimated_time(region);
+    const double error = exact == 0
+                             ? 0.0
+                             : static_cast<double>(estimate - exact) /
+                                   static_cast<double>(exact);
+    table.add_row({format_ticks(period),
+                   format_count(histogram.total_samples),
+                   format_ticks(estimate), format_percent(error),
+                   "unavailable"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf(
+      "\ndirect instrumentation (exact): task time %s over %s instances, "
+      "per-instance min %s / mean %s / max %s\n",
+      format_ticks(exact).c_str(), format_count(merged->visits).c_str(),
+      format_ticks(merged->visit_stats.min).c_str(),
+      format_ticks(static_cast<Ticks>(merged->visit_stats.mean())).c_str(),
+      format_ticks(merged->visit_stats.max).c_str());
+  std::puts(
+      "reading: sampling recovers the aggregate as the rate rises, but the "
+      "instance-level columns the paper's SS VI tuning needs (counts, "
+      "min/mean/max, creation cost) have no sampling equivalent — the "
+      "paper's case for direct instrumentation.");
+  return 0;
+}

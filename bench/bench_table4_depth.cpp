@@ -1,0 +1,58 @@
+// Paper Table IV: parameter instrumentation of the nqueens task by
+// recursion depth — per-depth mean inclusive time, summed time, and task
+// count.
+//
+// Paper shapes to hold: mean task time decreases monotonically-ish with
+// depth; the task count grows steeply with depth; the bulk of total time
+// sits in the deep levels while the first few levels contribute almost
+// nothing — which is why cutting task creation at level 3 wins (§VI).
+#include "common.hpp"
+#include "report/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace taskprof;
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_header(
+      "=== Table IV: nqueens task statistics per recursion depth ===",
+      "Lorenz et al. 2012, Table IV", options);
+
+  auto kernel = bots::make_kernel("nqueens");
+  bots::KernelConfig config;
+  config.threads = 4;
+  config.size = options.size;
+  config.seed = options.seed;
+  config.cutoff = false;
+  config.depth_parameter = true;
+  const auto run = bench::run_sim(*kernel, config, true);
+
+  const RegionHandle region =
+      run.registry->register_region("nqueens_task", RegionType::kTask);
+  const auto rows = parameter_breakdown(*run.profile, *run.registry, region);
+  if (rows.empty()) {
+    std::fputs("no parameterized sub-trees found\n", stderr);
+    return 1;
+  }
+
+  Ticks total_sum = 0;
+  for (const auto& row : rows) total_sum += row.inclusive_total;
+
+  TextTable table({"depth level", "mean time", "sum", "number of tasks",
+                   "share of total"});
+  for (const auto& row : rows) {
+    char share[32];
+    std::snprintf(share, sizeof(share), "%.1f %%",
+                  100.0 * static_cast<double>(row.inclusive_total) /
+                      static_cast<double>(total_sum));
+    table.add_row({std::to_string(row.parameter),
+                   format_ticks(static_cast<Ticks>(row.inclusive_mean)),
+                   format_ticks(row.inclusive_total),
+                   format_count(row.instances), share});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts(
+      "\npaper reference (nqueens-14, medium): mean falls 25.5 us at depth "
+      "0 to 0.33 us at depth 13; counts rise to ~9e7; depths 9-13 hold "
+      "most of the total time; depth <= 3 is negligible yet yields enough "
+      "tasks (~2000) to balance 8 threads -> cut off there.");
+  return 0;
+}

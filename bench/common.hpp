@@ -1,0 +1,119 @@
+// Shared helpers for the benchmark harness (one binary per paper
+// table/figure).
+//
+// Every bench accepts:
+//   --size=test|small|medium   problem size class (default small)
+//   --seed=N                   workload seed (default 42)
+//   --quick                    alias for --size=test
+//
+// The figures/tables are reproduced on the simulator engine: deterministic
+// virtual time with the contention model that the host (one core,
+// oversubscribed) cannot provide in wall-clock time.  bench_realtime_*
+// uses the real engine.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bots/kernel.hpp"
+#include "common/format.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace taskprof::bench {
+
+struct Options {
+  bots::SizeClass size = bots::SizeClass::kSmall;
+  std::uint64_t seed = 42;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" || arg == "--size=test") {
+      options.size = bots::SizeClass::kTest;
+    } else if (arg == "--size=small") {
+      options.size = bots::SizeClass::kSmall;
+    } else if (arg == "--size=medium") {
+      options.size = bots::SizeClass::kMedium;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--size=test|small|medium] [--quick] [--seed=N]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// One simulator measurement of a kernel.
+struct SimRun {
+  bots::KernelResult result;
+  std::optional<AggregateProfile> profile;  ///< set when instrumented
+  std::unique_ptr<RegionRegistry> registry;
+  Instrumentor::MemoryStats memory{};  ///< profiler footprint (instrumented)
+};
+
+/// Run `kernel` once on a fresh simulator; instrumented runs also return
+/// the aggregated profile.
+inline SimRun run_sim(bots::Kernel& kernel, const bots::KernelConfig& config,
+                      bool instrumented,
+                      const rt::SimConfig& sim_config = {}) {
+  SimRun out;
+  out.registry = std::make_unique<RegionRegistry>();
+  rt::SimRuntime sim(sim_config);
+  if (instrumented) {
+    Instrumentor instr(*out.registry);
+    sim.set_hooks(&instr);
+    out.result = kernel.run(sim, *out.registry, config);
+    sim.set_hooks(nullptr);
+    instr.finalize();
+    out.profile = instr.aggregate();
+    out.memory = instr.memory_stats();
+  } else {
+    out.result = kernel.run(sim, *out.registry, config);
+  }
+  if (!out.result.ok) {
+    std::fprintf(stderr, "FATAL: %s self-check failed (%s)\n",
+                 std::string(kernel.name()).c_str(),
+                 out.result.check.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+/// Overhead of instrumentation relative to the plain run, as a ratio.
+inline double overhead(Ticks plain, Ticks instrumented) {
+  return plain == 0 ? 0.0
+                    : static_cast<double>(instrumented - plain) /
+                          static_cast<double>(plain);
+}
+
+inline const char* size_name(bots::SizeClass size) {
+  switch (size) {
+    case bots::SizeClass::kTest: return "test";
+    case bots::SizeClass::kSmall: return "small";
+    case bots::SizeClass::kMedium: return "medium";
+  }
+  return "?";
+}
+
+inline void print_header(const char* title, const char* paper_ref,
+                         const Options& options) {
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("engine: virtual-time simulator | size class: %s | seed: %llu\n\n",
+              size_name(options.size),
+              static_cast<unsigned long long>(options.seed));
+}
+
+}  // namespace taskprof::bench

@@ -1,0 +1,272 @@
+// taskprof_cli: command-line profiling driver — run any BOTS kernel on
+// either engine and emit the profile in several formats.  The "tool"
+// face of the library, analogous to running a Score-P-instrumented
+// binary and viewing it in CUBE.
+//
+//   taskprof_cli --kernel=nqueens --threads=4 --report=summary
+//   taskprof_cli --kernel=fib --engine=real --size=test --report=tree
+//   taskprof_cli --kernel=sort --report=csv > profile.csv
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bots/kernel.hpp"
+#include "common/format.hpp"
+#include "instrument/instrumentor.hpp"
+#include "report/analysis.hpp"
+#include "report/cube_export.hpp"
+#include "report/text_report.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/sim_runtime.hpp"
+#include "trace/analysis.hpp"
+#include "trace/file.hpp"
+#include "trace/recorder.hpp"
+
+using namespace taskprof;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --kernel=NAME [options]\n"
+      "\n"
+      "kernels: alignment fft fib floorplan health nqueens sort sparselu\n"
+      "         strassen\n"
+      "options:\n"
+      "  --engine=sim|real     virtual-time simulator (default) or real\n"
+      "                        threads\n"
+      "  --threads=N           team size (default 4)\n"
+      "  --size=test|small|medium   problem size (default small)\n"
+      "  --cutoff              run the cut-off version (where available)\n"
+      "  --untied              create tasks untied (simulator migrates them)\n"
+      "  --depth-params        per-recursion-depth sub-trees (Table IV)\n"
+      "  --seed=N              workload seed (default 42)\n"
+      "  --report=summary|tree|csv|cube|findings|all   output format (default\n"
+      "                        summary)\n"
+      "  --trace               also record a trace; print the Section VII\n"
+      "                        analyses and a timeline\n"
+      "  --trace-out=FILE      record a trace and write it to FILE\n"
+      "  --analyze-trace=FILE  post-mortem mode: load FILE (written by\n"
+      "                        --trace-out) and print the analyses; no\n"
+      "                        kernel runs\n"
+      "  --uninstrumented      run without measurement (timing baseline)\n",
+      argv0);
+}
+
+struct CliOptions {
+  std::string kernel;
+  std::string engine = "sim";
+  std::string report = "summary";
+  bots::KernelConfig config;
+  bool instrumented = true;
+  bool trace = false;
+  std::string trace_out;
+  std::string analyze_trace;
+};
+
+bool parse(int argc, char** argv, CliOptions& cli) {
+  cli.config.threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--kernel=", 0) == 0) {
+      cli.kernel = value_of("--kernel=");
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      cli.engine = value_of("--engine=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.config.threads = std::stoi(value_of("--threads="));
+    } else if (arg == "--size=test") {
+      cli.config.size = bots::SizeClass::kTest;
+    } else if (arg == "--size=small") {
+      cli.config.size = bots::SizeClass::kSmall;
+    } else if (arg == "--size=medium") {
+      cli.config.size = bots::SizeClass::kMedium;
+    } else if (arg == "--cutoff") {
+      cli.config.cutoff = true;
+    } else if (arg == "--untied") {
+      cli.config.untied = true;
+    } else if (arg == "--depth-params") {
+      cli.config.depth_parameter = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cli.config.seed = std::stoull(value_of("--seed="));
+    } else if (arg.rfind("--report=", 0) == 0) {
+      cli.report = value_of("--report=");
+    } else if (arg == "--uninstrumented") {
+      cli.instrumented = false;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      cli.trace = true;
+      cli.trace_out = value_of("--trace-out=");
+    } else if (arg.rfind("--analyze-trace=", 0) == 0) {
+      cli.analyze_trace = value_of("--analyze-trace=");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cli.kernel.empty() && cli.analyze_trace.empty()) {
+    std::fprintf(stderr, "--kernel (or --analyze-trace) is required\n");
+    return false;
+  }
+  return true;
+}
+
+void print_summary(const bots::KernelResult& result,
+                   const AggregateProfile& profile,
+                   const RegionRegistry& registry) {
+  std::printf("parallel span: %s | tasks executed: %s | steals: %llu | "
+              "migrations: %llu\n",
+              format_ticks(result.stats.parallel_ticks).c_str(),
+              format_count(result.stats.tasks_executed).c_str(),
+              static_cast<unsigned long long>(result.stats.steals),
+              static_cast<unsigned long long>(result.stats.migrations));
+  std::printf("self-check: %s (%s)\n", result.ok ? "passed" : "FAILED",
+              result.check.c_str());
+  TextTable table({"task construct", "instances", "mean", "min", "max",
+                   "create mean", "taskwait"});
+  for (const auto& c : task_construct_stats(profile, registry)) {
+    std::string name = c.name;
+    if (c.parameter != kNoParameter) {
+      name += " [" + std::to_string(c.parameter) + "]";
+    }
+    table.add_row({name, format_count(c.instances),
+                   format_ticks(static_cast<Ticks>(c.inclusive_mean)),
+                   format_ticks(c.inclusive_min),
+                   format_ticks(c.inclusive_max),
+                   format_ticks(static_cast<Ticks>(c.create_mean)),
+                   format_ticks(c.taskwait_total)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  const auto summary = scheduling_point_summary(profile, registry);
+  std::printf(
+      "barriers: %s total, %s executing tasks, %s waiting/managing\n",
+      format_ticks(summary.barrier_inclusive).c_str(),
+      format_ticks(summary.barrier_stub_time).c_str(),
+      format_ticks(summary.barrier_exclusive).c_str());
+  std::printf("max concurrent task instances per thread: %zu\n",
+              profile.max_concurrent_any_thread);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse(argc, argv, cli)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // Post-mortem mode: analyze a previously recorded trace file.
+  if (!cli.analyze_trace.empty()) {
+    try {
+      const trace::Trace loaded = trace::read_trace_file(cli.analyze_trace);
+      std::printf("loaded %zu events from %zu threads\n",
+                  loaded.event_count(), loaded.thread_count());
+      // Region names are not stored in the trace file; analyses that need
+      // them use a registry with generated names.
+      RegionRegistry names;
+      RegionHandle max_region = 0;
+      for (const auto& event : loaded.merged()) {
+        if (event.region != kInvalidRegion) {
+          max_region = std::max(max_region, event.region);
+        }
+      }
+      for (RegionHandle r = 0; r <= max_region; ++r) {
+        names.register_region("region " + std::to_string(r),
+                              RegionType::kTask);
+      }
+      const trace::TraceAnalysis analysis = trace::analyze_trace(loaded);
+      std::fputs(trace::render_analysis(analysis, names).c_str(), stdout);
+      std::fputs(trace::render_timeline(loaded).c_str(), stdout);
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
+    }
+  }
+
+  auto kernel = bots::make_kernel(cli.kernel);
+  if (kernel == nullptr) {
+    std::fprintf(stderr, "unknown kernel: %s\n", cli.kernel.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<rt::Runtime> runtime;
+  if (cli.engine == "sim") {
+    runtime = std::make_unique<rt::SimRuntime>();
+  } else if (cli.engine == "real") {
+    runtime = std::make_unique<rt::RealRuntime>();
+  } else {
+    std::fprintf(stderr, "unknown engine: %s\n", cli.engine.c_str());
+    return 2;
+  }
+
+  RegionRegistry registry;
+  std::unique_ptr<Instrumentor> instrumentor;
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  rt::FanoutHooks fanout;
+  if (cli.instrumented) {
+    instrumentor = std::make_unique<Instrumentor>(registry);
+    fanout.add(instrumentor.get());
+  }
+  if (cli.trace) {
+    recorder = std::make_unique<trace::TraceRecorder>();
+    fanout.add(recorder.get());
+  }
+  if (cli.instrumented || cli.trace) runtime->set_hooks(&fanout);
+  const bots::KernelResult result = kernel->run(*runtime, registry,
+                                                cli.config);
+  runtime->set_hooks(nullptr);
+
+  if (cli.trace) {
+    const trace::Trace recorded = recorder->take();
+    std::printf("--- trace: %zu events ---\n", recorded.event_count());
+    if (!cli.trace_out.empty()) {
+      try {
+        trace::write_trace_file(cli.trace_out, recorded);
+        std::printf("trace written to %s\n", cli.trace_out.c_str());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+      }
+    }
+    const trace::TraceAnalysis analysis = trace::analyze_trace(recorded);
+    std::fputs(trace::render_analysis(analysis, registry).c_str(), stdout);
+    std::fputs(trace::render_timeline(recorded).c_str(), stdout);
+  }
+
+  if (!cli.instrumented) {
+    std::printf("parallel span: %s | tasks executed: %s | self-check: %s\n",
+                format_ticks(result.stats.parallel_ticks).c_str(),
+                format_count(result.stats.tasks_executed).c_str(),
+                result.ok ? "passed" : "FAILED");
+    return result.ok ? 0 : 1;
+  }
+  instrumentor->finalize();
+  const AggregateProfile profile = instrumentor->aggregate();
+
+  if (cli.report == "summary" || cli.report == "all") {
+    print_summary(result, profile, registry);
+  }
+  if (cli.report == "tree" || cli.report == "all") {
+    std::fputs(render_profile(profile, registry).c_str(), stdout);
+  }
+  if (cli.report == "cube") {
+    std::fputs(render_cube_xml(profile, registry).c_str(), stdout);
+  }
+  if (cli.report == "csv") {
+    std::fputs(render_csv(profile, registry).c_str(), stdout);
+  }
+  if (cli.report == "findings" || cli.report == "all") {
+    std::fputs(render_findings(diagnose(profile, registry)).c_str(), stdout);
+  }
+  return result.ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Untied-task profiling with migration: the paper's §IV-D design, which
+// its authors specified but could not exercise because no OpenMP runtime
+// delivered task-switch events.  The simulator engine does: a suspended
+// untied task may resume on a different virtual worker, and its profiling
+// state (the instance call tree) migrates with it.
+//
+// The example runs the same pipeline twice — tied, then untied — and
+// shows how migration shifts the per-thread stub times while the merged
+// per-construct statistics stay consistent.
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "instrument/instrumentor.hpp"
+#include "report/text_report.hpp"
+#include "rt/sim_runtime.hpp"
+
+using namespace taskprof;
+
+namespace {
+
+struct Outcome {
+  rt::TeamStats stats;
+  AggregateProfile profile;
+  std::vector<Ticks> stub_per_thread;
+};
+
+Outcome run(RegionRegistry& registry, rt::TaskBinding binding) {
+  const RegionHandle stage =
+      registry.register_region("pipeline_stage", RegionType::kTask);
+  const RegionHandle item =
+      registry.register_region("pipeline_item", RegionType::kTask);
+
+  rt::SimRuntime runtime;
+  Instrumentor instrumentor(registry);
+  runtime.set_hooks(&instrumentor);
+  Outcome out;
+  out.stats = runtime.parallel(4, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int s = 0; s < 16; ++s) {
+      rt::TaskAttrs stage_attrs;
+      stage_attrs.region = stage;
+      stage_attrs.binding = binding;
+      ctx.create_task(
+          [&, s](rt::TaskContext& stage_ctx) {
+            stage_ctx.work(4'000);  // pre-processing
+            rt::TaskAttrs item_attrs;
+            item_attrs.region = item;
+            stage_ctx.create_task(
+                [](rt::TaskContext& c) { c.work(40'000); }, item_attrs);
+            stage_ctx.taskwait();   // untied stages may resume elsewhere
+            stage_ctx.work(3'000);  // post-processing
+          },
+          stage_attrs);
+    }
+  });
+  runtime.set_hooks(nullptr);
+  instrumentor.finalize();
+  for (const ThreadProfileView& view : instrumentor.views()) {
+    Ticks stub = 0;
+    for_each_node(view.implicit_root, [&](const CallNode& node, int) {
+      if (node.is_stub) stub += node.inclusive;
+    });
+    out.stub_per_thread.push_back(stub);
+  }
+  out.profile = instrumentor.aggregate();
+  return out;
+}
+
+void report(const char* label, const Outcome& out,
+            const RegionRegistry& registry) {
+  std::printf("--- %s ---\n", label);
+  std::printf("span %s | tasks %llu | migrations %llu\n",
+              format_ticks(out.stats.parallel_ticks).c_str(),
+              static_cast<unsigned long long>(out.stats.tasks_executed),
+              static_cast<unsigned long long>(out.stats.migrations));
+  for (std::size_t t = 0; t < out.stub_per_thread.size(); ++t) {
+    std::printf("thread %zu executed task fragments for %s\n", t,
+                format_ticks(out.stub_per_thread[t]).c_str());
+  }
+  for (const CallNode* root : out.profile.task_roots) {
+    std::printf("task '%s': %llu instances, mean %s (suspension excluded)\n",
+                registry.info(root->region).name.c_str(),
+                static_cast<unsigned long long>(root->visits),
+                format_ticks(static_cast<Ticks>(root->visit_stats.mean()))
+                    .c_str());
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== untied tasks: migration-aware profiling (paper SS IV-D) ===\n");
+  RegionRegistry registry;
+  const Outcome tied = run(registry, rt::TaskBinding::kTied);
+  report("tied stages (resume pinned to the starting thread)", tied, registry);
+  const Outcome untied = run(registry, rt::TaskBinding::kUntied);
+  report("untied stages (may migrate at the taskwait)", untied, registry);
+
+  std::puts(
+      "both variants merge identical per-construct statistics; the untied "
+      "run reports migrations, and the migrated fragments appear in the "
+      "stub nodes of the thread that actually executed them.");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// BOTS "alignment": pairwise alignment of protein sequences (BOTS uses
+// Myers-Miller; here a linear-space Needleman-Wunsch score).  One task per
+// sequence pair, all created by a single thread from one loop — few,
+// large, independent tasks, which is why the paper measured zero overhead
+// and a maximum of one concurrent task instance per thread (Table II).
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+constexpr int kMatch = 2;
+constexpr int kMismatch = -1;
+constexpr int kGap = -2;
+constexpr double kCellCost = 1.6;  ///< virtual ns per DP cell
+
+using Sequence = std::vector<std::uint8_t>;
+
+std::vector<Sequence> make_sequences(int count, int length,
+                                     std::uint64_t seed) {
+  std::vector<Sequence> seqs(static_cast<std::size_t>(count));
+  Xoshiro256 rng(seed);
+  for (auto& seq : seqs) {
+    seq.resize(static_cast<std::size_t>(length));
+    for (auto& residue : seq) {
+      residue = static_cast<std::uint8_t>(rng.next_below(20));
+    }
+  }
+  return seqs;
+}
+
+/// Global-alignment score, O(len) space.
+int align_score(const Sequence& a, const Sequence& b) {
+  std::vector<int> row(b.size() + 1);
+  std::vector<int> next(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = static_cast<int>(j) * kGap;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    next[0] = static_cast<int>(i) * kGap;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const int diag =
+          row[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      next[j] = std::max({diag, row[j] + kGap, next[j - 1] + kGap});
+    }
+    row.swap(next);
+  }
+  return row[b.size()];
+}
+
+class AlignmentKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "alignment"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return false; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("alignment_task", RegionType::kTask);
+    int nseq = 8;
+    int length = 64;
+    switch (config.size) {
+      case SizeClass::kTest: nseq = 8; length = 64; break;
+      case SizeClass::kSmall: nseq = 20; length = 256; break;
+      case SizeClass::kMedium: nseq = 32; length = 512; break;
+    }
+
+    const std::vector<Sequence> seqs = make_sequences(nseq, length,
+                                                      config.seed);
+    const std::size_t pairs =
+        static_cast<std::size_t>(nseq) * static_cast<std::size_t>(nseq - 1) /
+        2;
+    std::vector<int> scores(pairs, 0);
+
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          std::size_t pair = 0;
+          for (int i = 0; i < nseq; ++i) {
+            for (int j = i + 1; j < nseq; ++j) {
+              int* out = &scores[pair++];
+              const Sequence* sa = &seqs[static_cast<std::size_t>(i)];
+              const Sequence* sb = &seqs[static_cast<std::size_t>(j)];
+              ctx.create_task(
+                  [sa, sb, out](rt::TaskContext& c) {
+                    *out = align_score(*sa, *sb);
+                    c.work(static_cast<Ticks>(
+                        static_cast<double>(sa->size() * sb->size()) *
+                        kCellCost));
+                  },
+                  detail::task_attrs(region, config, 0));
+            }
+          }
+          ctx.taskwait();
+        });
+
+    std::int64_t total = 0;
+    for (int score : scores) total += score;
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum = static_cast<std::uint64_t>(total + (1LL << 32));
+    out.ok =
+        out.checksum == reference_checksum(nseq, length, config.seed, seqs);
+    out.check = "pairwise score sum matches the serial reference";
+    return out;
+  }
+
+ private:
+  static std::uint64_t reference_checksum(int nseq, int length,
+                                          std::uint64_t seed,
+                                          const std::vector<Sequence>& seqs) {
+    static std::mutex mutex;
+    static std::map<std::tuple<int, int, std::uint64_t>, std::uint64_t> cache;
+    const auto key = std::make_tuple(nseq, length, seed);
+    std::scoped_lock lock(mutex);
+    if (auto it = cache.find(key); it != cache.end()) return it->second;
+    std::int64_t total = 0;
+    for (int i = 0; i < nseq; ++i) {
+      for (int j = i + 1; j < nseq; ++j) {
+        total += align_score(seqs[static_cast<std::size_t>(i)],
+                             seqs[static_cast<std::size_t>(j)]);
+      }
+    }
+    const std::uint64_t sum = static_cast<std::uint64_t>(total + (1LL << 32));
+    cache.emplace(key, sum);
+    return sum;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_alignment_kernel() {
+  return std::make_unique<AlignmentKernel>();
+}
+
+}  // namespace taskprof::bots

@@ -1,0 +1,46 @@
+// Internal helpers shared by the BOTS kernel implementations.
+#pragma once
+
+#include <functional>
+
+#include "bots/kernel.hpp"
+#include "rt/runtime.hpp"
+
+namespace taskprof::bots::detail {
+
+/// BOTS pattern: a parallel region whose task tree is rooted in a single
+/// construct ("#pragma omp parallel / #pragma omp single").  All threads
+/// join the implicit barrier and execute tasks; one runs `root`.
+inline rt::TeamStats run_single_rooted(
+    rt::Runtime& runtime, int threads,
+    const std::function<void(rt::TaskContext&)>& root) {
+  return runtime.parallel(threads, [&root](rt::TaskContext& ctx) {
+    if (ctx.single()) root(ctx);
+  });
+}
+
+/// Task attributes for a kernel's task construct, honouring the shared
+/// config switches (untied extension, depth parameter).
+inline rt::TaskAttrs task_attrs(RegionHandle region, const KernelConfig& cfg,
+                                int depth) {
+  rt::TaskAttrs attrs;
+  attrs.region = region;
+  attrs.parameter = cfg.depth_parameter ? depth : kNoParameter;
+  attrs.binding =
+      cfg.untied ? rt::TaskBinding::kUntied : rt::TaskBinding::kTied;
+  return attrs;
+}
+
+/// How a kernel handles a task construct at `depth`, given its cut-off
+/// depth: create a deferred task, create an undeferred task (if-clause
+/// strategy), or skip task creation and run the serial code (manual
+/// strategy).
+enum class SpawnMode : std::uint8_t { kDeferred, kUndeferred, kSerial };
+
+inline SpawnMode spawn_mode(const KernelConfig& cfg, int depth,
+                            int cutoff_depth) {
+  if (!cfg.cutoff || depth < cutoff_depth) return SpawnMode::kDeferred;
+  return cfg.if_clause ? SpawnMode::kUndeferred : SpawnMode::kSerial;
+}
+
+}  // namespace taskprof::bots::detail

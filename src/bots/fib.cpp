@@ -1,0 +1,126 @@
+// BOTS "fib": recursive Fibonacci, the paper's pathological stress case —
+// each task creates two children, waits for them, and adds two numbers, so
+// management dominates by construction ("an artificial pathological
+// example", §V-A).  The cut-off version stops task creation at a fixed
+// recursion depth and computes the rest serially.
+#include <array>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+/// Virtual cost of one recursion node (two compares, one addition, the
+/// call overhead).  Tuned so the simulated mean task time of the
+/// non-cut-off version lands near the paper's Table I value (1.49 us,
+/// which *includes* the per-task management the engine charges).
+constexpr Ticks kNodeCost = 120;
+
+/// Task creation stops at this depth in the cut-off version.  Relative to
+/// the scaled-down inputs this leaves small serial leaves, preserving the
+/// paper's observation that even the cut-off fib stays pathological: each
+/// internal task "basically creates 2 child tasks, waits for them and then
+/// only sums up two numbers" (§V-A).
+constexpr int kCutoffDepth = 13;
+
+constexpr std::uint64_t fib_value(int n) noexcept {
+  std::uint64_t a = 0;
+  std::uint64_t b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+/// Number of recursion-tree nodes of fib(n): nodes(n) = 2*fib(n+1) - 1.
+constexpr std::uint64_t fib_nodes(int n) noexcept {
+  return 2 * fib_value(n + 1) - 1;
+}
+
+/// Serial tail below the cut-off: the value is closed-form; the virtual
+/// work of walking the whole subtree is charged in one call.
+std::uint64_t fib_serial(rt::TaskContext& ctx, int n) {
+  ctx.work(static_cast<Ticks>(fib_nodes(n)) * kNodeCost);
+  return fib_value(n);
+}
+
+struct FibParams {
+  int n = 20;
+  bool cutoff = false;
+};
+
+class FibKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fib"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return true; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("fib_task", RegionType::kTask);
+    FibParams params;
+    switch (config.size) {
+      case SizeClass::kTest: params.n = 16; break;
+      case SizeClass::kSmall: params.n = 22; break;
+      case SizeClass::kMedium: params.n = 27; break;
+    }
+    params.cutoff = config.cutoff;
+
+    std::uint64_t result = 0;
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          compute(ctx, region, config, params, params.n, 0, &result);
+          ctx.taskwait();
+        });
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum = result;
+    out.ok = result == fib_value(params.n);
+    out.check = "fib(" + std::to_string(params.n) + ") value";
+    return out;
+  }
+
+ private:
+  // Spawns a task computing fib(n) into *result; the *caller* must
+  // taskwait before reading.  Matches the BOTS structure where fib(n-1)
+  // and fib(n-2) are sibling tasks.
+  static void compute(rt::TaskContext& ctx, RegionHandle region,
+                      const KernelConfig& config, const FibParams& params,
+                      int n, int depth, std::uint64_t* result) {
+    rt::TaskAttrs attrs = detail::task_attrs(region, config, depth);
+    attrs.undeferred = detail::spawn_mode(config, depth, kCutoffDepth) ==
+                       detail::SpawnMode::kUndeferred;
+    ctx.create_task(
+        [&config, &params, region, n, depth, result](rt::TaskContext& c) {
+          c.work(kNodeCost);
+          if (n < 2) {
+            *result = static_cast<std::uint64_t>(n);
+            return;
+          }
+          if (params.cutoff && !config.if_clause && depth >= kCutoffDepth) {
+            *result = fib_serial(c, n);
+            return;
+          }
+          std::uint64_t a = 0;
+          std::uint64_t b = 0;
+          compute(c, region, config, params, n - 1, depth + 1, &a);
+          compute(c, region, config, params, n - 2, depth + 1, &b);
+          c.taskwait();
+          *result = a + b;
+        },
+        attrs);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_fib_kernel() {
+  return std::make_unique<FibKernel>();
+}
+
+}  // namespace taskprof::bots

@@ -1,0 +1,206 @@
+// BOTS "floorplan": branch-and-bound placement of rectangular cells,
+// minimizing the bounding-box area.  One task per placement alternative up
+// to the cut-off depth (the paper's cut-off version stops at level 5); the
+// shared best bound is a racy atomic minimum — pruning may differ between
+// runs, but the optimum found is always the true optimum, which is what
+// the kernel verifies against a serial reference.
+#include <array>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+constexpr int kMaxCells = 12;
+constexpr int kCutoffDepth = 5;        ///< paper: floorplan cut-off level
+constexpr Ticks kOverlapCheckCost = 22;
+constexpr Ticks kAltCost = 60;
+
+struct Cell {
+  int w = 1;
+  int h = 1;
+};
+
+struct Rect {
+  int x = 0, y = 0, w = 0, h = 0;
+};
+
+struct Placement {
+  std::array<Rect, kMaxCells> rects{};
+  int count = 0;
+  int bound_w = 0;
+  int bound_h = 0;
+};
+
+bool overlaps(const Rect& a, const Rect& b) noexcept {
+  return a.x < b.x + b.w && b.x < a.x + a.w && a.y < b.y + b.h &&
+         b.y < a.y + a.h;
+}
+
+struct FloorplanState {
+  RegionHandle region;
+  const KernelConfig* config;
+  std::vector<Cell> cells;
+  std::atomic<int>* best_area = nullptr;
+  bool tasked = true;
+};
+
+/// Try every orientation x candidate-corner position for cell `index`.
+void place(rt::TaskContext& ctx, const FloorplanState& st,
+           const Placement& placement, int index, int depth) {
+  const int ncells = static_cast<int>(st.cells.size());
+  if (index == ncells) {
+    int area = placement.bound_w * placement.bound_h;
+    int best = st.best_area->load(std::memory_order_relaxed);
+    while (area < best && !st.best_area->compare_exchange_weak(
+                              best, area, std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  const Cell cell = st.cells[static_cast<std::size_t>(index)];
+  // Candidate corners: origin, or attached right-of / below a placed rect.
+  std::array<std::pair<int, int>, 2 * kMaxCells + 1> candidates;
+  int ncand = 0;
+  if (placement.count == 0) {
+    candidates[ncand++] = {0, 0};
+  } else {
+    for (int i = 0; i < placement.count; ++i) {
+      const Rect& r = placement.rects[static_cast<std::size_t>(i)];
+      candidates[ncand++] = {r.x + r.w, r.y};
+      candidates[ncand++] = {r.x, r.y + r.h};
+    }
+  }
+  const int orientations = cell.w == cell.h ? 1 : 2;
+  for (int o = 0; o < orientations; ++o) {
+    const int w = o == 0 ? cell.w : cell.h;
+    const int h = o == 0 ? cell.h : cell.w;
+    for (int cand = 0; cand < ncand; ++cand) {
+      ctx.work(kAltCost);
+      const Rect rect{candidates[static_cast<std::size_t>(cand)].first,
+                      candidates[static_cast<std::size_t>(cand)].second, w,
+                      h};
+      bool free_spot = true;
+      for (int i = 0; i < placement.count; ++i) {
+        ctx.work(kOverlapCheckCost);
+        if (overlaps(rect, placement.rects[static_cast<std::size_t>(i)])) {
+          free_spot = false;
+          break;
+        }
+      }
+      if (!free_spot) continue;
+      Placement next = placement;
+      next.rects[static_cast<std::size_t>(next.count++)] = rect;
+      next.bound_w = std::max(next.bound_w, rect.x + rect.w);
+      next.bound_h = std::max(next.bound_h, rect.y + rect.h);
+      if (next.bound_w * next.bound_h >=
+          st.best_area->load(std::memory_order_relaxed)) {
+        continue;  // bound: cannot beat the best complete placement
+      }
+      const detail::SpawnMode mode =
+          !st.tasked ? detail::SpawnMode::kSerial
+                     : detail::spawn_mode(*st.config, depth, kCutoffDepth);
+      if (mode == detail::SpawnMode::kSerial) {
+        place(ctx, st, next, index + 1, depth + 1);
+      } else {
+        rt::TaskAttrs attrs =
+            detail::task_attrs(st.region, *st.config, depth);
+        attrs.undeferred = mode == detail::SpawnMode::kUndeferred;
+        ctx.create_task(
+            [&st, next, index, depth](rt::TaskContext& c) {
+              place(c, st, next, index + 1, depth + 1);
+            },
+            attrs);
+      }
+    }
+  }
+  ctx.taskwait();
+}
+
+std::vector<Cell> make_cells(int ncells, std::uint64_t seed) {
+  std::vector<Cell> cells(static_cast<std::size_t>(ncells));
+  Xoshiro256 rng(seed);
+  for (auto& cell : cells) {
+    cell.w = 1 + static_cast<int>(rng.next_below(5));
+    cell.h = 1 + static_cast<int>(rng.next_below(5));
+  }
+  return cells;
+}
+
+class FloorplanKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "floorplan"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return true; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("floorplan_task", RegionType::kTask);
+    int ncells = 5;
+    switch (config.size) {
+      case SizeClass::kTest: ncells = 5; break;
+      case SizeClass::kSmall: ncells = 7; break;
+      case SizeClass::kMedium: ncells = 8; break;
+    }
+
+    std::atomic<int> best_area{std::numeric_limits<int>::max()};
+    FloorplanState st{region, &config, make_cells(ncells, config.seed),
+                      &best_area, /*tasked=*/true};
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          place(ctx, st, Placement{}, 0, 0);
+        });
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum = static_cast<std::uint64_t>(best_area.load());
+    out.ok = out.checksum == reference_area(ncells, config.seed, config);
+    out.check = "optimal area matches the serial branch-and-bound";
+    return out;
+  }
+
+ private:
+  static std::uint64_t reference_area(int ncells, std::uint64_t seed,
+                                      const KernelConfig& config) {
+    static std::mutex mutex;
+    static std::map<std::pair<int, std::uint64_t>, std::uint64_t> cache;
+    const auto key = std::make_pair(ncells, seed);
+    std::scoped_lock lock(mutex);
+    if (auto it = cache.find(key); it != cache.end()) return it->second;
+    // Serial exploration through a 1-thread simulator-independent run: the
+    // same code path with task creation disabled.
+    std::atomic<int> best{std::numeric_limits<int>::max()};
+    FloorplanState st{kInvalidRegion, &config, make_cells(ncells, seed),
+                      &best, /*tasked=*/false};
+    class SerialCtx final : public rt::TaskContext {
+     public:
+      void create_task(rt::TaskFn fn, rt::TaskAttrs) override { fn(*this); }
+      void taskwait() override {}
+      void barrier() override {}
+      bool single() override { return true; }
+      void work(Ticks) override {}
+      void region_enter(RegionHandle, std::int64_t) override {}
+      void region_exit(RegionHandle) override {}
+      [[nodiscard]] ThreadId thread_id() const override { return 0; }
+      [[nodiscard]] int num_threads() const override { return 1; }
+    } ctx;
+    place(ctx, st, Placement{}, 0, 0);
+    const std::uint64_t area = static_cast<std::uint64_t>(best.load());
+    cache.emplace(key, area);
+    return area;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_floorplan_kernel() {
+  return std::make_unique<FloorplanKernel>();
+}
+
+}  // namespace taskprof::bots

@@ -1,0 +1,220 @@
+// BOTS "health": simulation of a hierarchical health-care system.  A tree
+// of villages (hospitals at every level); each simulated tick descends the
+// tree with one task per village and processes that village's patients.
+// Fine-grained tasks with real data movement — the paper measured 32 %
+// single-thread overhead decaying to 5.6 % at 8 threads (cut-off version).
+// The cut-off version stops creating tasks below a tree level and
+// processes the remaining subtree serially.
+//
+// Simplification vs. BOTS: patients are per-village counters advanced by a
+// per-village RNG instead of linked lists.  Every village is processed
+// exactly once per tick with its own generator, so the simulation is
+// bit-deterministic regardless of task interleaving — which is what makes
+// self-verification possible.
+#include <memory>
+#include <vector>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+constexpr int kBranch = 4;           ///< villages per non-leaf village
+constexpr Ticks kPatientCost = 90;   ///< virtual ns per patient transition
+constexpr Ticks kVillageCost = 350;  ///< per-village bookkeeping
+constexpr int kCutoffLevel = 2;      ///< cut-off: tasks only above this level
+
+struct Params {
+  int levels = 4;
+  int ticks = 20;
+};
+
+struct Village {
+  Xoshiro256 rng{0};
+  std::int64_t waiting = 0;    ///< patients in the waiting room
+  std::int64_t assess = 0;     ///< patients under assessment
+  std::int64_t inside = 0;     ///< patients in treatment
+  std::int64_t treated = 0;    ///< cumulative discharged patients
+  std::int64_t referred = 0;   ///< cumulative referrals upward
+  std::vector<std::unique_ptr<Village>> children;
+};
+
+std::unique_ptr<Village> build(int level, std::uint64_t seed) {
+  auto village = std::make_unique<Village>();
+  village->rng = Xoshiro256(seed);
+  village->waiting = 3;
+  if (level > 0) {
+    for (int i = 0; i < kBranch; ++i) {
+      village->children.push_back(
+          build(level - 1, seed * 8191 + static_cast<std::uint64_t>(i) + 1));
+    }
+  }
+  return village;
+}
+
+/// One tick of one village: stochastic but village-local, so execution
+/// order cannot change the outcome.
+void step_village(rt::TaskContext& ctx, Village& v) {
+  std::int64_t ops = 1;
+  // New arrivals.
+  const std::int64_t arrivals =
+      static_cast<std::int64_t>(v.rng.next_below(3));
+  v.waiting += arrivals;
+  ops += arrivals;
+  // Waiting -> assessment (capacity-limited).
+  const std::int64_t to_assess = std::min<std::int64_t>(v.waiting, 2);
+  v.waiting -= to_assess;
+  v.assess += to_assess;
+  ops += to_assess;
+  // Assessment -> treatment or referral upward.
+  std::int64_t to_inside = 0;
+  std::int64_t to_refer = 0;
+  for (std::int64_t i = 0; i < v.assess && i < 2; ++i) {
+    if (v.rng.next_double() < 0.7) {
+      ++to_inside;
+    } else {
+      ++to_refer;
+    }
+  }
+  v.assess -= to_inside + to_refer;
+  v.inside += to_inside;
+  v.referred += to_refer;
+  ops += to_inside + to_refer;
+  // Treatment completion.
+  const std::int64_t discharged = std::min<std::int64_t>(v.inside, 1);
+  v.inside -= discharged;
+  v.treated += discharged;
+  ops += discharged;
+  ctx.work(kVillageCost + ops * kPatientCost);
+}
+
+struct HealthState {
+  RegionHandle region;
+  const KernelConfig* config;
+};
+
+void simulate_serial(rt::TaskContext& ctx, Village& v) {
+  for (auto& child : v.children) simulate_serial(ctx, *child);
+  step_village(ctx, v);
+}
+
+/// BOTS structure: one task per child village, then process this village
+/// after the subtree finished (taskwait).
+void simulate(rt::TaskContext& ctx, const HealthState& st, Village& v,
+              int level, int depth) {
+  for (auto& child : v.children) {
+    Village* child_ptr = child.get();
+    // The cut-off kicks in below a tree level: deeper villages are
+    // processed serially (manual) or as undeferred tasks (if-clause).
+    const bool below_cutoff = st.config->cutoff && level - 1 < kCutoffLevel;
+    if (below_cutoff && !st.config->if_clause) {
+      simulate_serial(ctx, *child_ptr);
+      continue;
+    }
+    rt::TaskAttrs attrs = detail::task_attrs(st.region, *st.config, depth);
+    attrs.undeferred = below_cutoff;
+    ctx.create_task(
+        [&st, child_ptr, level, depth](rt::TaskContext& c) {
+          simulate(c, st, *child_ptr, level - 1, depth + 1);
+        },
+        attrs);
+  }
+  ctx.taskwait();
+  step_village(ctx, v);
+}
+
+std::uint64_t checksum_of(const Village& v) {
+  std::uint64_t sum = static_cast<std::uint64_t>(v.treated) * 31 +
+                      static_cast<std::uint64_t>(v.referred) * 17 +
+                      static_cast<std::uint64_t>(v.waiting + v.assess +
+                                                 v.inside);
+  for (const auto& child : v.children) {
+    sum = sum * 1099511628211ULL + checksum_of(*child);
+  }
+  return sum;
+}
+
+/// Serial run of the same simulation (no tasks) for verification.
+std::uint64_t reference_checksum(const Params& params, std::uint64_t seed) {
+  auto root = build(params.levels, seed);
+  struct NullCtx {
+    static void run(Village& v, int ticks) {
+      for (int t = 0; t < ticks; ++t) step_all(v);
+    }
+    static void step_all(Village& v) {
+      for (auto& child : v.children) step_all(*child);
+      step_serial(v);
+    }
+    static void step_serial(Village& v) {
+      // Duplicate of step_village without the context; kept in sync by
+      // the unit test comparing both paths.
+      std::int64_t arrivals = static_cast<std::int64_t>(v.rng.next_below(3));
+      v.waiting += arrivals;
+      const std::int64_t to_assess = std::min<std::int64_t>(v.waiting, 2);
+      v.waiting -= to_assess;
+      v.assess += to_assess;
+      std::int64_t to_inside = 0;
+      std::int64_t to_refer = 0;
+      for (std::int64_t i = 0; i < v.assess && i < 2; ++i) {
+        if (v.rng.next_double() < 0.7) {
+          ++to_inside;
+        } else {
+          ++to_refer;
+        }
+      }
+      v.assess -= to_inside + to_refer;
+      v.inside += to_inside;
+      v.referred += to_refer;
+      const std::int64_t discharged = std::min<std::int64_t>(v.inside, 1);
+      v.inside -= discharged;
+      v.treated += discharged;
+    }
+  };
+  NullCtx::run(*root, params.ticks);
+  return checksum_of(*root);
+}
+
+class HealthKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "health"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return true; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("health_task", RegionType::kTask);
+    Params params;
+    switch (config.size) {
+      case SizeClass::kTest: params = {3, 10}; break;
+      case SizeClass::kSmall: params = {5, 40}; break;
+      case SizeClass::kMedium: params = {6, 60}; break;
+    }
+
+    auto root = build(params.levels, config.seed);
+    HealthState st{region, &config};
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          for (int t = 0; t < params.ticks; ++t) {
+            simulate(ctx, st, *root, params.levels, 0);
+          }
+        });
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum = checksum_of(*root);
+    out.ok = out.checksum == reference_checksum(params, config.seed);
+    out.check = "simulation state matches the serial reference";
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_health_kernel() {
+  return std::make_unique<HealthKernel>();
+}
+
+}  // namespace taskprof::bots

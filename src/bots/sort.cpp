@@ -1,0 +1,122 @@
+// BOTS "sort": parallel mergesort over 32-bit keys.  Tasks split the range
+// recursively; below a grain threshold an in-place serial sort runs.  The
+// paper measured ~6 % instrumentation overhead — tasks are mid-sized, so
+// this kernel sits between fib (tiny tasks) and strassen (large tasks).
+//
+// Simplification vs. BOTS (cilksort): two-way splits with a serial merge
+// instead of four-way splits with parallel merge tasks; the task topology
+// (recursive creation + taskwait per level) is preserved.
+#include <algorithm>
+#include <vector>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+constexpr std::size_t kSerialThreshold = 2048;
+constexpr Ticks kSerialSortPerElement = 28;  ///< ~ c * log2(threshold)
+constexpr Ticks kMergePerElement = 6;
+
+struct SortState {
+  RegionHandle region;
+  const KernelConfig* config;
+  std::vector<std::uint32_t>* data;
+  std::vector<std::uint32_t>* scratch;
+};
+
+void sort_range(rt::TaskContext& ctx, const SortState& st, std::size_t lo,
+                std::size_t hi, int depth);
+
+/// Spawn a task sorting [lo, hi); caller must taskwait before using it.
+void spawn_sort(rt::TaskContext& ctx, const SortState& st, std::size_t lo,
+                std::size_t hi, int depth) {
+  ctx.create_task(
+      [&st, lo, hi, depth](rt::TaskContext& c) {
+        sort_range(c, st, lo, hi, depth);
+      },
+      detail::task_attrs(st.region, *st.config, depth));
+}
+
+void sort_range(rt::TaskContext& ctx, const SortState& st, std::size_t lo,
+                std::size_t hi, int depth) {
+  const std::size_t count = hi - lo;
+  auto& data = *st.data;
+  if (count <= kSerialThreshold) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+              data.begin() + static_cast<std::ptrdiff_t>(hi));
+    ctx.work(static_cast<Ticks>(count) * kSerialSortPerElement);
+    return;
+  }
+  const std::size_t mid = lo + count / 2;
+  spawn_sort(ctx, st, lo, mid, depth + 1);
+  spawn_sort(ctx, st, mid, hi, depth + 1);
+  ctx.taskwait();
+  // Serial merge through the scratch buffer.
+  auto& scratch = *st.scratch;
+  std::merge(data.begin() + static_cast<std::ptrdiff_t>(lo),
+             data.begin() + static_cast<std::ptrdiff_t>(mid),
+             data.begin() + static_cast<std::ptrdiff_t>(mid),
+             data.begin() + static_cast<std::ptrdiff_t>(hi),
+             scratch.begin() + static_cast<std::ptrdiff_t>(lo));
+  std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+            scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+            data.begin() + static_cast<std::ptrdiff_t>(lo));
+  ctx.work(static_cast<Ticks>(count) * kMergePerElement);
+}
+
+class SortKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sort"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return false; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("sort_task", RegionType::kTask);
+    std::size_t count = 1;
+    switch (config.size) {
+      case SizeClass::kTest: count = 64 * 1024; break;
+      case SizeClass::kSmall: count = 1024 * 1024; break;
+      case SizeClass::kMedium: count = 4 * 1024 * 1024; break;
+    }
+
+    std::vector<std::uint32_t> data(count);
+    Xoshiro256 rng(config.seed);
+    std::uint64_t xor_before = 0;
+    for (auto& value : data) {
+      value = static_cast<std::uint32_t>(rng.next());
+      xor_before ^= value;
+    }
+    std::vector<std::uint32_t> scratch(count);
+
+    SortState st{region, &config, &data, &scratch};
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          spawn_sort(ctx, st, 0, count, 0);
+          ctx.taskwait();
+        });
+
+    std::uint64_t xor_after = 0;
+    for (auto value : data) xor_after ^= value;
+    const bool sorted = std::is_sorted(data.begin(), data.end());
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum = xor_after;
+    out.ok = sorted && xor_before == xor_after;
+    out.check = "sorted order and element conservation";
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_sort_kernel() {
+  return std::make_unique<SortKernel>();
+}
+
+}  // namespace taskprof::bots

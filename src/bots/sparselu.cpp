@@ -1,0 +1,258 @@
+// BOTS "sparselu": LU factorization of a sparse blocked matrix.  Per
+// elimination step k: factor the diagonal block (lu0), then tasks for the
+// row panel (fwd), the column panel (bdiv), and the trailing update
+// (bmod), with taskwaits between phases.  The paper used "the version that
+// creates tasks in a single construct": one thread creates all tasks while
+// the team executes them — the single-creator pattern whose creation
+// bottleneck the paper discusses.
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+constexpr double kFlopCost = 0.6;  ///< virtual ns per floating-point op
+
+struct Params {
+  std::size_t blocks = 8;      ///< matrix is blocks x blocks blocks
+  std::size_t block_edge = 16; ///< each block is block_edge x block_edge
+};
+
+using Block = std::vector<double>;  // block_edge * block_edge, row-major
+
+/// Sparse blocked matrix: absent blocks are empty vectors.  The sparsity
+/// pattern matches BOTS' genmat: diagonals present, off-diagonal presence
+/// decided by a deterministic pseudo-random rule.
+struct BlockMatrix {
+  Params params;
+  std::vector<Block> blocks;  // blocks x blocks entries
+
+  [[nodiscard]] Block& at(std::size_t i, std::size_t j) {
+    return blocks[i * params.blocks + j];
+  }
+  [[nodiscard]] bool present(std::size_t i, std::size_t j) const {
+    return !blocks[i * params.blocks + j].empty();
+  }
+};
+
+BlockMatrix generate(const Params& params, std::uint64_t seed) {
+  BlockMatrix mat;
+  mat.params = params;
+  mat.blocks.resize(params.blocks * params.blocks);
+  Xoshiro256 rng(seed);
+  const std::size_t be = params.block_edge;
+  for (std::size_t i = 0; i < params.blocks; ++i) {
+    for (std::size_t j = 0; j < params.blocks; ++j) {
+      const bool keep = i == j || rng.next_double() < 0.6;
+      if (!keep) continue;
+      Block& blk = mat.at(i, j);
+      blk.resize(be * be);
+      for (std::size_t e = 0; e < be * be; ++e) {
+        blk[e] = rng.next_double() - 0.5;
+      }
+      if (i == j) {
+        // Diagonal dominance keeps the factorization stable without
+        // pivoting (as in BOTS).
+        for (std::size_t d = 0; d < be; ++d) {
+          blk[d * be + d] += static_cast<double>(be);
+        }
+      }
+    }
+  }
+  return mat;
+}
+
+// --- The four BOTS block kernels ----------------------------------------
+
+void lu0(Block& diag, std::size_t be) {
+  for (std::size_t k = 0; k < be; ++k) {
+    const double pivot = diag[k * be + k];
+    for (std::size_t i = k + 1; i < be; ++i) {
+      diag[i * be + k] /= pivot;
+      const double lik = diag[i * be + k];
+      for (std::size_t j = k + 1; j < be; ++j) {
+        diag[i * be + j] -= lik * diag[k * be + j];
+      }
+    }
+  }
+}
+
+void fwd(const Block& diag, Block& row, std::size_t be) {
+  for (std::size_t k = 0; k < be; ++k) {
+    for (std::size_t i = k + 1; i < be; ++i) {
+      const double lik = diag[i * be + k];
+      for (std::size_t j = 0; j < be; ++j) {
+        row[i * be + j] -= lik * row[k * be + j];
+      }
+    }
+  }
+}
+
+void bdiv(const Block& diag, Block& col, std::size_t be) {
+  for (std::size_t i = 0; i < be; ++i) {
+    for (std::size_t k = 0; k < be; ++k) {
+      col[i * be + k] /= diag[k * be + k];
+      const double aik = col[i * be + k];
+      for (std::size_t j = k + 1; j < be; ++j) {
+        col[i * be + j] -= aik * diag[k * be + j];
+      }
+    }
+  }
+}
+
+void bmod(const Block& row, const Block& col, Block& inner, std::size_t be) {
+  for (std::size_t i = 0; i < be; ++i) {
+    for (std::size_t k = 0; k < be; ++k) {
+      const double aik = col[i * be + k];
+      for (std::size_t j = 0; j < be; ++j) {
+        inner[i * be + j] -= aik * row[k * be + j];
+      }
+    }
+  }
+}
+
+Ticks block_cost(std::size_t be) {
+  return static_cast<Ticks>(2.0 * static_cast<double>(be * be * be) / 3.0 *
+                            kFlopCost);
+}
+Ticks bmod_cost(std::size_t be) {
+  return static_cast<Ticks>(2.0 * static_cast<double>(be * be * be) *
+                            kFlopCost);
+}
+
+/// The factorization, optionally creating tasks (task=false gives the
+/// serial reference used for verification).
+void factorize(rt::TaskContext* ctx, const KernelConfig* config,
+               RegionHandle region, BlockMatrix& mat) {
+  const std::size_t nb = mat.params.blocks;
+  const std::size_t be = mat.params.block_edge;
+  const bool tasked = ctx != nullptr;
+  for (std::size_t k = 0; k < nb; ++k) {
+    lu0(mat.at(k, k), be);
+    if (tasked) ctx->work(block_cost(be));
+    const Block& diag = mat.at(k, k);
+    for (std::size_t j = k + 1; j < nb; ++j) {
+      if (!mat.present(k, j)) continue;
+      Block& row = mat.at(k, j);
+      if (tasked) {
+        ctx->create_task(
+            [&diag, &row, be](rt::TaskContext& c) {
+              fwd(diag, row, be);
+              c.work(block_cost(be));
+            },
+            detail::task_attrs(region, *config, 0));
+      } else {
+        fwd(diag, row, be);
+      }
+    }
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      if (!mat.present(i, k)) continue;
+      Block& col = mat.at(i, k);
+      if (tasked) {
+        ctx->create_task(
+            [&diag, &col, be](rt::TaskContext& c) {
+              bdiv(diag, col, be);
+              c.work(block_cost(be));
+            },
+            detail::task_attrs(region, *config, 0));
+      } else {
+        bdiv(diag, col, be);
+      }
+    }
+    if (tasked) ctx->taskwait();
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      if (!mat.present(i, k)) continue;
+      for (std::size_t j = k + 1; j < nb; ++j) {
+        if (!mat.present(k, j)) continue;
+        Block& inner = mat.at(i, j);
+        if (inner.empty()) inner.assign(be * be, 0.0);  // fill-in
+        const Block& row = mat.at(k, j);
+        const Block& col = mat.at(i, k);
+        if (tasked) {
+          ctx->create_task(
+              [&row, &col, &inner, be](rt::TaskContext& c) {
+                bmod(row, col, inner, be);
+                c.work(bmod_cost(be));
+              },
+              detail::task_attrs(region, *config, 0));
+        } else {
+          bmod(row, col, inner, be);
+        }
+      }
+    }
+    if (tasked) ctx->taskwait();
+  }
+}
+
+std::uint64_t checksum_of(const BlockMatrix& mat) {
+  double sum = 0.0;
+  for (const Block& blk : mat.blocks) {
+    for (double v : blk) sum += std::abs(v);
+  }
+  return static_cast<std::uint64_t>(std::llround(sum * 1e3));
+}
+
+class SparseLuKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sparselu"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return false; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("sparselu_task", RegionType::kTask);
+    Params params;
+    switch (config.size) {
+      case SizeClass::kTest: params = {8, 16}; break;
+      case SizeClass::kSmall: params = {20, 32}; break;
+      case SizeClass::kMedium: params = {32, 48}; break;
+    }
+
+    BlockMatrix mat = generate(params, config.seed);
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          factorize(&ctx, &config, region, mat);
+        });
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum = checksum_of(mat);
+    out.ok = out.checksum == reference_checksum(params, config.seed);
+    out.check = "factor matches the serial reference factorization";
+    return out;
+  }
+
+ private:
+  /// Serial reference checksum, cached per (params, seed): benches sweep
+  /// thread counts over the same input and pay for the reference once.
+  static std::uint64_t reference_checksum(const Params& params,
+                                          std::uint64_t seed) {
+    static std::mutex mutex;
+    static std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>,
+                    std::uint64_t>
+        cache;
+    const auto key = std::make_tuple(params.blocks, params.block_edge, seed);
+    std::scoped_lock lock(mutex);
+    if (auto it = cache.find(key); it != cache.end()) return it->second;
+    BlockMatrix ref = generate(params, seed);
+    factorize(nullptr, nullptr, kInvalidRegion, ref);
+    const std::uint64_t sum = checksum_of(ref);
+    cache.emplace(key, sum);
+    return sum;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_sparselu_kernel() {
+  return std::make_unique<SparseLuKernel>();
+}
+
+}  // namespace taskprof::bots

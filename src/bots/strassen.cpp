@@ -1,0 +1,248 @@
+// BOTS "strassen": Strassen matrix multiplication.  Seven recursive
+// sub-products per level, one task each; below the leaf size a standard
+// O(m^3) multiply runs.  The paper's coarsest-grained code: mean task time
+// ~149 us, two orders above fib/health/nqueens (Table I), and the only
+// kernel whose non-cut-off version keeps near-zero overhead (Figs. 13/14).
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "bots/detail.hpp"
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+
+namespace taskprof::bots {
+
+namespace {
+
+/// Standard multiply below this edge length.
+constexpr std::size_t kLeafSize = 64;
+/// The cut-off version stops creating tasks below this recursion depth
+/// (deeper levels recurse serially inside the enclosing task).
+constexpr int kTaskDepthCutoff = 2;
+
+constexpr double kFlopCost = 0.55;  ///< virtual ns per floating-point op
+
+/// Non-owning view of an m x m submatrix with row stride.
+struct View {
+  double* data = nullptr;
+  std::size_t stride = 0;
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) const noexcept {
+    return data[r * stride + c];
+  }
+  [[nodiscard]] View quadrant(std::size_t m, int qr, int qc) const noexcept {
+    const std::size_t h = m / 2;
+    return View{data + static_cast<std::size_t>(qr) * h * stride +
+                    static_cast<std::size_t>(qc) * h,
+                stride};
+  }
+};
+
+/// Owning square scratch matrix.
+struct Matrix {
+  explicit Matrix(std::size_t m) : edge(m), values(m * m, 0.0) {}
+  [[nodiscard]] View view() noexcept { return View{values.data(), edge}; }
+  std::size_t edge;
+  std::vector<double> values;
+};
+
+void add(View out, View a, View b, std::size_t m, double sign) noexcept {
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      out.at(r, c) = a.at(r, c) + sign * b.at(r, c);
+    }
+  }
+}
+
+void multiply_naive(View c, View a, View b, std::size_t m) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) c.at(i, j) = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < m; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+}
+
+struct StrassenState {
+  RegionHandle region;
+  const KernelConfig* config;
+};
+
+void strassen(rt::TaskContext& ctx, const StrassenState& st, View c, View a,
+              View b, std::size_t m, int depth);
+
+/// One of the seven Strassen products, computed into the owned matrix
+/// `out` (operand temps live inside the task).
+void product_task_body(rt::TaskContext& ctx, const StrassenState& st,
+                       Matrix& out, View a1, View a2, double asign, View b1,
+                       View b2, double bsign, std::size_t h, int depth) {
+  // Operand sums (a1 + asign*a2) and (b1 + bsign*b2); sign 0 means the
+  // operand is just a1/b1.
+  Matrix ta(h);
+  Matrix tb(h);
+  View va = a1;
+  View vb = b1;
+  if (asign != 0.0) {
+    add(ta.view(), a1, a2, h, asign);
+    va = ta.view();
+    ctx.work(static_cast<Ticks>(static_cast<double>(h * h) * kFlopCost));
+  }
+  if (bsign != 0.0) {
+    add(tb.view(), b1, b2, h, bsign);
+    vb = tb.view();
+    ctx.work(static_cast<Ticks>(static_cast<double>(h * h) * kFlopCost));
+  }
+  strassen(ctx, st, out.view(), va, vb, h, depth);
+}
+
+void strassen(rt::TaskContext& ctx, const StrassenState& st, View c, View a,
+              View b, std::size_t m, int depth) {
+  if (m <= kLeafSize) {
+    multiply_naive(c, a, b, m);
+    ctx.work(static_cast<Ticks>(2.0 * static_cast<double>(m * m * m) *
+                                kFlopCost));
+    return;
+  }
+  const std::size_t h = m / 2;
+  const View a11 = a.quadrant(m, 0, 0);
+  const View a12 = a.quadrant(m, 0, 1);
+  const View a21 = a.quadrant(m, 1, 0);
+  const View a22 = a.quadrant(m, 1, 1);
+  const View b11 = b.quadrant(m, 0, 0);
+  const View b12 = b.quadrant(m, 0, 1);
+  const View b21 = b.quadrant(m, 1, 0);
+  const View b22 = b.quadrant(m, 1, 1);
+
+  std::vector<Matrix> products;
+  products.reserve(7);
+  for (int i = 0; i < 7; ++i) products.emplace_back(h);
+
+  struct Spec {
+    View a1, a2;
+    double asign;
+    View b1, b2;
+    double bsign;
+  };
+  const Spec specs[7] = {
+      {a11, a22, 1.0, b11, b22, 1.0},   // M1
+      {a21, a22, 1.0, b11, b11, 0.0},   // M2
+      {a11, a11, 0.0, b12, b22, -1.0},  // M3
+      {a22, a22, 0.0, b21, b11, -1.0},  // M4
+      {a11, a12, 1.0, b22, b22, 0.0},   // M5
+      {a21, a11, -1.0, b11, b12, 1.0},  // M6
+      {a12, a22, -1.0, b21, b22, 1.0},  // M7
+  };
+
+  const detail::SpawnMode mode =
+      detail::spawn_mode(*st.config, depth, kTaskDepthCutoff);
+  bool spawned = false;
+  for (int i = 0; i < 7; ++i) {
+    Matrix& out = products[static_cast<std::size_t>(i)];
+    const Spec& sp = specs[i];
+    if (mode == detail::SpawnMode::kSerial) {
+      product_task_body(ctx, st, out, sp.a1, sp.a2, sp.asign, sp.b1, sp.b2,
+                        sp.bsign, h, depth + 1);
+    } else {
+      rt::TaskAttrs attrs = detail::task_attrs(st.region, *st.config, depth);
+      attrs.undeferred = mode == detail::SpawnMode::kUndeferred;
+      spawned = spawned || !attrs.undeferred;
+      ctx.create_task(
+          [&st, &out, sp, h, depth](rt::TaskContext& c2) {
+            product_task_body(c2, st, out, sp.a1, sp.a2, sp.asign, sp.b1,
+                              sp.b2, sp.bsign, h, depth + 1);
+          },
+          attrs);
+    }
+  }
+  if (spawned) ctx.taskwait();
+
+  const View m1 = products[0].view();
+  const View m2 = products[1].view();
+  const View m3 = products[2].view();
+  const View m4 = products[3].view();
+  const View m5 = products[4].view();
+  const View m6 = products[5].view();
+  const View m7 = products[6].view();
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t col = 0; col < h; ++col) {
+      c.quadrant(m, 0, 0).at(r, col) =
+          m1.at(r, col) + m4.at(r, col) - m5.at(r, col) + m7.at(r, col);
+      c.quadrant(m, 0, 1).at(r, col) = m3.at(r, col) + m5.at(r, col);
+      c.quadrant(m, 1, 0).at(r, col) = m2.at(r, col) + m4.at(r, col);
+      c.quadrant(m, 1, 1).at(r, col) =
+          m1.at(r, col) - m2.at(r, col) + m3.at(r, col) + m6.at(r, col);
+    }
+  }
+  ctx.work(static_cast<Ticks>(8.0 * static_cast<double>(h * h) * kFlopCost));
+}
+
+class StrassenKernel final : public Kernel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "strassen"; }
+  [[nodiscard]] bool has_cutoff_version() const override { return true; }
+
+  KernelResult run(rt::Runtime& runtime, RegionRegistry& registry,
+                   const KernelConfig& config) override {
+    const RegionHandle region =
+        registry.register_region("strassen_task", RegionType::kTask);
+    // kTest must span at least three task levels so the cut-off version
+    // (tasks only above depth 2) is distinguishable from the full one.
+    std::size_t edge = 512;
+    switch (config.size) {
+      case SizeClass::kTest: edge = 512; break;
+      case SizeClass::kSmall: edge = 512; break;
+      case SizeClass::kMedium: edge = 1024; break;
+    }
+
+    Matrix a(edge);
+    Matrix b(edge);
+    Matrix c(edge);
+    Xoshiro256 rng(config.seed);
+    for (auto& v : a.values) v = rng.next_double() - 0.5;
+    for (auto& v : b.values) v = rng.next_double() - 0.5;
+
+    StrassenState st{region, &config};
+    auto stats = detail::run_single_rooted(
+        runtime, config.threads, [&](rt::TaskContext& ctx) {
+          strassen(ctx, st, c.view(), a.view(), b.view(), edge, 0);
+        });
+
+    // Verify a sample of rows against the naive product.
+    bool ok = true;
+    double checksum = 0.0;
+    for (std::size_t r = 0; r < edge; r += edge / 4) {
+      for (std::size_t col = 0; col < edge; ++col) {
+        double expect = 0.0;
+        for (std::size_t k = 0; k < edge; ++k) {
+          expect += a.view().at(r, k) * b.view().at(k, col);
+        }
+        const double got = c.view().at(r, col);
+        checksum += got;
+        if (std::abs(expect - got) >
+            1e-8 * std::max(1.0, std::abs(expect))) {
+          ok = false;
+        }
+      }
+    }
+
+    KernelResult out;
+    out.stats = stats;
+    out.checksum =
+        static_cast<std::uint64_t>(std::llround(std::abs(checksum) * 1e3));
+    out.ok = ok;
+    out.check = "sampled rows match the naive product";
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_strassen_kernel() {
+  return std::make_unique<StrassenKernel>();
+}
+
+}  // namespace taskprof::bots

@@ -1,0 +1,30 @@
+// Internal invariant checking.
+//
+// TASKPROF_ASSERT guards invariants of taskprof's own data structures; a
+// failure is a bug in taskprof, so it aborts with a diagnostic rather than
+// throwing (the measurement layer runs inside scheduler callbacks where
+// stack unwinding past foreign frames would be unsafe).  Violations of the
+// *public* API contract are reported with exceptions at the API boundary
+// instead (see e.g. rt/runtime.hpp).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace taskprof::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) noexcept {
+  std::fprintf(stderr, "taskprof: assertion `%s` failed at %s:%d: %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace taskprof::detail
+
+#define TASKPROF_ASSERT(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::taskprof::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (false)

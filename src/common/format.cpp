@@ -1,0 +1,115 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace taskprof {
+
+namespace {
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_ticks(Ticks t) {
+  const bool negative = t < 0;
+  const double abs_ns = std::abs(static_cast<double>(t));
+  const char* unit = "ns";
+  double value = abs_ns;
+  if (abs_ns >= 1e9) {
+    unit = "s";
+    value = abs_ns / 1e9;
+  } else if (abs_ns >= 1e6) {
+    unit = "ms";
+    value = abs_ns / 1e6;
+  } else if (abs_ns >= 1e3) {
+    unit = "us";
+    value = abs_ns / 1e3;
+  }
+  // Three significant digits: decimals depend on magnitude.  Nanosecond
+  // values are integral ticks, so they never show decimals.
+  int decimals = 2;
+  if (value >= 100.0 || abs_ns < 1e3) {
+    decimals = 0;
+  } else if (value >= 10.0) {
+    decimals = 1;
+  }
+  std::string s = format_double(value, decimals);
+  return (negative ? "-" : "") + s + " " + unit;
+}
+
+std::string format_seconds(Ticks t, int decimals) {
+  return format_double(static_cast<double>(t) / 1e9, decimals);
+}
+
+std::string format_percent(double ratio, int decimals) {
+  const double pct = ratio * 100.0;
+  std::string s = format_double(pct, decimals);
+  if (pct >= 0.0 && s[0] != '-') s.insert(s.begin(), '+');
+  return s + " %";
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      out.push_back(',');
+    }
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TASKPROF_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  TASKPROF_ASSERT(row.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (c == 0) {
+        os << row[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace taskprof

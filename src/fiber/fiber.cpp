@@ -1,0 +1,109 @@
+#include "fiber/fiber.hpp"
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace taskprof {
+
+namespace {
+
+// The fiber currently executing on this OS thread (nullptr in the root
+// context).  Fibers are confined to one OS thread, so thread_local is the
+// full story.
+thread_local Fiber* t_current_fiber = nullptr;
+
+}  // namespace
+
+StackPool::StackPool(std::size_t stack_size) : stack_size_(stack_size) {
+  TASKPROF_ASSERT(stack_size_ >= 16 * 1024, "fiber stacks below 16 KiB");
+}
+
+std::unique_ptr<char[]> StackPool::acquire() {
+  if (!free_.empty()) {
+    auto stack = std::move(free_.back());
+    free_.pop_back();
+    return stack;
+  }
+  ++allocated_;
+  return std::make_unique<char[]>(stack_size_);
+}
+
+void StackPool::release(std::unique_ptr<char[]> stack) {
+  if (stack != nullptr) free_.push_back(std::move(stack));
+}
+
+Fiber::Fiber(Entry entry, StackPool* pool)
+    : entry_(std::move(entry)), pool_(pool) {
+  TASKPROF_ASSERT(entry_ != nullptr, "fiber needs an entry function");
+  if (pool_ != nullptr) {
+    stack_ = pool_->acquire();
+    stack_size_ = pool_->stack_size();
+  } else {
+    stack_size_ = 256 * 1024;
+    stack_ = std::make_unique<char[]>(stack_size_);
+  }
+}
+
+Fiber::~Fiber() {
+  TASKPROF_ASSERT(!running_, "destroying a running fiber");
+  // Destroying an unfinished fiber abandons its stack frame contents; the
+  // simulator only does this on teardown after an error, which is
+  // acceptable (no cleanup runs, like a cancelled thread).
+  if (pool_ != nullptr) pool_->release(std::move(stack_));
+}
+
+void Fiber::trampoline(unsigned int hi, unsigned int lo) {
+  auto address = (static_cast<std::uintptr_t>(hi) << 32) |
+                 static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(address)->run();
+  // run() swapcontexts away and never returns here; if it did, falling off
+  // the trampoline would terminate the process via uc_link == nullptr.
+}
+
+void Fiber::run() noexcept {
+  try {
+    entry_();
+  } catch (...) {
+    exception_ = std::current_exception();
+  }
+  finished_ = true;
+  // Final switch back to the resumer.  swapcontext (not setcontext) so the
+  // (dead) context stays well-formed.
+  swapcontext(&context_, &return_context_);
+}
+
+void Fiber::resume() {
+  TASKPROF_ASSERT(!finished_, "resume of a finished fiber");
+  TASKPROF_ASSERT(!running_, "resume of the running fiber");
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_size_;
+    context_.uc_link = nullptr;
+    const auto address = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned int>(address >> 32),
+                static_cast<unsigned int>(address & 0xffffffffu));
+  }
+  Fiber* previous = t_current_fiber;
+  t_current_fiber = this;
+  running_ = true;
+  swapcontext(&return_context_, &context_);
+  running_ = false;
+  t_current_fiber = previous;
+  if (finished_ && exception_ != nullptr) {
+    std::exception_ptr e = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current_fiber;
+  TASKPROF_ASSERT(self != nullptr, "yield outside of a fiber");
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+}  // namespace taskprof

@@ -1,0 +1,96 @@
+// Stackful fibers (cooperative user-level contexts) on top of POSIX
+// ucontext.
+//
+// The discrete-event simulator runs every simulated task on a fiber so the
+// task body — ordinary recursive C++ code — can *suspend* at scheduling
+// points (taskwait, task switch) and resume later, possibly on a different
+// virtual worker.  That is exactly the capability the paper needs for
+// untied tasks (§IV-D) and that the real OpenMP runtime did not expose.
+//
+// Concurrency model: fibers are confined to one OS thread.  The simulator
+// is single-OS-threaded by construction, so no synchronization is needed;
+// resuming a fiber from a second OS thread is undefined.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace taskprof {
+
+/// Recycles fixed-size fiber stacks.  One pool per simulator instance.
+class StackPool {
+ public:
+  /// All stacks from a pool share one size (bytes).
+  explicit StackPool(std::size_t stack_size = 256 * 1024);
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  [[nodiscard]] std::size_t stack_size() const noexcept { return stack_size_; }
+
+  std::unique_ptr<char[]> acquire();
+  void release(std::unique_ptr<char[]> stack);
+
+  [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+  [[nodiscard]] std::size_t pooled() const noexcept { return free_.size(); }
+
+ private:
+  std::size_t stack_size_;
+  std::vector<std::unique_ptr<char[]>> free_;
+  std::size_t allocated_ = 0;
+};
+
+/// A suspendable execution context running `entry` on its own stack.
+///
+/// Lifecycle: construct -> resume()* -> finished().  Each resume() runs the
+/// fiber until it calls Fiber::yield() or its entry returns.  An exception
+/// escaping the entry is captured and rethrown from the resume() that
+/// observed completion.
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  /// `pool` (may be nullptr for a private stack) must outlive the fiber.
+  explicit Fiber(Entry entry, StackPool* pool = nullptr);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run or continue the fiber until it yields or finishes.  Must not be
+  /// called on a finished fiber or from inside any fiber of this thread's
+  /// currently-running chain.
+  void resume();
+
+  /// Suspend the currently running fiber of this OS thread, returning
+  /// control to its resume() caller.  Must be called from fiber context.
+  static void yield();
+
+  /// True after the entry function has returned (or thrown).
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// True while this fiber is the one currently executing.
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  static void trampoline(unsigned int hi, unsigned int lo);
+  void run() noexcept;
+
+  Entry entry_;
+  StackPool* pool_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_size_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  std::exception_ptr exception_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+};
+
+}  // namespace taskprof

@@ -1,0 +1,153 @@
+// The instrumentation adapter: OPARI2/POMP2 stand-in.
+//
+// In the paper, OPARI2 rewrites the source so every OpenMP construct
+// reports POMP2 events into Score-P.  Here the runtime engines emit
+// scheduler events natively (rt::SchedulerHooks); the Instrumentor is the
+// listener that translates them into the measurement layer's Enter / Exit
+// / TaskBegin / TaskEnd / TaskSwitch calls and owns the per-thread
+// profilers.
+//
+// Usage:
+//   RegionRegistry registry;
+//   Instrumentor instr(registry);
+//   runtime.set_hooks(&instr);
+//   runtime.parallel(4, body);
+//   runtime.set_hooks(nullptr);
+//   instr.finalize();
+//   AggregateProfile profile = instr.aggregate();
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "measure/aggregate.hpp"
+#include "measure/task_profiler.hpp"
+#include "profile/region.hpp"
+#include "rt/hooks.hpp"
+
+namespace taskprof {
+
+class Instrumentor final : public rt::SchedulerHooks {
+ public:
+  /// `registry` must outlive the instrumentor; construct regions
+  /// ("parallel", "implicit barrier", "taskwait", ...) are registered in
+  /// it here.
+  explicit Instrumentor(RegionRegistry& registry, MeasureOptions options = {});
+  ~Instrumentor() override;
+
+  /// Score-P-style measurement filtering: exclude a *user* region
+  /// (RegionType::kFunction) from measurement — its enter/exit events are
+  /// dropped, so its time folds into the parent node.  The standard
+  /// mitigation when instrumentation of hot tiny functions dominates (the
+  /// paper's fib scenario).  Task constructs and scheduling points cannot
+  /// be filtered (the Fig. 12 algorithm needs them).  Call before
+  /// measurement starts.
+  void filter_region(RegionHandle region);
+
+  Instrumentor(const Instrumentor&) = delete;
+  Instrumentor& operator=(const Instrumentor&) = delete;
+
+  // --- rt::SchedulerHooks --------------------------------------------------
+
+  void on_parallel_begin(int num_threads) override;
+  void on_parallel_end() override;
+  void on_implicit_task_begin(ThreadId thread, const Clock& clock) override;
+  void on_implicit_task_end(ThreadId thread) override;
+  void on_task_create_begin(ThreadId thread, RegionHandle region,
+                            std::int64_t parameter) override;
+  void on_task_create_end(ThreadId thread, TaskInstanceId created,
+                          RegionHandle region,
+                          std::int64_t parameter) override;
+  void on_task_begin(ThreadId thread, TaskInstanceId id, RegionHandle region,
+                     std::int64_t parameter) override;
+  void on_task_end(ThreadId thread, TaskInstanceId id) override;
+  void on_task_switch(ThreadId thread, TaskInstanceId id) override;
+  void on_task_migrate(ThreadId from, ThreadId to, TaskInstanceId id) override;
+  void on_taskwait_begin(ThreadId thread) override;
+  void on_taskwait_end(ThreadId thread) override;
+  void on_barrier_begin(ThreadId thread, bool implicit) override;
+  void on_barrier_end(ThreadId thread, bool implicit) override;
+  void on_region_enter(ThreadId thread, RegionHandle region,
+                       std::int64_t parameter) override;
+  void on_region_exit(ThreadId thread, RegionHandle region) override;
+
+  // --- Results --------------------------------------------------------------
+
+  /// Close the implicit roots of all thread profilers.  Call after the
+  /// last parallel region, while the engine's clocks are still valid.
+  void finalize();
+
+  /// Per-thread profile views (valid while the instrumentor lives).
+  [[nodiscard]] std::vector<ThreadProfileView> views() const;
+
+  /// Merged whole-program profile.
+  [[nodiscard]] AggregateProfile aggregate() const;
+
+  /// Reset the per-thread concurrency high-water marks (the paper records
+  /// the maximum per parallel region).
+  void reset_concurrency_marks();
+
+  /// Memory footprint of the measurement system (paper §V-B): call-tree
+  /// nodes across all thread pools.  `nodes` is the high-water mark of
+  /// live nodes (instance trees recycle through the free lists).
+  struct MemoryStats {
+    std::size_t nodes = 0;       ///< nodes ever carved (high-water)
+    std::size_t free_nodes = 0;  ///< currently parked for reuse
+    std::size_t bytes = 0;       ///< nodes * sizeof(CallNode)
+  };
+  [[nodiscard]] MemoryStats memory_stats() const;
+
+  /// Direct access for tests; nullptr when the thread never ran.
+  [[nodiscard]] ThreadTaskProfiler* profiler(ThreadId thread) noexcept;
+
+  // --- Construct region handles ---------------------------------------------
+
+  [[nodiscard]] RegionHandle implicit_task_region() const noexcept {
+    return implicit_task_;
+  }
+  [[nodiscard]] RegionHandle parallel_region() const noexcept {
+    return parallel_;
+  }
+  [[nodiscard]] RegionHandle implicit_barrier_region() const noexcept {
+    return implicit_barrier_;
+  }
+  [[nodiscard]] RegionHandle barrier_region() const noexcept {
+    return barrier_;
+  }
+  [[nodiscard]] RegionHandle taskwait_region() const noexcept {
+    return taskwait_;
+  }
+
+  /// The "create task" region paired with a task-construct region
+  /// (registered on demand: one creation region per construct).
+  [[nodiscard]] RegionHandle create_region_for(RegionHandle task_region);
+
+ private:
+  ThreadTaskProfiler& profiler_for(ThreadId thread, const Clock& clock);
+
+  RegionRegistry* registry_;
+  MeasureOptions options_;
+
+  RegionHandle implicit_task_;
+  RegionHandle parallel_;
+  RegionHandle implicit_barrier_;
+  RegionHandle barrier_;
+  RegionHandle taskwait_;
+
+  // Indexed by ThreadId; slots are pre-sized single-threadedly in
+  // on_parallel_begin, then each worker touches only its own slot.
+  std::vector<std::unique_ptr<ThreadTaskProfiler>> profilers_;
+
+  mutable std::mutex create_map_mutex_;
+  std::unordered_map<RegionHandle, RegionHandle> create_regions_;
+
+  // Filtered user regions (read-only during measurement).
+  std::vector<bool> filtered_;
+  [[nodiscard]] bool is_filtered(RegionHandle region) const noexcept {
+    return region < filtered_.size() && filtered_[region];
+  }
+};
+
+}  // namespace taskprof

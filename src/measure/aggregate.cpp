@@ -1,0 +1,57 @@
+#include "measure/aggregate.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace taskprof {
+
+const CallNode* AggregateProfile::task_root(
+    RegionHandle region) const noexcept {
+  for (const CallNode* root : task_roots) {
+    if (root->region == region) return root;
+  }
+  return nullptr;
+}
+
+AggregateProfile aggregate_profiles(
+    std::span<const ThreadProfileView> views) {
+  AggregateProfile out;
+  out.thread_count = views.size();
+  for (const ThreadProfileView& view : views) {
+    out.total_task_switches += view.task_switches;
+    out.total_folded_events += view.folded_events;
+    out.max_concurrent_per_thread.push_back(view.max_concurrent_instances);
+    out.max_concurrent_any_thread = std::max(out.max_concurrent_any_thread,
+                                             view.max_concurrent_instances);
+    if (view.implicit_root != nullptr) {
+      if (out.implicit_root == nullptr) {
+        out.implicit_root = out.pool.allocate(view.implicit_root->region,
+                                              view.implicit_root->parameter,
+                                              false, nullptr);
+      }
+      TASKPROF_ASSERT(out.implicit_root->region == view.implicit_root->region,
+                      "threads disagree on the implicit root region");
+      merge_subtree(out.pool, out.implicit_root, view.implicit_root);
+    }
+    for (const CallNode* src_root : view.task_roots) {
+      CallNode* dst_root = nullptr;
+      for (CallNode* existing : out.task_roots) {
+        if (existing->region == src_root->region &&
+            existing->parameter == src_root->parameter) {
+          dst_root = existing;
+          break;
+        }
+      }
+      if (dst_root == nullptr) {
+        dst_root = out.pool.allocate(src_root->region, src_root->parameter,
+                                     false, nullptr);
+        out.task_roots.push_back(dst_root);
+      }
+      merge_subtree(out.pool, dst_root, src_root);
+    }
+  }
+  return out;
+}
+
+}  // namespace taskprof

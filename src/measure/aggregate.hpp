@@ -1,0 +1,44 @@
+// Cross-thread aggregation of per-thread profiles.
+//
+// Each thread builds its own trees (lock-free measurement, paper §IV-A);
+// for reporting, the per-thread trees are merged into one system view:
+// implicit-task trees merge node-by-node (identical region identity), and
+// the per-construct task trees of all threads merge per construct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "measure/task_profiler.hpp"
+#include "profile/calltree.hpp"
+
+namespace taskprof {
+
+/// Whole-program profile, merged over all threads.  Owns its node pool;
+/// movable, not copyable.
+struct AggregateProfile {
+  NodePool pool;
+  CallNode* implicit_root = nullptr;     ///< merged main tree (sums over threads)
+  std::vector<CallNode*> task_roots;     ///< merged per-construct task trees
+  std::size_t thread_count = 0;
+  std::uint64_t total_task_switches = 0;
+  std::uint64_t total_folded_events = 0;  ///< enters folded by depth limits
+  std::size_t max_concurrent_any_thread = 0;  ///< Table II value
+  std::vector<std::size_t> max_concurrent_per_thread;
+
+  AggregateProfile() = default;
+  AggregateProfile(AggregateProfile&&) = default;
+  AggregateProfile& operator=(AggregateProfile&&) = default;
+  AggregateProfile(const AggregateProfile&) = delete;
+  AggregateProfile& operator=(const AggregateProfile&) = delete;
+
+  /// Find the merged task tree for a construct (kInvalidRegion -> nullptr).
+  [[nodiscard]] const CallNode* task_root(RegionHandle region) const noexcept;
+};
+
+/// Merge the given per-thread views.  Views must stay valid for the call.
+[[nodiscard]] AggregateProfile aggregate_profiles(
+    std::span<const ThreadProfileView> views);
+
+}  // namespace taskprof

@@ -1,0 +1,310 @@
+#include "measure/task_profiler.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace taskprof {
+
+ThreadTaskProfiler::ThreadTaskProfiler(ThreadId thread, const Clock& clock,
+                                       RegionHandle implicit_region,
+                                       MeasureOptions options)
+    : thread_(thread), clock_(&clock), options_(options) {
+  implicit_root_ =
+      pool_.allocate(implicit_region, kNoParameter, false, nullptr);
+  implicit_root_->visits = 1;
+  implicit_stack_.push_back(ImplicitFrame{implicit_root_, clock_->now()});
+}
+
+ThreadTaskProfiler::~ThreadTaskProfiler() = default;
+
+void ThreadTaskProfiler::enter(RegionHandle region, std::int64_t parameter) {
+  const Ticks now = clock_->now();
+  const std::size_t limit = options_.max_tree_depth;
+  if (current_ == nullptr) {
+    if (limit != 0 &&
+        (implicit_folded_ > 0 || implicit_stack_.size() >= limit)) {
+      ++implicit_folded_;
+      ++total_folds_;
+      return;
+    }
+    CallNode* parent = implicit_stack_.back().node;
+    CallNode* node =
+        find_or_create_child(pool_, parent, region, parameter, false);
+    ++node->visits;
+    implicit_stack_.push_back(ImplicitFrame{node, now});
+  } else {
+    TaskInstanceState& inst = *current_;
+    TASKPROF_ASSERT(!inst.stack.empty(), "task instance has no open root");
+    if (limit != 0 && (inst.folded > 0 || inst.stack.size() >= limit)) {
+      ++inst.folded;
+      ++total_folds_;
+      return;
+    }
+    CallNode* parent = inst.stack.back().node;
+    CallNode* node = find_or_create_child(*inst.home_pool, parent, region,
+                                          parameter, false);
+    ++node->visits;
+    inst.stack.push_back(
+        TaskInstanceState::Frame{node, now, inst.suspended_total});
+  }
+}
+
+void ThreadTaskProfiler::exit(RegionHandle region) {
+  const Ticks now = clock_->now();
+  if (current_ == nullptr) {
+    if (implicit_folded_ > 0) {
+      --implicit_folded_;
+      return;
+    }
+    TASKPROF_ASSERT(implicit_stack_.size() > 1,
+                    "exit would pop the implicit root; use finalize()");
+    ImplicitFrame frame = implicit_stack_.back();
+    TASKPROF_ASSERT(frame.node->region == region && !frame.node->is_stub,
+                    "exit region does not match innermost open region");
+    const Ticks duration = now - frame.enter_time;
+    frame.node->inclusive += duration;
+    frame.node->visit_stats.add(duration);
+    implicit_stack_.pop_back();
+  } else {
+    TaskInstanceState& inst = *current_;
+    if (inst.folded > 0) {
+      --inst.folded;
+      return;
+    }
+    TASKPROF_ASSERT(inst.stack.size() > 1,
+                    "exit would pop the task root; task_end does that");
+    TaskInstanceState::Frame frame = inst.stack.back();
+    TASKPROF_ASSERT(frame.node->region == region,
+                    "exit region does not match innermost open region");
+    Ticks duration = now - frame.enter_time;
+    if (options_.pause_on_suspend) {
+      duration -= inst.suspended_total - frame.suspended_at_enter;
+    }
+    frame.node->inclusive += duration;
+    frame.node->visit_stats.add(duration);
+    inst.stack.pop_back();
+  }
+}
+
+void ThreadTaskProfiler::task_begin(RegionHandle task_region,
+                                    TaskInstanceId id,
+                                    std::int64_t parameter) {
+  TASKPROF_ASSERT(id != kImplicitTaskId, "instance id 0 is the implicit task");
+  TASKPROF_ASSERT(find_instance(id) == nullptr, "instance id already active");
+  const Ticks now = clock_->now();
+
+  // "Create task instance specific data" (Fig. 12, TaskBegin).
+  std::unique_ptr<TaskInstanceState> state;
+  if (!instance_freelist_.empty()) {
+    state = std::move(instance_freelist_.back());
+    instance_freelist_.pop_back();
+  } else {
+    state = std::make_unique<TaskInstanceState>();
+  }
+  state->id = id;
+  state->task_region = task_region;
+  state->parameter = parameter;
+  state->home_pool = &pool_;
+  state->home_thread = thread_;
+  state->root = pool_.allocate(task_region, parameter, false, nullptr);
+  if (options_.creation_site_attribution) {
+    if (auto it = creation_sites_.find(id); it != creation_sites_.end()) {
+      state->creation_node = it->second;
+      creation_sites_.erase(it);
+    }
+  }
+
+  instances_.push_back(std::move(state));
+  TaskInstanceState* inst = instances_.back().get();
+  max_active_ = std::max(max_active_, instances_.size());
+
+  // TaskSwitch(task instance) then Enter(task instance, task region).
+  switch_to(inst, now);
+  ++inst->root->visits;
+  inst->stack.push_back(TaskInstanceState::Frame{inst->root, now, 0});
+}
+
+void ThreadTaskProfiler::task_end(TaskInstanceId id) {
+  const Ticks now = clock_->now();
+  TASKPROF_ASSERT(current_ != nullptr && current_->id == id,
+                  "task_end requires the ending task to be current");
+  TaskInstanceState& inst = *current_;
+  TASKPROF_ASSERT(inst.folded == 0, "folded frames open at task end");
+  TASKPROF_ASSERT(inst.stack.size() == 1,
+                  "unbalanced enter/exit inside task instance");
+
+  // Exit(task instance, task region).
+  TaskInstanceState::Frame frame = inst.stack.back();
+  Ticks duration = now - frame.enter_time;
+  if (options_.pause_on_suspend) {
+    duration -= inst.suspended_total - frame.suspended_at_enter;
+  }
+  frame.node->inclusive += duration;
+  frame.node->visit_stats.add(duration);
+  inst.stack.pop_back();
+
+  // TaskSwitch(implicit task).
+  switch_to(nullptr, now);
+
+  // "Merge task tree into global profile of thread."
+  merge_and_recycle(take_instance(id));
+}
+
+void ThreadTaskProfiler::task_switch(TaskInstanceId id) {
+  const Ticks now = clock_->now();
+  if (id == kImplicitTaskId) {
+    switch_to(nullptr, now);
+    return;
+  }
+  TaskInstanceState* inst = find_instance(id);
+  TASKPROF_ASSERT(inst != nullptr, "task_switch to unknown instance");
+  switch_to(inst, now);
+}
+
+void ThreadTaskProfiler::note_task_created(TaskInstanceId id) {
+  if (!options_.creation_site_attribution) return;
+  // Only implicit-task creation sites are stable for the lifetime of the
+  // created instance (instance trees are merged and recycled); see header.
+  if (current_ != nullptr) return;
+  creation_sites_[id] = implicit_stack_.back().node;
+}
+
+std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::detach_instance(
+    TaskInstanceId id) {
+  TASKPROF_ASSERT(current_ == nullptr || current_->id != id,
+                  "cannot detach the running instance");
+  auto state = take_instance(id);
+  TASKPROF_ASSERT(state != nullptr, "detach of unknown instance");
+  return state;
+}
+
+void ThreadTaskProfiler::adopt_instance(
+    std::unique_ptr<TaskInstanceState> state) {
+  TASKPROF_ASSERT(state != nullptr, "adopt requires an instance");
+  TASKPROF_ASSERT(find_instance(state->id) == nullptr,
+                  "instance id already active on this thread");
+  instances_.push_back(std::move(state));
+  max_active_ = std::max(max_active_, instances_.size());
+}
+
+void ThreadTaskProfiler::finalize() {
+  TASKPROF_ASSERT(current_ == nullptr,
+                  "finalize while an explicit task is current");
+  TASKPROF_ASSERT(instances_.empty(), "finalize with active task instances");
+  const Ticks now = clock_->now();
+  while (!implicit_stack_.empty()) {
+    ImplicitFrame frame = implicit_stack_.back();
+    const Ticks duration = now - frame.enter_time;
+    frame.node->inclusive += duration;
+    frame.node->visit_stats.add(duration);
+    implicit_stack_.pop_back();
+  }
+}
+
+ThreadProfileView ThreadTaskProfiler::view() const {
+  ThreadProfileView out;
+  out.thread = thread_;
+  out.implicit_root = implicit_root_;
+  out.task_roots.assign(task_roots_.begin(), task_roots_.end());
+  out.max_concurrent_instances = max_active_;
+  out.task_switches = task_switches_;
+  out.folded_events = total_folds_;
+  return out;
+}
+
+TaskInstanceId ThreadTaskProfiler::current_task() const noexcept {
+  return current_ == nullptr ? kImplicitTaskId : current_->id;
+}
+
+void ThreadTaskProfiler::enter_stub(const TaskInstanceState& instance,
+                                    Ticks now) {
+  CallNode* parent = implicit_stack_.back().node;
+  CallNode* node = find_or_create_child(pool_, parent, instance.task_region,
+                                        instance.parameter, /*is_stub=*/true);
+  ++node->visits;
+  implicit_stack_.push_back(ImplicitFrame{node, now});
+}
+
+void ThreadTaskProfiler::exit_stub(Ticks now) {
+  TASKPROF_ASSERT(implicit_stack_.size() > 1, "no stub frame open");
+  ImplicitFrame frame = implicit_stack_.back();
+  TASKPROF_ASSERT(frame.node->is_stub, "innermost implicit frame is no stub");
+  const Ticks duration = now - frame.enter_time;
+  frame.node->inclusive += duration;
+  frame.node->visit_stats.add(duration);
+  implicit_stack_.pop_back();
+}
+
+void ThreadTaskProfiler::switch_to(TaskInstanceState* target, Ticks now) {
+  if (target == current_) return;
+  ++task_switches_;
+  if (current_ != nullptr) {
+    // "Exit(implicit task, root region of current task); stop time
+    // measurement on all open regions of current task" (Fig. 12).
+    if (options_.stub_nodes) exit_stub(now);
+    current_->suspended = true;
+    current_->suspend_start = now;
+  }
+  current_ = target;
+  if (target != nullptr) {
+    if (target->suspended) {
+      if (options_.pause_on_suspend) {
+        target->suspended_total += now - target->suspend_start;
+      }
+      target->suspended = false;
+    }
+    // "Enter(implicit task, root region of task instance)" (Fig. 12).
+    if (options_.stub_nodes) enter_stub(*target, now);
+  }
+}
+
+void ThreadTaskProfiler::merge_and_recycle(
+    std::unique_ptr<TaskInstanceState> instance) {
+  TASKPROF_ASSERT(instance != nullptr, "merge of null instance");
+  CallNode* target = nullptr;
+  if (options_.creation_site_attribution &&
+      instance->creation_node != nullptr) {
+    target = find_or_create_child(pool_, instance->creation_node,
+                                  instance->task_region, instance->parameter,
+                                  false);
+  } else {
+    target = merged_root_for(instance->task_region, instance->parameter);
+  }
+  merge_subtree(pool_, target, instance->root);
+  instance->home_pool->release_subtree(instance->root);
+  instance->reset();
+  instance_freelist_.push_back(std::move(instance));
+}
+
+TaskInstanceState* ThreadTaskProfiler::find_instance(
+    TaskInstanceId id) noexcept {
+  for (auto& inst : instances_) {
+    if (inst->id == id) return inst.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::take_instance(
+    TaskInstanceId id) {
+  for (auto it = instances_.begin(); it != instances_.end(); ++it) {
+    if ((*it)->id == id) {
+      std::unique_ptr<TaskInstanceState> out = std::move(*it);
+      instances_.erase(it);
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+CallNode* ThreadTaskProfiler::merged_root_for(RegionHandle region,
+                                              std::int64_t parameter) {
+  for (CallNode* root : task_roots_) {
+    if (root->region == region && root->parameter == parameter) return root;
+  }
+  CallNode* root = pool_.allocate(region, parameter, false, nullptr);
+  task_roots_.push_back(root);
+  return root;
+}
+
+}  // namespace taskprof

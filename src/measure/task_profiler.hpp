@@ -1,0 +1,251 @@
+// The paper's core contribution: call-path profiling of task-parallel
+// programs (Lorenz et al., ICPP 2012, §IV).
+//
+// One ThreadTaskProfiler exists per thread.  It maintains
+//
+//  * the call tree of the thread's *implicit task*,
+//  * a table of *active explicit task instances*, each with its own call
+//    tree and open-frame stack (the instance tree),
+//  * a *current task* pointer, and
+//  * the per-construct *merged task trees* that completed instances fold
+//    into ("all task instances of the same task region will finally form a
+//    common sub-tree", §IV-B3).
+//
+// The event interface mirrors the paper's Fig. 12 pseudocode: Enter/Exit
+// for regions plus TaskBegin / TaskEnd / TaskSwitch for task scheduling.
+// Key behaviours reproduced:
+//
+//  * Stub nodes (§IV-B4): while a thread executes an explicit task, the
+//    implicit task's cursor sits inside a stub node beneath its current
+//    scheduling point; the stub accumulates the time spent executing that
+//    task's fragments there and counts the fragments.
+//  * Pause/resume (§IV-B3): "time measurements for a task must be
+//    stopped/resumed when the task is suspended/resumed"; the interval
+//    between suspension and resumption is subtracted from every open frame
+//    of the instance.
+//  * Execution-site attribution (§IV-B2): task trees live beside the main
+//    tree, not under the creating node — exclusive times stay non-negative.
+//    The creation-site alternative of Fig. 3 is available as an option for
+//    the ablation benchmark.
+//  * Instance-tree recycling (§V-B): completed instance trees are merged
+//    and their nodes returned to the pool; the profiler tracks the maximum
+//    number of concurrently active instances (Table II).
+//  * Untied-task migration (§IV-D): instance state can be detached from one
+//    profiler and adopted by another, moving the "pointer to the
+//    task-specific data" with the task.  Only the simulator engine uses
+//    this (single OS thread), so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "profile/calltree.hpp"
+#include "profile/region.hpp"
+
+namespace taskprof {
+
+/// Measurement-policy switches.  Defaults reproduce the paper's design;
+/// the alternatives exist for the design-ablation benchmark.
+struct MeasureOptions {
+  /// Place a stub node for task execution under the implicit task's
+  /// scheduling point (paper §IV-B4).  Off: the implicit tree does not
+  /// record where task execution happened.
+  bool stub_nodes = true;
+
+  /// Subtract suspended intervals from a task's open frames (§IV-B3).
+  /// Off: a suspended task's frames keep accumulating wall time, so a
+  /// task's statistics include time spent executing *other* tasks.
+  bool pause_on_suspend = true;
+
+  /// Fig. 3 ablation: attach completed task trees beneath the node that
+  /// *created* the task instead of beside the main tree.  Produces
+  /// negative exclusive creation times; only meaningful single-threaded
+  /// (cross-thread creations fall back to execution-site placement).
+  bool creation_site_attribution = false;
+
+  /// Maximum call-tree depth per tree (0 = unlimited).  Enter events
+  /// below the limit are *folded* into the node at the limit: their time
+  /// stays attributed there and fold_count counts them, but no nodes are
+  /// created — the paper's guard against profiles that "explode or the
+  /// tree depth limits might kick in" (§IV-B3).
+  std::size_t max_tree_depth = 0;
+};
+
+/// State of one active explicit task instance (one row of the paper's
+/// "table of explicit tasks", Figs. 6-11).
+class TaskInstanceState {
+ public:
+  /// One open region frame of the instance's call stack.
+  struct Frame {
+    CallNode* node = nullptr;
+    Ticks enter_time = 0;
+    Ticks suspended_at_enter = 0;  ///< instance suspended_total at enter
+  };
+
+  TaskInstanceId id = 0;
+  RegionHandle task_region = kInvalidRegion;
+  std::int64_t parameter = kNoParameter;
+  NodePool* home_pool = nullptr;  ///< pool the tree nodes came from
+  ThreadId home_thread = 0;       ///< thread that started execution
+  CallNode* root = nullptr;       ///< instance call tree (root = task region)
+  std::vector<Frame> stack;       ///< open frames, root at index 0
+  Ticks suspended_total = 0;      ///< accumulated suspension time
+  Ticks suspend_start = 0;        ///< valid while suspended
+  bool suspended = false;
+  std::size_t folded = 0;         ///< open enters beyond max_tree_depth
+  CallNode* creation_node = nullptr;  ///< only for creation-site ablation
+
+  void reset() {
+    *this = TaskInstanceState{};
+  }
+};
+
+/// Read-only view of one thread's finished profile.
+struct ThreadProfileView {
+  ThreadId thread = 0;
+  const CallNode* implicit_root = nullptr;       ///< main call tree
+  std::vector<const CallNode*> task_roots;       ///< merged per-construct trees
+  std::size_t max_concurrent_instances = 0;      ///< Table II metric
+  std::uint64_t task_switches = 0;               ///< total TaskSwitch events
+  std::uint64_t folded_events = 0;  ///< enters folded by max_tree_depth
+};
+
+/// Per-thread task-aware call-path profiler.
+///
+/// Not thread-safe: each thread drives its own profiler.  The only
+/// cross-thread operation is detach/adopt of instance state for untied
+/// migration, which the caller must serialize (the simulator runs on one
+/// OS thread, the real engine never migrates).
+class ThreadTaskProfiler {
+ public:
+  /// `clock` must outlive the profiler.  `implicit_region` names the root
+  /// of the thread's main tree.
+  ThreadTaskProfiler(ThreadId thread, const Clock& clock,
+                     RegionHandle implicit_region,
+                     MeasureOptions options = {});
+  ~ThreadTaskProfiler();
+
+  ThreadTaskProfiler(const ThreadTaskProfiler&) = delete;
+  ThreadTaskProfiler& operator=(const ThreadTaskProfiler&) = delete;
+
+  // --- Region events (attributed to the current task) -------------------
+
+  /// Enter a region.  `parameter` distinguishes per-value sub-trees
+  /// (paper Table IV); leave as kNoParameter otherwise.
+  void enter(RegionHandle region, std::int64_t parameter = kNoParameter);
+
+  /// Exit the innermost open region, which must match `region`.
+  void exit(RegionHandle region);
+
+  // --- Task events (paper Fig. 12) ---------------------------------------
+
+  /// A new explicit task instance starts executing on this thread.
+  /// Performs TaskSwitch(instance) then Enter(task_region), per Fig. 12.
+  void task_begin(RegionHandle task_region, TaskInstanceId id,
+                  std::int64_t parameter = kNoParameter);
+
+  /// The current task instance (which must be `id`) completes: Exit,
+  /// TaskSwitch(implicit), merge of the instance tree, recycling.
+  void task_end(TaskInstanceId id);
+
+  /// Switch to `id` (an active instance, or kImplicitTaskId for the
+  /// implicit task).  No-op when already current.
+  void task_switch(TaskInstanceId id);
+
+  /// Record the creation site of instance `id` (used only by the
+  /// creation-site ablation; called at task-creation time on the creating
+  /// thread).
+  void note_task_created(TaskInstanceId id);
+
+  // --- Untied-task migration (paper §IV-D) -------------------------------
+
+  /// Remove a *suspended* instance from this profiler's table so another
+  /// profiler can adopt it.  The instance tree stays in this thread's
+  /// pool; it is released back here when the adopting profiler completes
+  /// the task (single-OS-thread engines only).
+  std::unique_ptr<TaskInstanceState> detach_instance(TaskInstanceId id);
+
+  /// Adopt a migrated instance (it stays suspended until task_switch).
+  void adopt_instance(std::unique_ptr<TaskInstanceState> state);
+
+  // --- Results ------------------------------------------------------------
+
+  /// Close the remaining open implicit frames (normally just the implicit
+  /// root) with the current time.  Call once, after all parallel work is
+  /// done; required before the implicit root's inclusive time is valid.
+  void finalize();
+
+  [[nodiscard]] ThreadProfileView view() const;
+  [[nodiscard]] const CallNode* implicit_root() const noexcept {
+    return implicit_root_;
+  }
+  [[nodiscard]] TaskInstanceId current_task() const noexcept;
+  [[nodiscard]] std::size_t active_instances() const noexcept {
+    return instances_.size();
+  }
+  [[nodiscard]] std::size_t max_concurrent_instances() const noexcept {
+    return max_active_;
+  }
+  /// Reset the concurrency high-water mark (paper records it per parallel
+  /// region).
+  void reset_max_concurrent() noexcept { max_active_ = instances_.size(); }
+
+  /// Rebind the time source (engines may hand out a fresh per-worker
+  /// clock for every parallel region).  The new clock must not read
+  /// earlier than the previous one.
+  void set_clock(const Clock& clock) noexcept { clock_ = &clock; }
+
+  [[nodiscard]] NodePool& pool() noexcept { return pool_; }
+  [[nodiscard]] const NodePool& pool() const noexcept { return pool_; }
+  [[nodiscard]] const MeasureOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct ImplicitFrame {
+    CallNode* node = nullptr;
+    Ticks enter_time = 0;
+  };
+
+  void enter_stub(const TaskInstanceState& instance, Ticks now);
+  void exit_stub(Ticks now);
+  /// Fig. 12 TaskSwitch: suspend the current explicit task (if any), make
+  /// `target` current (nullptr = implicit task), resume its measurement.
+  void switch_to(TaskInstanceState* target, Ticks now);
+  void merge_and_recycle(std::unique_ptr<TaskInstanceState> instance);
+  TaskInstanceState* find_instance(TaskInstanceId id) noexcept;
+  std::unique_ptr<TaskInstanceState> take_instance(TaskInstanceId id);
+  CallNode* merged_root_for(RegionHandle region, std::int64_t parameter);
+
+  ThreadId thread_;
+  const Clock* clock_;
+  MeasureOptions options_;
+
+  NodePool pool_;
+  CallNode* implicit_root_;
+  std::vector<ImplicitFrame> implicit_stack_;
+
+  // Active instances.  Linear vector: the paper measured at most 20
+  // concurrent instances per thread (Table II), so O(n) lookup is cheap
+  // and avoids hashing on the hot path.
+  std::vector<std::unique_ptr<TaskInstanceState>> instances_;
+  std::vector<std::unique_ptr<TaskInstanceState>> instance_freelist_;
+  TaskInstanceState* current_ = nullptr;  // nullptr = implicit task
+
+  // Merged per-construct trees, beside the main tree (§IV-B3).
+  std::vector<CallNode*> task_roots_;
+
+  // Creation-site ablation bookkeeping.
+  std::unordered_map<TaskInstanceId, CallNode*> creation_sites_;
+
+  std::size_t max_active_ = 0;
+  std::uint64_t task_switches_ = 0;
+  std::size_t implicit_folded_ = 0;
+  std::uint64_t total_folds_ = 0;
+};
+
+}  // namespace taskprof

@@ -1,0 +1,142 @@
+#include "profile/calltree.hpp"
+
+#include "common/assert.hpp"
+
+namespace taskprof {
+
+Ticks CallNode::children_inclusive() const noexcept {
+  Ticks total = 0;
+  for (const CallNode* c = first_child; c != nullptr; c = c->next_sibling) {
+    total += c->inclusive;
+  }
+  return total;
+}
+
+std::size_t CallNode::child_count() const noexcept {
+  std::size_t n = 0;
+  for (const CallNode* c = first_child; c != nullptr; c = c->next_sibling) ++n;
+  return n;
+}
+
+CallNode* NodePool::allocate(RegionHandle region, std::int64_t parameter,
+                             bool is_stub, CallNode* parent) {
+  CallNode* node = nullptr;
+  if (free_list_ != nullptr) {
+    node = free_list_;
+    free_list_ = node->next_sibling;
+    --free_count_;
+  } else {
+    if (next_in_chunk_ == kChunkSize) {
+      chunks_.push_back(std::make_unique<CallNode[]>(kChunkSize));
+      next_in_chunk_ = 0;
+    }
+    node = &chunks_.back()[next_in_chunk_++];
+    ++allocated_;
+  }
+  *node = CallNode{};
+  node->region = region;
+  node->parameter = parameter;
+  node->is_stub = is_stub;
+  node->parent = parent;
+  if (parent != nullptr) {
+    if (parent->first_child == nullptr) {
+      parent->first_child = node;
+    } else {
+      CallNode* tail = parent->first_child;
+      while (tail->next_sibling != nullptr) tail = tail->next_sibling;
+      tail->next_sibling = node;
+    }
+  }
+  return node;
+}
+
+void NodePool::release_subtree(CallNode* root) {
+  if (root == nullptr) return;
+  // Unlink from the parent's child list.
+  if (CallNode* parent = root->parent; parent != nullptr) {
+    if (parent->first_child == root) {
+      parent->first_child = root->next_sibling;
+    } else {
+      CallNode* prev = parent->first_child;
+      while (prev != nullptr && prev->next_sibling != root) {
+        prev = prev->next_sibling;
+      }
+      TASKPROF_ASSERT(prev != nullptr, "node not found in parent's children");
+      prev->next_sibling = root->next_sibling;
+    }
+    root->next_sibling = nullptr;
+    root->parent = nullptr;
+  }
+  // Iterative postorder-free walk: detach children onto a work stack.
+  std::vector<CallNode*> stack{root};
+  while (!stack.empty()) {
+    CallNode* node = stack.back();
+    stack.pop_back();
+    for (CallNode* c = node->first_child; c != nullptr;) {
+      CallNode* next = c->next_sibling;
+      stack.push_back(c);
+      c = next;
+    }
+    node->first_child = nullptr;
+    node->next_sibling = free_list_;
+    free_list_ = node;
+    ++free_count_;
+  }
+}
+
+CallNode* find_child(CallNode* parent, RegionHandle region,
+                     std::int64_t parameter, bool is_stub) noexcept {
+  if (parent == nullptr) return nullptr;
+  for (CallNode* c = parent->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->region == region && c->parameter == parameter &&
+        c->is_stub == is_stub) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+CallNode* find_or_create_child(NodePool& pool, CallNode* parent,
+                               RegionHandle region, std::int64_t parameter,
+                               bool is_stub) {
+  TASKPROF_ASSERT(parent != nullptr, "parent required");
+  if (CallNode* existing = find_child(parent, region, parameter, is_stub)) {
+    return existing;
+  }
+  return pool.allocate(region, parameter, is_stub, parent);
+}
+
+void merge_subtree(NodePool& pool, CallNode* dst, const CallNode* src) {
+  TASKPROF_ASSERT(dst != nullptr && src != nullptr, "merge needs both trees");
+  dst->visits += src->visits;
+  dst->inclusive += src->inclusive;
+  dst->visit_stats.merge(src->visit_stats);
+  for (const CallNode* c = src->first_child; c != nullptr;
+       c = c->next_sibling) {
+    CallNode* dst_child =
+        find_or_create_child(pool, dst, c->region, c->parameter, c->is_stub);
+    merge_subtree(pool, dst_child, c);
+  }
+}
+
+std::size_t subtree_size(const CallNode* root) noexcept {
+  std::size_t n = 0;
+  for_each_node(root, [&n](const CallNode&, int) { ++n; });
+  return n;
+}
+
+CallNode* find_path(CallNode* root, std::initializer_list<RegionHandle> path,
+                    bool stub_leaf) noexcept {
+  CallNode* node = root;
+  std::size_t index = 0;
+  const std::size_t last = path.size() == 0 ? 0 : path.size() - 1;
+  for (RegionHandle region : path) {
+    const bool want_stub = stub_leaf && index == last;
+    node = find_child(node, region, kNoParameter, want_stub);
+    if (node == nullptr) return nullptr;
+    ++index;
+  }
+  return node;
+}
+
+}  // namespace taskprof

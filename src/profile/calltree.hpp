@@ -1,0 +1,130 @@
+// Call-tree nodes, the node pool, and tree operations.
+//
+// A call tree is built from intrusive nodes (parent / first-child /
+// next-sibling links) allocated from a NodePool.  Pools are per-thread:
+// as in Score-P, "every thread operates on a separate section of
+// preallocated memory and constructs a separate call tree", avoiding
+// locking on the hot path (paper §IV-A).
+//
+// Task-instance trees are transient: created when an instance starts
+// executing, merged into the per-construct tree when it completes, then
+// recycled through the pool's free list (paper §V-B: "released
+// task-instance tree nodes are reused").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "profile/metrics.hpp"
+#include "profile/region.hpp"
+
+namespace taskprof {
+
+/// One node of a call tree.  Identity within its parent is the triple
+/// (region, parameter, is_stub); metrics accumulate over all visits of the
+/// call path ending at this node.
+struct CallNode {
+  RegionHandle region = kInvalidRegion;
+  std::int64_t parameter = kNoParameter;  ///< kNoParameter unless under a parameter region
+  bool is_stub = false;  ///< task-execution stub under a scheduling point
+
+  CallNode* parent = nullptr;
+  CallNode* first_child = nullptr;
+  CallNode* next_sibling = nullptr;
+
+  std::uint64_t visits = 0;   ///< number of enter events
+  Ticks inclusive = 0;        ///< total inclusive time over all visits
+  DurationStats visit_stats;  ///< per-visit inclusive durations (min/mean/max)
+
+  /// Sum of the children's inclusive times.
+  [[nodiscard]] Ticks children_inclusive() const noexcept;
+
+  /// Exclusive time: inclusive minus children's inclusive.  With
+  /// execution-site attribution this is always >= 0 (paper Fig. 3 shows the
+  /// negative values that creation-site attribution would produce).
+  [[nodiscard]] Ticks exclusive() const noexcept {
+    return inclusive - children_inclusive();
+  }
+
+  /// Number of direct children.
+  [[nodiscard]] std::size_t child_count() const noexcept;
+};
+
+/// Chunked allocator with a free list for CallNode.
+///
+/// Not thread-safe by design (one pool per thread).  release_subtree()
+/// recycles a whole tree in one walk; nodes come back from the free list in
+/// subsequent allocate() calls.
+class NodePool {
+ public:
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+  // Movable: node addresses live inside the chunks and stay valid.
+  NodePool(NodePool&&) = default;
+  NodePool& operator=(NodePool&&) = default;
+
+  /// Allocate a zeroed node and link it as the last child of `parent`
+  /// (pass nullptr for a root).
+  CallNode* allocate(RegionHandle region, std::int64_t parameter, bool is_stub,
+                     CallNode* parent);
+
+  /// Return `root` and its whole subtree to the free list.  `root` is
+  /// unlinked from its parent first (if any).
+  void release_subtree(CallNode* root);
+
+  /// Total nodes ever carved from chunks (high-water mark of live nodes).
+  [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+
+  /// Nodes currently parked on the free list.
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_count_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 256;
+
+  std::vector<std::unique_ptr<CallNode[]>> chunks_;
+  std::size_t next_in_chunk_ = kChunkSize;  // forces first chunk allocation
+  CallNode* free_list_ = nullptr;           // linked through next_sibling
+  std::size_t allocated_ = 0;
+  std::size_t free_count_ = 0;
+};
+
+/// Find the direct child of `parent` with the given identity, or nullptr.
+[[nodiscard]] CallNode* find_child(CallNode* parent, RegionHandle region,
+                                   std::int64_t parameter = kNoParameter,
+                                   bool is_stub = false) noexcept;
+
+/// Find-or-create the child with the given identity (allocating from
+/// `pool`), preserving first-visit order among siblings.
+CallNode* find_or_create_child(NodePool& pool, CallNode* parent,
+                               RegionHandle region,
+                               std::int64_t parameter = kNoParameter,
+                               bool is_stub = false);
+
+/// Merge `src`'s metrics and subtree into `dst` (same identity assumed for
+/// the roots).  Missing nodes are created in `pool`; `src` is left intact.
+void merge_subtree(NodePool& pool, CallNode* dst, const CallNode* src);
+
+/// Preorder traversal.  `fn` is called as fn(node, depth).
+template <typename Fn>
+void for_each_node(const CallNode* root, Fn&& fn, int depth = 0) {
+  if (root == nullptr) return;
+  fn(*root, depth);
+  for (const CallNode* c = root->first_child; c != nullptr;
+       c = c->next_sibling) {
+    for_each_node(c, fn, depth + 1);
+  }
+}
+
+/// Count the nodes of a subtree.
+[[nodiscard]] std::size_t subtree_size(const CallNode* root) noexcept;
+
+/// Locate a node by the path of region handles from (and excluding) `root`.
+/// Returns nullptr when the path does not exist.  Test/report convenience.
+[[nodiscard]] CallNode* find_path(CallNode* root,
+                                  std::initializer_list<RegionHandle> path,
+                                  bool stub_leaf = false) noexcept;
+
+}  // namespace taskprof

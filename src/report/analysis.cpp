@@ -1,0 +1,207 @@
+#include "report/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace taskprof {
+
+namespace {
+
+/// Sum exclusive time and visits of every node of type `type` under
+/// `root` whose name matches `name` (empty = any name of that type).
+struct TypeTotals {
+  Ticks exclusive = 0;
+  Ticks inclusive = 0;
+  std::uint64_t visits = 0;
+};
+
+TypeTotals totals_for_type(const CallNode* root,
+                           const RegionRegistry& registry, RegionType type,
+                           const std::string& name = {}) {
+  TypeTotals totals;
+  for_each_node(root, [&](const CallNode& node, int) {
+    const RegionInfo& info = registry.info(node.region);
+    if (info.type != type) return;
+    if (!name.empty() && info.name != name) return;
+    totals.exclusive += node.exclusive();
+    totals.inclusive += node.inclusive;
+    totals.visits += node.visits;
+  });
+  return totals;
+}
+
+TaskConstructStats stats_for_root(const AggregateProfile& profile,
+                                  const RegionRegistry& registry,
+                                  const CallNode* root) {
+  TaskConstructStats stats;
+  stats.region = root->region;
+  stats.name = registry.info(root->region).name;
+  stats.parameter = root->parameter;
+  stats.instances = root->visits;
+  stats.inclusive_total = root->inclusive;
+  stats.inclusive_min = root->visit_stats.count > 0 ? root->visit_stats.min : 0;
+  stats.inclusive_max = root->visit_stats.count > 0 ? root->visit_stats.max : 0;
+  stats.inclusive_mean = root->visit_stats.mean();
+  stats.exclusive_total = root->exclusive();
+
+  const TypeTotals waits =
+      totals_for_type(root, registry, RegionType::kTaskwait);
+  stats.taskwait_total = waits.exclusive;
+  stats.taskwaits = waits.visits;
+
+  // Creation happens wherever the construct is encountered: scan every
+  // tree for the paired "create <name>" region.
+  const std::string create_name = "create " + stats.name;
+  TypeTotals creates = totals_for_type(profile.implicit_root, registry,
+                                       RegionType::kTaskCreate, create_name);
+  for (const CallNode* other : profile.task_roots) {
+    const TypeTotals inner = totals_for_type(
+        other, registry, RegionType::kTaskCreate, create_name);
+    creates.exclusive += inner.exclusive;
+    creates.visits += inner.visits;
+  }
+  stats.creations = creates.visits;
+  stats.create_total = creates.exclusive;
+  stats.create_mean =
+      creates.visits == 0
+          ? 0.0
+          : static_cast<double>(creates.exclusive) /
+                static_cast<double>(creates.visits);
+  return stats;
+}
+
+}  // namespace
+
+std::vector<TaskConstructStats> task_construct_stats(
+    const AggregateProfile& profile, const RegionRegistry& registry) {
+  std::vector<TaskConstructStats> out;
+  out.reserve(profile.task_roots.size());
+  for (const CallNode* root : profile.task_roots) {
+    out.push_back(stats_for_root(profile, registry, root));
+  }
+  return out;
+}
+
+std::vector<TaskConstructStats> parameter_breakdown(
+    const AggregateProfile& profile, const RegionRegistry& registry,
+    RegionHandle task_region) {
+  std::vector<TaskConstructStats> rows;
+  for (const CallNode* root : profile.task_roots) {
+    if (root->region != task_region || root->parameter == kNoParameter) {
+      continue;
+    }
+    rows.push_back(stats_for_root(profile, registry, root));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const TaskConstructStats& a, const TaskConstructStats& b) {
+              return a.parameter < b.parameter;
+            });
+  return rows;
+}
+
+SchedulingPointSummary scheduling_point_summary(
+    const AggregateProfile& profile, const RegionRegistry& registry) {
+  SchedulingPointSummary out;
+  const CallNode* main = profile.implicit_root;
+
+  for_each_node(main, [&](const CallNode& node, int) {
+    const RegionInfo& info = registry.info(node.region);
+    if (info.type == RegionType::kBarrier ||
+        info.type == RegionType::kImplicitBarrier) {
+      out.barrier_inclusive += node.inclusive;
+      out.barrier_exclusive += node.exclusive();
+      out.barrier_visits += node.visits;
+      for (const CallNode* child = node.first_child; child != nullptr;
+           child = child->next_sibling) {
+        if (child->is_stub) out.barrier_stub_time += child->inclusive;
+      }
+    } else if (info.type == RegionType::kParallel) {
+      out.parallel_inclusive += node.inclusive;
+    }
+  });
+
+  out.taskwait_exclusive =
+      totals_for_type(main, registry, RegionType::kTaskwait).exclusive;
+  out.create_exclusive =
+      totals_for_type(main, registry, RegionType::kTaskCreate).exclusive;
+  for (const CallNode* root : profile.task_roots) {
+    out.taskwait_exclusive +=
+        totals_for_type(root, registry, RegionType::kTaskwait).exclusive;
+    out.create_exclusive +=
+        totals_for_type(root, registry, RegionType::kTaskCreate).exclusive;
+  }
+  return out;
+}
+
+std::vector<Finding> diagnose(const AggregateProfile& profile,
+                              const RegionRegistry& registry,
+                              const AdvisorOptions& options) {
+  std::vector<Finding> findings;
+  const auto constructs = task_construct_stats(profile, registry);
+  const auto summary = scheduling_point_summary(profile, registry);
+
+  for (const TaskConstructStats& c : constructs) {
+    if (c.instances == 0) continue;
+    const double exec_mean =
+        static_cast<double>(c.exclusive_total) /
+        static_cast<double>(c.instances);
+    if (c.inclusive_mean <
+        static_cast<double>(options.small_task_threshold)) {
+      std::ostringstream os;
+      os << "task '" << c.name << "': mean instance time "
+         << format_ticks(static_cast<Ticks>(c.inclusive_mean)) << " over "
+         << format_count(c.instances)
+         << " instances - tasks may be too small; raise the granularity "
+            "(e.g. a creation cut-off)";
+      findings.push_back({Finding::Severity::kProblem, os.str()});
+    }
+    if (c.creations > 0 && c.create_mean > exec_mean *
+                                               options.create_dominates_ratio) {
+      std::ostringstream os;
+      os << "task '" << c.name << "': mean creation time "
+         << format_ticks(static_cast<Ticks>(c.create_mean))
+         << " exceeds mean exclusive execution time "
+         << format_ticks(static_cast<Ticks>(exec_mean))
+         << " - creating a task costs more than it computes";
+      findings.push_back({Finding::Severity::kProblem, os.str()});
+    }
+  }
+
+  if (summary.parallel_inclusive > 0) {
+    const double barrier_fraction =
+        static_cast<double>(summary.barrier_exclusive) /
+        static_cast<double>(summary.parallel_inclusive);
+    if (barrier_fraction > options.barrier_fraction_warn) {
+      std::ostringstream os;
+      os << "threads spend "
+         << format_percent(barrier_fraction)
+         << " of the parallel region in barriers without executing tasks - "
+            "task management overhead or load imbalance";
+      findings.push_back({Finding::Severity::kWarning, os.str()});
+    }
+  }
+
+  if (findings.empty()) {
+    findings.push_back(
+        {Finding::Severity::kInfo,
+         "no task-granularity problems detected: task sizes look reasonable"});
+  }
+  return findings;
+}
+
+std::string render_findings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& finding : findings) {
+    switch (finding.severity) {
+      case Finding::Severity::kInfo: os << "[info]    "; break;
+      case Finding::Severity::kWarning: os << "[warning] "; break;
+      case Finding::Severity::kProblem: os << "[problem] "; break;
+    }
+    os << finding.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace taskprof

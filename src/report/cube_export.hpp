@@ -1,0 +1,24 @@
+// CUBE-style XML export.
+//
+// Score-P writes profiles in the CUBE4 format; the paper's Fig. 5 is a
+// CUBE screenshot of such a profile.  render_cube_xml emits a simplified
+// CUBE-flavoured document — metric definitions, region table, call-node
+// tree (main tree first, task trees as further roots, mirroring §IV-B4's
+// "task tree beside the main tree"), and a severity matrix with one row
+// per (metric, cnode) — so downstream tooling has a structured,
+// schema-stable artifact beyond the CSV.
+#pragma once
+
+#include <string>
+
+#include "measure/aggregate.hpp"
+#include "profile/region.hpp"
+
+namespace taskprof {
+
+/// Serialize the aggregated profile as CUBE-style XML.  Metrics emitted:
+/// visits (occ), time (inclusive, nsec), and min/mean/max per-visit time.
+[[nodiscard]] std::string render_cube_xml(const AggregateProfile& profile,
+                                          const RegionRegistry& registry);
+
+}  // namespace taskprof

@@ -1,0 +1,142 @@
+#include "report/text_report.hpp"
+
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace taskprof {
+
+namespace {
+
+std::string node_label(const CallNode& node, const RegionRegistry& registry) {
+  const RegionInfo& info = registry.info(node.region);
+  std::string label = info.name;
+  if (node.parameter != kNoParameter) {
+    label += " [" + std::to_string(node.parameter) + "]";
+  }
+  if (node.is_stub) label += " *";
+  return label;
+}
+
+void render_node(std::ostringstream& os, const CallNode& node,
+                 const RegionRegistry& registry, const ReportOptions& options,
+                 int depth) {
+  if (options.max_depth >= 0 && depth > options.max_depth) return;
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+     << node_label(node, registry) << "  visits=" << node.visits
+     << "  incl=" << format_ticks(node.inclusive)
+     << "  excl=" << format_ticks(node.exclusive());
+  if (options.visit_stats && node.visit_stats.count > 0) {
+    os << "  min=" << format_ticks(node.visit_stats.min)
+       << "  mean=" << format_ticks(static_cast<Ticks>(node.visit_stats.mean()))
+       << "  max=" << format_ticks(node.visit_stats.max);
+  }
+  os << '\n';
+  for (const CallNode* child = node.first_child; child != nullptr;
+       child = child->next_sibling) {
+    render_node(os, *child, registry, options, depth + 1);
+  }
+}
+
+void csv_escape_into(std::string& out, const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+void render_csv_node(std::string& out, const CallNode& node,
+                     const RegionRegistry& registry, const std::string& tree,
+                     const std::string& parent_path) {
+  std::string path = parent_path;
+  if (!path.empty()) path += '/';
+  path += registry.info(node.region).name;
+
+  csv_escape_into(out, tree);
+  out += ',';
+  csv_escape_into(out, path);
+  out += ',';
+  out += node.is_stub ? '1' : '0';
+  out += ',';
+  out += node.parameter == kNoParameter ? std::string()
+                                        : std::to_string(node.parameter);
+  out += ',';
+  out += std::to_string(node.visits);
+  out += ',';
+  out += std::to_string(node.inclusive);
+  out += ',';
+  out += std::to_string(node.exclusive());
+  out += ',';
+  out += std::to_string(node.visit_stats.count == 0 ? 0 : node.visit_stats.min);
+  out += ',';
+  out += std::to_string(static_cast<Ticks>(node.visit_stats.mean()));
+  out += ',';
+  out += std::to_string(node.visit_stats.count == 0 ? 0 : node.visit_stats.max);
+  out += '\n';
+  for (const CallNode* child = node.first_child; child != nullptr;
+       child = child->next_sibling) {
+    render_csv_node(out, *child, registry, tree, path);
+  }
+}
+
+}  // namespace
+
+std::string render_tree(const CallNode* root, const RegionRegistry& registry,
+                        const ReportOptions& options) {
+  if (root == nullptr) return "(empty tree)\n";
+  std::ostringstream os;
+  render_node(os, *root, registry, options, 0);
+  return os.str();
+}
+
+std::string render_profile(const AggregateProfile& profile,
+                           const RegionRegistry& registry,
+                           const ReportOptions& options) {
+  std::ostringstream os;
+  os << "=== main tree (implicit tasks, " << profile.thread_count
+     << " threads merged; '*' marks task-execution stub nodes) ===\n";
+  os << render_tree(profile.implicit_root, registry, options);
+  for (const CallNode* root : profile.task_roots) {
+    os << "=== task tree: " << registry.info(root->region).name;
+    if (root->parameter != kNoParameter) {
+      os << " [" << root->parameter << "]";
+    }
+    os << " ===\n";
+    os << render_tree(root, registry, options);
+  }
+  os << "=== summary ===\n";
+  os << "threads: " << profile.thread_count << '\n';
+  os << "task switches: " << format_count(profile.total_task_switches)
+     << '\n';
+  os << "max concurrent task instances per thread: "
+     << profile.max_concurrent_any_thread << '\n';
+  return os.str();
+}
+
+std::string render_csv(const AggregateProfile& profile,
+                       const RegionRegistry& registry) {
+  std::string out =
+      "tree,path,stub,parameter,visits,inclusive_ns,exclusive_ns,min_ns,"
+      "mean_ns,max_ns\n";
+  if (profile.implicit_root != nullptr) {
+    render_csv_node(out, *profile.implicit_root, registry, "main", "");
+  }
+  for (const CallNode* root : profile.task_roots) {
+    std::string tree = "task:" + registry.info(root->region).name;
+    if (root->parameter != kNoParameter) {
+      tree += "[" + std::to_string(root->parameter) + "]";
+    }
+    render_csv_node(out, *root, registry, tree, "");
+  }
+  return out;
+}
+
+}  // namespace taskprof

@@ -1,0 +1,38 @@
+// Text rendering of call-path profiles (the CUBE stand-in, paper Fig. 5).
+//
+// Renders the merged profile as an indented tree: the implicit-task tree
+// first, then one tree per task construct "beside the main tree"
+// (§IV-B4).  Stub nodes are marked with '*', matching the paper's reading
+// of Fig. 5 ("113s of task execution happened inside the barrier").
+#pragma once
+
+#include <string>
+
+#include "measure/aggregate.hpp"
+#include "profile/calltree.hpp"
+#include "profile/region.hpp"
+
+namespace taskprof {
+
+struct ReportOptions {
+  int max_depth = -1;     ///< -1 = unlimited
+  bool visit_stats = true;  ///< include min/mean/max per-visit columns
+};
+
+/// Render one call tree.
+[[nodiscard]] std::string render_tree(const CallNode* root,
+                                      const RegionRegistry& registry,
+                                      const ReportOptions& options = {});
+
+/// Render a whole aggregated profile (main tree + task trees + summary).
+[[nodiscard]] std::string render_profile(const AggregateProfile& profile,
+                                         const RegionRegistry& registry,
+                                         const ReportOptions& options = {});
+
+/// Machine-readable export: one CSV row per node with the full call path.
+/// Columns: tree,path,stub,parameter,visits,inclusive_ns,exclusive_ns,
+/// min_ns,mean_ns,max_ns
+[[nodiscard]] std::string render_csv(const AggregateProfile& profile,
+                                     const RegionRegistry& registry);
+
+}  // namespace taskprof

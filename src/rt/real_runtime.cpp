@@ -1,0 +1,349 @@
+#include "rt/real_runtime.hpp"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/clock.hpp"
+
+namespace taskprof::rt {
+
+namespace {
+
+/// One explicit (or implicit) task instance known to the scheduler.
+struct TaskRecord {
+  TaskFn fn;
+  TaskAttrs attrs;
+  TaskInstanceId id = kImplicitTaskId;
+  TaskRecord* parent = nullptr;
+  std::atomic<std::uint32_t> pending_children{0};
+  /// Lifetime references: 1 for the task itself plus 1 per incomplete
+  /// child (a fire-and-forget parent's record must outlive its children,
+  /// which decrement pending_children through this pointer).
+  std::atomic<std::uint32_t> refs{1};
+  ThreadId creator = 0;
+  bool deferred = false;  ///< counted in queue/outstanding bookkeeping
+};
+
+/// Drop one lifetime reference; delete when none remain.  Implicit-task
+/// records (stack-allocated, id == kImplicitTaskId) keep their own
+/// reference forever and are never deleted here.
+void release_ref(TaskRecord* rec) {
+  if (rec->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete rec;
+  }
+}
+
+/// Per-thread task queue.  A plain mutex-protected deque: the benchmark
+/// host is heavily oversubscribed, so a simple fair queue beats a clever
+/// lock-free deque in robustness, and the paper's contention effects are
+/// studied in the simulator anyway.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<TaskRecord*> tasks;
+};
+
+struct BarrierEpisode {
+  std::atomic<int> arrived{0};
+};
+
+}  // namespace
+
+struct RealRuntime::Impl {
+  explicit Impl(RealConfig cfg) : config(cfg) {}
+
+  // --- configuration / global state ------------------------------------
+  RealConfig config;
+  SchedulerHooks* hooks = nullptr;
+  SteadyClock clock;
+
+  // --- team state (valid during one parallel region) --------------------
+  int nthreads = 0;
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::atomic<std::uint64_t> outstanding{0};
+  std::atomic<TaskInstanceId> next_id{1};
+
+  std::mutex episode_mutex;
+  std::vector<std::unique_ptr<std::atomic<int>>> single_episodes;
+  std::vector<std::unique_ptr<BarrierEpisode>> barrier_episodes;
+
+  // --- per-thread state --------------------------------------------------
+  struct ThreadState {
+    ThreadId tid = 0;
+    TaskRecord implicit_record;
+    std::vector<TaskRecord*> task_stack;  // bottom = &implicit_record
+    std::size_t single_counter = 0;
+    std::size_t barrier_counter = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+  };
+  std::vector<std::unique_ptr<ThreadState>> threads;
+
+  // --- scheduling --------------------------------------------------------
+
+  TaskRecord* try_acquire(ThreadState& st) {
+    WorkerQueue& own = *queues[st.tid];
+    {
+      std::scoped_lock lock(own.mutex);
+      if (!own.tasks.empty()) {
+        TaskRecord* t = own.tasks.back();
+        own.tasks.pop_back();
+        return t;
+      }
+    }
+    if (!config.steal) return nullptr;
+    for (int offset = 1; offset < nthreads; ++offset) {
+      WorkerQueue& victim =
+          *queues[(st.tid + static_cast<ThreadId>(offset)) %
+                  static_cast<ThreadId>(nthreads)];
+      std::scoped_lock lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        TaskRecord* t = victim.tasks.front();
+        victim.tasks.pop_front();
+        ++st.steals;
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  void execute(ThreadState& st, TaskContext& ctx, TaskRecord* rec) {
+    if (hooks != nullptr) {
+      hooks->on_task_begin(st.tid, rec->id, rec->attrs.region,
+                           rec->attrs.parameter);
+    }
+    st.task_stack.push_back(rec);
+    rec->fn(ctx);
+    st.task_stack.pop_back();
+    if (hooks != nullptr) hooks->on_task_end(st.tid, rec->id);
+    TaskRecord* parent = rec->parent;
+    if (rec->deferred) {
+      parent->pending_children.fetch_sub(1, std::memory_order_release);
+      outstanding.fetch_sub(1, std::memory_order_release);
+    }
+    ++st.executed;
+    release_ref(rec);
+    release_ref(parent);
+    // Resuming an enclosing *explicit* task is a task switch (Fig. 12);
+    // returning to the implicit task is implied by on_task_end.
+    TaskRecord* enclosing = st.task_stack.back();
+    if (hooks != nullptr && enclosing != &st.implicit_record) {
+      hooks->on_task_switch(st.tid, enclosing->id);
+    }
+  }
+
+  std::atomic<int>& single_episode(std::size_t index) {
+    std::scoped_lock lock(episode_mutex);
+    while (single_episodes.size() <= index) {
+      single_episodes.push_back(std::make_unique<std::atomic<int>>(0));
+    }
+    return *single_episodes[index];
+  }
+
+  BarrierEpisode& barrier_episode(std::size_t index) {
+    std::scoped_lock lock(episode_mutex);
+    while (barrier_episodes.size() <= index) {
+      barrier_episodes.push_back(std::make_unique<BarrierEpisode>());
+    }
+    return *barrier_episodes[index];
+  }
+};
+
+namespace {
+
+/// TaskContext implementation bound to one worker thread.
+class RealContext final : public TaskContext {
+ public:
+  RealContext(RealRuntime::Impl& rt, RealRuntime::Impl::ThreadState& st)
+      : rt_(rt), st_(st) {}
+
+  void create_task(TaskFn fn, TaskAttrs attrs) override {
+    SchedulerHooks* hooks = rt_.hooks;
+    if (hooks != nullptr) {
+      hooks->on_task_create_begin(st_.tid, attrs.region, attrs.parameter);
+    }
+    const TaskInstanceId id =
+        rt_.next_id.fetch_add(1, std::memory_order_relaxed);
+    auto* rec = new TaskRecord();
+    rec->fn = std::move(fn);
+    rec->attrs = attrs;
+    rec->id = id;
+    rec->parent = st_.task_stack.back();
+    rec->creator = st_.tid;
+    rec->parent->refs.fetch_add(1, std::memory_order_relaxed);
+    if (attrs.undeferred) {
+      // Runs inside the creation construct: the task's stub node lands
+      // under the "create task" node of the encountering task.
+      rec->deferred = false;
+      rt_.execute(st_, *this, rec);
+      if (hooks != nullptr) {
+        hooks->on_task_create_end(st_.tid, id, attrs.region, attrs.parameter);
+      }
+      return;
+    }
+    rec->deferred = true;
+    rec->parent->pending_children.fetch_add(1, std::memory_order_relaxed);
+    rt_.outstanding.fetch_add(1, std::memory_order_relaxed);
+    {
+      WorkerQueue& own = *rt_.queues[st_.tid];
+      std::scoped_lock lock(own.mutex);
+      own.tasks.push_back(rec);
+    }
+    if (hooks != nullptr) {
+      hooks->on_task_create_end(st_.tid, id, attrs.region, attrs.parameter);
+    }
+  }
+
+  void taskwait() override {
+    SchedulerHooks* hooks = rt_.hooks;
+    if (hooks != nullptr) hooks->on_taskwait_begin(st_.tid);
+    TaskRecord* current = st_.task_stack.back();
+    int spins = 0;
+    while (current->pending_children.load(std::memory_order_acquire) > 0) {
+      if (TaskRecord* t = rt_.try_acquire(st_)) {
+        rt_.execute(st_, *this, t);
+        spins = 0;
+      } else if (++spins >= rt_.config.spins_before_yield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    if (hooks != nullptr) hooks->on_taskwait_end(st_.tid);
+  }
+
+  void barrier() override { barrier_impl(/*implicit=*/false); }
+
+  void barrier_impl(bool implicit) {
+    TASKPROF_ASSERT(st_.task_stack.back() == &st_.implicit_record,
+                    "barrier must be called from the implicit task");
+    SchedulerHooks* hooks = rt_.hooks;
+    if (hooks != nullptr) hooks->on_barrier_begin(st_.tid, implicit);
+    BarrierEpisode& episode = rt_.barrier_episode(st_.barrier_counter++);
+    episode.arrived.fetch_add(1, std::memory_order_acq_rel);
+    int spins = 0;
+    while (true) {
+      if (TaskRecord* t = rt_.try_acquire(st_)) {
+        rt_.execute(st_, *this, t);
+        spins = 0;
+        continue;
+      }
+      // Stable exit condition: every thread has reached this barrier and
+      // no explicit task is queued or running anywhere ("outstanding"
+      // stays > 0 while a popped task executes).
+      if (episode.arrived.load(std::memory_order_acquire) == rt_.nthreads &&
+          rt_.outstanding.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      if (++spins >= rt_.config.spins_before_yield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    if (hooks != nullptr) hooks->on_barrier_end(st_.tid, implicit);
+  }
+
+  bool single() override {
+    TASKPROF_ASSERT(st_.task_stack.back() == &st_.implicit_record,
+                    "single must be called from the implicit task");
+    std::atomic<int>& claimed = rt_.single_episode(st_.single_counter++);
+    int expected = 0;
+    return claimed.compare_exchange_strong(expected, 1,
+                                           std::memory_order_acq_rel);
+  }
+
+  void work(Ticks cost) override {
+    // Real computation is its own cost; virtual cost is ignored.
+    (void)cost;
+  }
+
+  void region_enter(RegionHandle region, std::int64_t parameter) override {
+    if (SchedulerHooks* hooks = rt_.hooks) {
+      hooks->on_region_enter(st_.tid, region, parameter);
+    }
+  }
+
+  void region_exit(RegionHandle region) override {
+    if (SchedulerHooks* hooks = rt_.hooks) {
+      hooks->on_region_exit(st_.tid, region);
+    }
+  }
+
+  [[nodiscard]] ThreadId thread_id() const override { return st_.tid; }
+  [[nodiscard]] int num_threads() const override { return rt_.nthreads; }
+
+ private:
+  RealRuntime::Impl& rt_;
+  RealRuntime::Impl::ThreadState& st_;
+};
+
+}  // namespace
+
+RealRuntime::RealRuntime(RealConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+RealRuntime::~RealRuntime() = default;
+
+void RealRuntime::set_hooks(SchedulerHooks* hooks) { impl_->hooks = hooks; }
+
+Ticks RealRuntime::now() const { return impl_->clock.now(); }
+
+TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("parallel: num_threads must be >= 1");
+  }
+  Impl& rt = *impl_;
+  rt.nthreads = num_threads;
+  rt.queues.clear();
+  rt.threads.clear();
+  rt.single_episodes.clear();
+  rt.barrier_episodes.clear();
+  rt.outstanding.store(0);
+  rt.next_id.store(1);
+  for (int i = 0; i < num_threads; ++i) {
+    rt.queues.push_back(std::make_unique<WorkerQueue>());
+    auto st = std::make_unique<Impl::ThreadState>();
+    st->tid = static_cast<ThreadId>(i);
+    st->implicit_record.id = kImplicitTaskId;
+    rt.threads.push_back(std::move(st));
+  }
+
+  if (rt.hooks != nullptr) rt.hooks->on_parallel_begin(num_threads);
+  const Ticks t0 = rt.clock.now();
+
+  auto worker = [&rt, &body](ThreadId tid) {
+    Impl::ThreadState& st = *rt.threads[tid];
+    st.task_stack.push_back(&st.implicit_record);
+    RealContext ctx(rt, st);
+    if (rt.hooks != nullptr) rt.hooks->on_implicit_task_begin(tid, rt.clock);
+    body(ctx);
+    ctx.barrier_impl(/*implicit=*/true);
+    if (rt.hooks != nullptr) rt.hooks->on_implicit_task_end(tid);
+  };
+
+  std::vector<std::thread> extra;
+  extra.reserve(static_cast<std::size_t>(num_threads) - 1);
+  for (int i = 1; i < num_threads; ++i) {
+    extra.emplace_back(worker, static_cast<ThreadId>(i));
+  }
+  worker(0);
+  for (auto& t : extra) t.join();
+
+  const Ticks t1 = rt.clock.now();
+  if (rt.hooks != nullptr) rt.hooks->on_parallel_end();
+
+  TeamStats stats;
+  stats.parallel_ticks = t1 - t0;
+  for (const auto& st : rt.threads) {
+    stats.tasks_executed += st->executed;
+    stats.steals += st->steals;
+  }
+  TASKPROF_ASSERT(rt.outstanding.load() == 0,
+                  "tasks outstanding after parallel region");
+  return stats;
+}
+
+}  // namespace taskprof::rt

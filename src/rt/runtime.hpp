@@ -1,0 +1,41 @@
+// Engine-independent runtime interface.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/hooks.hpp"
+#include "rt/task_context.hpp"
+
+namespace taskprof::rt {
+
+/// Aggregate counters of one parallel region, reported by the engine
+/// (independent of profiling — used by benches to report uninstrumented
+/// runs).
+struct TeamStats {
+  Ticks parallel_ticks = 0;          ///< duration of the region (team span)
+  std::uint64_t tasks_executed = 0;  ///< explicit task instances completed
+  std::uint64_t steals = 0;          ///< tasks executed off their creating thread
+  std::uint64_t migrations = 0;      ///< untied resumptions on a new thread
+};
+
+/// A tasking runtime: opens parallel regions over a TaskContext
+/// implementation and reports scheduler events to an optional listener.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Attach (or detach with nullptr) the measurement listener.  Must not
+  /// be called while a parallel region is running.  The engine treats a
+  /// null listener as "uninstrumented": no events, no event costs.
+  virtual void set_hooks(SchedulerHooks* hooks) = 0;
+
+  /// Run `body` as the implicit task of `num_threads` threads, including
+  /// the implicit barrier at the end.  Throws std::invalid_argument for
+  /// num_threads < 1.  Returns when all explicit tasks completed.
+  virtual TeamStats parallel(int num_threads, TaskFn body) = 0;
+
+  /// Engine time (wall clock or virtual); comparable across calls.
+  [[nodiscard]] virtual Ticks now() const = 0;
+};
+
+}  // namespace taskprof::rt

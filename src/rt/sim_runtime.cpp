@@ -1,0 +1,765 @@
+#include "rt/sim_runtime.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/clock.hpp"
+#include "fiber/fiber.hpp"
+
+namespace taskprof::rt {
+
+namespace {
+
+/// One simulated task instance (implicit or explicit).
+struct SimTask {
+  TaskFn fn;
+  TaskAttrs attrs;
+  TaskInstanceId id = kImplicitTaskId;
+  SimTask* parent = nullptr;
+  std::uint32_t pending_children = 0;
+  /// Lifetime references: 1 for the task itself (dropped at completion)
+  /// plus 1 per incomplete child (children decrement their parent's count
+  /// at completion; a fire-and-forget parent record must outlive its
+  /// children).  The record is deleted when this reaches zero.
+  std::uint32_t refs = 1;
+  std::unique_ptr<Fiber> fiber;
+  bool implicit = false;
+  bool deferred = false;  ///< enqueued (counts towards outstanding)
+  bool in_queue = false;  ///< currently sitting in the central queue
+  /// Children currently enqueued (newest last); entries may be stale
+  /// (taken from the central queue already) — filtered via in_queue.
+  std::vector<SimTask*> queued_children;
+  ThreadId creator = 0;
+  ThreadId home = 0;  ///< worker that (last) executes the task
+
+  enum class Wait : std::uint8_t {
+    kNone,      ///< running or ready to run
+    kTaskwait,  ///< waiting for pending_children == 0
+    kBarrier,   ///< implicit task waiting at a barrier episode
+    kInline,    ///< parent of a running undeferred child
+    kReady,     ///< block resolved externally, resumable
+  };
+  Wait wait = Wait::kNone;
+  SimTask* inline_child = nullptr;
+  std::size_t barrier_episode = 0;
+};
+
+/// What a task fiber asks the engine to do when it yields.
+enum class Request : std::uint8_t {
+  kNone,
+  kEnqueue,        ///< enqueue request_task (management-lock op)
+  kTaskwaitBlock,  ///< suspend current task until children complete
+  kBarrierBlock,   ///< implicit task arrives at a barrier
+  kInlineRun,      ///< run request_task (undeferred) inside the creation
+};
+
+struct Worker {
+  ThreadId id = 0;
+  Ticks time = 0;
+
+  enum class Action : std::uint8_t {
+    kStart,         ///< begin the implicit task
+    kRunFiber,      ///< resume `running`'s fiber
+    kServeEnqueue,  ///< serve the pending enqueue lock op, then resume
+    kComplete,      ///< serve completion bookkeeping for `completed`
+    kSchedule,      ///< pick the next thing to run
+    kDone,          ///< implicit task finished
+  };
+  Action action = Action::kStart;
+
+  SimTask* running = nullptr;
+  SimTask* completed = nullptr;
+  SimTask* enqueue_task = nullptr;
+  Ticks last_lock_request = std::numeric_limits<Ticks>::min();
+  /// Consecutive constrained scheduling attempts that found nothing;
+  /// triggers the full descendant scan (see schedule()).
+  int constraint_failures = 0;
+  std::vector<SimTask*> tied_stack;  ///< suspended tied tasks (LIFO)
+  std::size_t barrier_counter = 0;
+  std::size_t single_counter = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t migrations = 0;
+};
+
+/// Clock view onto one worker's virtual time.
+class WorkerClock final : public Clock {
+ public:
+  explicit WorkerClock(const Worker* worker) : worker_(worker) {}
+  [[nodiscard]] Ticks now() const noexcept override { return worker_->time; }
+
+ private:
+  const Worker* worker_;
+};
+
+/// FIFO resource with a single service timeline: the simulated runtime
+/// management lock.
+struct MgmtLock {
+  Ticks free_at = 0;
+
+  /// Serve a request issued at `request_time`; returns the completion
+  /// time (wait + hold).
+  Ticks serve(Ticks request_time, Ticks service) noexcept {
+    const Ticks start = std::max(free_at, request_time);
+    free_at = start + service;
+    return free_at;
+  }
+};
+
+class SimContext;
+
+}  // namespace
+
+struct SimRuntime::Impl {
+  explicit Impl(SimConfig cfg)
+      : config(cfg), stack_pool(cfg.fiber_stack_bytes) {}
+
+  SimConfig config;
+  SchedulerHooks* hooks = nullptr;
+  StackPool stack_pool;
+  Ticks base_time = 0;
+
+  // Team state, valid during one parallel region.
+  int nthreads = 0;
+  std::vector<Worker> workers;
+  std::vector<std::unique_ptr<WorkerClock>> clocks;
+  std::deque<SimTask*> queue;
+  std::vector<SimTask*> untied_suspended;
+  std::uint64_t outstanding = 0;
+  TaskInstanceId next_id = 1;
+  std::vector<int> barrier_arrived;
+  std::vector<bool> single_claimed;
+  MgmtLock lock;
+  int done_count = 0;
+  TaskFn body;
+  std::unique_ptr<TaskContext> context;
+
+  // Fiber -> engine request channel (single OS thread, one at a time).
+  Request request = Request::kNone;
+  SimTask* request_task = nullptr;
+  Worker* current = nullptr;
+
+  /// Per measurement event, instrumented runs pay a virtual cost.
+  void charge(Worker& w) const noexcept {
+    if (hooks != nullptr) w.time += config.costs.instr_event;
+  }
+
+  /// Serve a management-lock operation for `w`: FIFO queueing plus
+  /// contention-dependent service inflation (see SimCosts).  Advances
+  /// w.time to the operation's completion.
+  void serve_lock(Worker& w, Ticks service) noexcept {
+    int competitors = 0;
+    for (const Worker& other : workers) {
+      if (other.id != w.id &&
+          other.last_lock_request + config.costs.contention_window >=
+              w.time) {
+        ++competitors;
+      }
+    }
+    w.last_lock_request = w.time;
+    const auto effective = static_cast<Ticks>(
+        static_cast<double>(service) *
+        (1.0 + config.costs.contention_penalty * competitors));
+    w.time = lock.serve(w.time, effective);
+  }
+
+  /// Drop one lifetime reference; delete the record when none remain.
+  /// Deletion releases the references the record's queued_children list
+  /// still holds (all completed by then — an incomplete child keeps its
+  /// parent alive through its own parent reference).
+  static void release_ref(SimTask* task) noexcept {
+    TASKPROF_ASSERT(task->refs > 0, "task refcount underflow");
+    if (--task->refs == 0) {
+      TASKPROF_ASSERT(!task->implicit, "implicit task record refcounted away");
+      std::vector<SimTask*> children = std::move(task->queued_children);
+      delete task;
+      for (SimTask* child : children) release_ref(child);
+    }
+  }
+
+  /// True when `task`'s ancestor chain contains `ancestor`.
+  static bool is_descendant_of(const SimTask* task,
+                               const SimTask* ancestor) noexcept {
+    for (const SimTask* node = task->parent; node != nullptr;
+         node = node->parent) {
+      if (node == ancestor) return true;
+    }
+    return false;
+  }
+
+  /// Newest still-queued direct child of `parent`, or nullptr.  Pops stale
+  /// entries (tasks already taken from the central queue), dropping the
+  /// list's reference on every popped record.
+  static SimTask* take_direct_child(SimTask* parent) noexcept {
+    auto& kids = parent->queued_children;
+    while (!kids.empty() && !kids.back()->in_queue) {
+      SimTask* stale = kids.back();
+      kids.pop_back();
+      release_ref(stale);
+    }
+    if (kids.empty()) return nullptr;
+    SimTask* child = kids.back();
+    kids.pop_back();
+    child->in_queue = false;
+    release_ref(child);  // the child's own reference still holds it
+    return child;
+  }
+
+  [[nodiscard]] bool eligible(const SimTask& task) const noexcept {
+    switch (task.wait) {
+      case SimTask::Wait::kTaskwait:
+        return task.pending_children == 0;
+      case SimTask::Wait::kBarrier:
+        return barrier_arrived[task.barrier_episode] == nthreads &&
+               outstanding == 0;
+      case SimTask::Wait::kReady:
+        return true;
+      case SimTask::Wait::kNone:
+      case SimTask::Wait::kInline:
+        return false;
+    }
+    return false;
+  }
+
+  void start_task(Worker& w, SimTask* task) {
+    w.constraint_failures = 0;
+    task->home = w.id;
+    charge(w);
+    if (hooks != nullptr) {
+      hooks->on_task_begin(w.id, task->id, task->attrs.region,
+                           task->attrs.parameter);
+    }
+    task->fiber = std::make_unique<Fiber>(
+        [this, task] { task->fn(*context); }, &stack_pool);
+    w.running = task;
+    w.action = Worker::Action::kRunFiber;
+  }
+
+  void dispatch(Worker& w);
+  void start_implicit(Worker& w);
+  void run_fiber(Worker& w);
+  void serve_enqueue(Worker& w);
+  void serve_complete(Worker& w);
+  void schedule(Worker& w);
+  void resume_untied(Worker& w, std::vector<SimTask*>::iterator it);
+};
+
+namespace {
+
+/// TaskContext implementation for the simulator.  One instance serves the
+/// whole engine: "the executing thread" is always rt_.current (the engine
+/// runs fibers one at a time).  Methods re-read rt_.current after every
+/// yield because untied tasks may resume on a different worker.
+class SimContext final : public TaskContext {
+ public:
+  explicit SimContext(SimRuntime::Impl& rt) : rt_(rt) {}
+
+  void create_task(TaskFn fn, TaskAttrs attrs) override {
+    Worker* w = rt_.current;
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) {
+      rt_.hooks->on_task_create_begin(w->id, attrs.region, attrs.parameter);
+    }
+    w->time += rt_.config.costs.create_local;
+
+    auto* rec = new SimTask();
+    rec->fn = std::move(fn);
+    rec->attrs = attrs;
+    rec->id = rt_.next_id++;
+    rec->parent = w->running;
+    rec->creator = w->id;
+    rec->parent->refs += 1;  // the child keeps its parent record alive
+
+    if (attrs.undeferred) {
+      rt_.request = Request::kInlineRun;
+      rt_.request_task = rec;
+      Fiber::yield();  // resumes after the child completed
+    } else {
+      rec->deferred = true;
+      rec->parent->pending_children += 1;
+      rt_.request = Request::kEnqueue;
+      rt_.request_task = rec;
+      Fiber::yield();  // resumes after the enqueue lock op was served
+    }
+    w = rt_.current;
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) {
+      hooks_create_end(*w, rec);
+    }
+  }
+
+  void taskwait() override {
+    Worker* w = rt_.current;
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) rt_.hooks->on_taskwait_begin(w->id);
+    w->time += rt_.config.costs.taskwait_check;
+    SimTask* cur = w->running;
+    if (cur->pending_children > 0) {
+      rt_.request = Request::kTaskwaitBlock;
+      Fiber::yield();
+      w = rt_.current;  // untied tasks may have migrated
+    }
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) rt_.hooks->on_taskwait_end(w->id);
+  }
+
+  void barrier() override { barrier_impl(/*implicit=*/false); }
+
+  void barrier_impl(bool implicit) {
+    Worker* w = rt_.current;
+    TASKPROF_ASSERT(w->running != nullptr && w->running->implicit,
+                    "barrier must be called from the implicit task");
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) rt_.hooks->on_barrier_begin(w->id, implicit);
+    rt_.request = Request::kBarrierBlock;
+    Fiber::yield();
+    w = rt_.current;
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) rt_.hooks->on_barrier_end(w->id, implicit);
+  }
+
+  bool single() override {
+    Worker* w = rt_.current;
+    TASKPROF_ASSERT(w->running != nullptr && w->running->implicit,
+                    "single must be called from the implicit task");
+    w->time += rt_.config.costs.taskwait_check;
+    const std::size_t index = w->single_counter++;
+    if (rt_.single_claimed.size() <= index) {
+      rt_.single_claimed.resize(index + 1, false);
+    }
+    if (!rt_.single_claimed[index]) {
+      rt_.single_claimed[index] = true;
+      return true;
+    }
+    return false;
+  }
+
+  void work(Ticks cost) override {
+    TASKPROF_ASSERT(cost >= 0, "negative work cost");
+    rt_.current->time += cost;
+  }
+
+  void region_enter(RegionHandle region, std::int64_t parameter) override {
+    Worker* w = rt_.current;
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) {
+      rt_.hooks->on_region_enter(w->id, region, parameter);
+    }
+  }
+
+  void region_exit(RegionHandle region) override {
+    Worker* w = rt_.current;
+    rt_.charge(*w);
+    if (rt_.hooks != nullptr) rt_.hooks->on_region_exit(w->id, region);
+  }
+
+  [[nodiscard]] ThreadId thread_id() const override {
+    return rt_.current->id;
+  }
+  [[nodiscard]] int num_threads() const override { return rt_.nthreads; }
+
+ private:
+  void hooks_create_end(Worker& w, const SimTask* rec) {
+    rt_.hooks->on_task_create_end(w.id, rec->id, rec->attrs.region,
+                                  rec->attrs.parameter);
+  }
+
+  SimRuntime::Impl& rt_;
+};
+
+}  // namespace
+
+void SimRuntime::Impl::start_implicit(Worker& w) {
+  if (hooks != nullptr) {
+    hooks->on_implicit_task_begin(w.id, *clocks[w.id]);
+    charge(w);
+  }
+  auto* imp = new SimTask();
+  imp->implicit = true;
+  imp->id = kImplicitTaskId;
+  imp->home = w.id;
+  imp->creator = w.id;
+  imp->fiber = std::make_unique<Fiber>(
+      [this] {
+        body(*context);
+        static_cast<SimContext*>(context.get())->barrier_impl(true);
+      },
+      &stack_pool);
+  w.running = imp;
+  w.action = Worker::Action::kRunFiber;
+}
+
+void SimRuntime::Impl::run_fiber(Worker& w) {
+  current = &w;
+  request = Request::kNone;
+  SimTask* task = w.running;
+  task->fiber->resume();
+
+  if (task->fiber->finished()) {
+    w.running = nullptr;
+    if (task->implicit) {
+      charge(w);
+      if (hooks != nullptr) hooks->on_implicit_task_end(w.id);
+      delete task;
+      w.action = Worker::Action::kDone;
+      ++done_count;
+    } else {
+      charge(w);
+      if (hooks != nullptr) hooks->on_task_end(w.id, task->id);
+      w.completed = task;
+      w.action = Worker::Action::kComplete;
+    }
+    return;
+  }
+
+  switch (request) {
+    case Request::kEnqueue:
+      w.enqueue_task = request_task;
+      w.action = Worker::Action::kServeEnqueue;
+      break;
+
+    case Request::kTaskwaitBlock: {
+      w.running = nullptr;
+      task->wait = SimTask::Wait::kTaskwait;
+      w.time += config.costs.switch_local;
+      const bool migratable = !task->implicit &&
+                              task->attrs.binding == TaskBinding::kUntied &&
+                              config.untied_migration;
+      if (migratable) {
+        // Untied tasks suspend to the implicit task right away so the
+        // profiling state can migrate with the task (§IV-D).
+        charge(w);
+        if (hooks != nullptr) hooks->on_task_switch(w.id, kImplicitTaskId);
+        untied_suspended.push_back(task);
+      } else {
+        w.tied_stack.push_back(task);
+      }
+      w.action = Worker::Action::kSchedule;
+      break;
+    }
+
+    case Request::kBarrierBlock: {
+      w.running = nullptr;
+      task->wait = SimTask::Wait::kBarrier;
+      const std::size_t episode = w.barrier_counter++;
+      if (barrier_arrived.size() <= episode) {
+        barrier_arrived.resize(episode + 1, 0);
+      }
+      ++barrier_arrived[episode];
+      task->barrier_episode = episode;
+      w.tied_stack.push_back(task);
+      w.action = Worker::Action::kSchedule;
+      break;
+    }
+
+    case Request::kInlineRun: {
+      SimTask* child = request_task;
+      task->wait = SimTask::Wait::kInline;
+      task->inline_child = child;
+      w.running = nullptr;
+      w.tied_stack.push_back(task);
+      start_task(w, child);
+      break;
+    }
+
+    case Request::kNone:
+      TASKPROF_ASSERT(false, "fiber yielded without a request");
+  }
+}
+
+void SimRuntime::Impl::serve_enqueue(Worker& w) {
+  serve_lock(w, config.costs.create_service);
+  SimTask* rec = w.enqueue_task;
+  w.enqueue_task = nullptr;
+  // Both containers that will hold the pointer take a reference: the
+  // central queue and the parent's queued-children index.
+  queue.push_back(rec);
+  rec->in_queue = true;
+  rec->refs += 1;
+  rec->parent->queued_children.push_back(rec);
+  rec->refs += 1;
+  ++outstanding;
+  w.action = Worker::Action::kRunFiber;  // resume the creator's fiber
+}
+
+void SimRuntime::Impl::serve_complete(Worker& w) {
+  serve_lock(w, config.costs.complete_service);
+  SimTask* task = w.completed;
+  w.completed = nullptr;
+  SimTask* parent = task->parent;
+  TASKPROF_ASSERT(parent != nullptr, "explicit task without parent");
+  if (task->deferred) {
+    TASKPROF_ASSERT(parent->pending_children > 0,
+                    "child completion underflow");
+    parent->pending_children -= 1;
+    TASKPROF_ASSERT(outstanding > 0, "outstanding underflow");
+    --outstanding;
+  } else if (parent->wait == SimTask::Wait::kInline &&
+             parent->inline_child == task) {
+    parent->wait = SimTask::Wait::kReady;
+    parent->inline_child = nullptr;
+  }
+  ++w.executed;
+  // Return the fiber stack now; the record itself may outlive this point
+  // (fire-and-forget children still reference their parent).
+  task->fiber.reset();
+  release_ref(task);
+  release_ref(parent);  // implicit parents never hit zero (their own ref)
+  w.action = Worker::Action::kSchedule;
+}
+
+void SimRuntime::Impl::resume_untied(Worker& w,
+                                     std::vector<SimTask*>::iterator it) {
+  SimTask* task = *it;
+  untied_suspended.erase(it);
+  task->wait = SimTask::Wait::kNone;
+  w.time += config.costs.switch_local;
+  if (task->home != w.id) {
+    if (hooks != nullptr) hooks->on_task_migrate(task->home, w.id, task->id);
+    task->home = w.id;
+    ++w.migrations;
+  }
+  charge(w);
+  if (hooks != nullptr) hooks->on_task_switch(w.id, task->id);
+  w.running = task;
+  w.action = Worker::Action::kRunFiber;
+}
+
+void SimRuntime::Impl::schedule(Worker& w) {
+  // 1. Resume the top suspended tied task if its block resolved (this is
+  //    the nested-execution discipline of tied tasks).
+  if (!w.tied_stack.empty() && eligible(*w.tied_stack.back())) {
+    SimTask* task = w.tied_stack.back();
+    w.tied_stack.pop_back();
+    task->wait = SimTask::Wait::kNone;
+    w.time += config.costs.switch_local;
+    if (!task->implicit) {
+      charge(w);
+      if (hooks != nullptr) hooks->on_task_switch(w.id, task->id);
+    }
+    w.running = task;
+    w.action = Worker::Action::kRunFiber;
+    return;
+  }
+
+  // OpenMP tied-task scheduling constraint (and GCC-libgomp taskwait
+  // behaviour): while an explicit tied task is suspended on this worker,
+  // only its descendants may run here.  This bounds the suspended chain —
+  // and thus the profiler's live instance-tree count, paper Table II — by
+  // the task-tree depth.
+  SimTask* constraint = nullptr;
+  if (config.strict_taskwait_scheduling && !w.tied_stack.empty() &&
+      !w.tied_stack.back()->implicit) {
+    constraint = w.tied_stack.back();
+  }
+
+  if (constraint != nullptr) {
+    // 2a. Newest queued direct child of the waiting task.
+    if (SimTask* child = take_direct_child(constraint)) {
+      serve_lock(w, config.costs.dequeue_service);
+      if (child->creator != w.id) ++w.steals;
+      start_task(w, child);
+      return;
+    }
+    // 2b. An eligible untied descendant may resume here.
+    for (auto it = untied_suspended.begin(); it != untied_suspended.end();
+         ++it) {
+      if (eligible(**it) && is_descendant_of(*it, constraint)) {
+        resume_untied(w, it);
+        return;
+      }
+    }
+    // 2c. Deeper descendants (e.g. children of a blocked untied child)
+    //     may be buried in the global queue where only this worker is
+    //     allowed to take them.  The full scan is expensive, so it only
+    //     runs after several fruitless polls — it is what guarantees
+    //     progress when every worker is constrained.
+    if (++w.constraint_failures >= 8) {
+      w.constraint_failures = 0;
+      for (std::size_t back_offset = 0; back_offset < queue.size();
+           ++back_offset) {
+        const std::size_t index = queue.size() - 1 - back_offset;
+        SimTask* candidate = queue[index];
+        if (!candidate->in_queue ||
+            !is_descendant_of(candidate, constraint)) {
+          continue;
+        }
+        serve_lock(w, config.costs.dequeue_service);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+        candidate->in_queue = false;
+        release_ref(candidate);  // the queue's reference
+        if (candidate->creator != w.id) ++w.steals;
+        start_task(w, candidate);
+        return;
+      }
+    }
+    // Nothing runnable under the constraint: wait for the children (they
+    // are running or suspended elsewhere).
+    w.time += config.costs.poll_interval;
+    return;
+  }
+
+  // 3. Unconstrained: resume any eligible untied task (may migrate here).
+  for (auto it = untied_suspended.begin(); it != untied_suspended.end();
+       ++it) {
+    if (eligible(**it)) {
+      resume_untied(w, it);
+      return;
+    }
+  }
+
+  // 4. Dequeue new work from the central queue (management-lock op; we
+  //    are the globally earliest worker right now, so serving in dispatch
+  //    order is time order).  Entries already taken through a parent's
+  //    queued_children list are stale and skipped.
+  auto pop_stale = [this](bool from_back) {
+    while (!queue.empty()) {
+      SimTask* end_task = from_back ? queue.back() : queue.front();
+      if (end_task->in_queue) break;
+      if (from_back) {
+        queue.pop_back();
+      } else {
+        queue.pop_front();
+      }
+      release_ref(end_task);  // the queue's reference
+    }
+  };
+  pop_stale(config.lifo_dequeue);
+  if (!queue.empty()) {
+    serve_lock(w, config.costs.dequeue_service);
+    SimTask* task = nullptr;
+    if (config.lifo_dequeue) {
+      // Prefer the newest task this worker created (bounded scan from the
+      // back): models the own-deque-first policy of real runtimes, which
+      // keeps execution depth-first along the worker's own branch.
+      constexpr std::size_t kAffinityScan = 32;
+      const std::size_t limit = std::min(queue.size(), kAffinityScan);
+      for (std::size_t back_offset = 0; back_offset < limit; ++back_offset) {
+        const std::size_t index = queue.size() - 1 - back_offset;
+        if (queue[index]->in_queue && queue[index]->creator == w.id) {
+          task = queue[index];
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+          break;
+        }
+      }
+      if (task == nullptr) {
+        task = queue.back();
+        queue.pop_back();
+      }
+    } else {
+      task = queue.front();
+      queue.pop_front();
+    }
+    task->in_queue = false;
+    release_ref(task);  // the queue's reference
+    if (task->creator != w.id) ++w.steals;
+    start_task(w, task);
+    return;
+  }
+
+  // 5. Idle: poll again later.
+  w.time += config.costs.poll_interval;
+}
+
+void SimRuntime::Impl::dispatch(Worker& w) {
+  switch (w.action) {
+    case Worker::Action::kStart:
+      start_implicit(w);
+      return;
+    case Worker::Action::kRunFiber:
+      run_fiber(w);
+      return;
+    case Worker::Action::kServeEnqueue:
+      serve_enqueue(w);
+      return;
+    case Worker::Action::kComplete:
+      serve_complete(w);
+      return;
+    case Worker::Action::kSchedule:
+      schedule(w);
+      return;
+    case Worker::Action::kDone:
+      TASKPROF_ASSERT(false, "dispatch of a finished worker");
+  }
+}
+
+SimRuntime::SimRuntime(SimConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+SimRuntime::~SimRuntime() = default;
+
+void SimRuntime::set_hooks(SchedulerHooks* hooks) { impl_->hooks = hooks; }
+
+Ticks SimRuntime::now() const { return impl_->base_time; }
+
+const SimConfig& SimRuntime::config() const { return impl_->config; }
+
+TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("parallel: num_threads must be >= 1");
+  }
+  Impl& rt = *impl_;
+  rt.nthreads = num_threads;
+  rt.workers.clear();
+  rt.workers.resize(static_cast<std::size_t>(num_threads));
+  rt.clocks.clear();
+  for (int i = 0; i < num_threads; ++i) {
+    rt.workers[static_cast<std::size_t>(i)].id = static_cast<ThreadId>(i);
+    rt.workers[static_cast<std::size_t>(i)].time = rt.base_time;
+    rt.clocks.push_back(std::make_unique<WorkerClock>(
+        &rt.workers[static_cast<std::size_t>(i)]));
+  }
+  rt.queue.clear();
+  rt.untied_suspended.clear();
+  rt.outstanding = 0;
+  rt.next_id = 1;
+  rt.barrier_arrived.clear();
+  rt.single_claimed.clear();
+  rt.lock.free_at = rt.base_time;
+  rt.done_count = 0;
+  rt.body = std::move(body);
+  rt.context = std::make_unique<SimContext>(rt);
+
+  if (rt.hooks != nullptr) rt.hooks->on_parallel_begin(num_threads);
+  const Ticks t0 = rt.base_time;
+
+  while (rt.done_count < num_threads) {
+    // Pick the earliest non-finished worker; ties break on lowest id for
+    // determinism.
+    Worker* next = nullptr;
+    for (Worker& w : rt.workers) {
+      if (w.action == Worker::Action::kDone) continue;
+      if (next == nullptr || w.time < next->time) next = &w;
+    }
+    TASKPROF_ASSERT(next != nullptr, "no runnable worker");
+    rt.dispatch(*next);
+  }
+
+  Ticks end = t0;
+  for (const Worker& w : rt.workers) end = std::max(end, w.time);
+  rt.base_time = end;
+  if (rt.hooks != nullptr) rt.hooks->on_parallel_end();
+
+  TeamStats stats;
+  stats.parallel_ticks = end - t0;
+  for (const Worker& w : rt.workers) {
+    stats.tasks_executed += w.executed;
+    stats.steals += w.steals;
+    stats.migrations += w.migrations;
+  }
+  TASKPROF_ASSERT(rt.outstanding == 0, "tasks outstanding after region");
+  // Stale queue entries (tasks taken through a parent's queued-children
+  // index) may remain; live ones may not.  Drop the queue's references.
+  for (SimTask* leftover : rt.queue) {
+    TASKPROF_ASSERT(!leftover->in_queue, "live task in queue after region");
+    Impl::release_ref(leftover);
+  }
+  rt.queue.clear();
+  return stats;
+}
+
+}  // namespace taskprof::rt

@@ -1,0 +1,107 @@
+// The tasking programming interface (the OpenMP-runtime stand-in).
+//
+// Task programs — the BOTS kernels, the examples, the tests — are written
+// against TaskContext, which models the OpenMP 3.0 constructs the paper's
+// profiler observes: task creation (tied/untied), taskwait, barrier, and a
+// single construct.  Two engines implement it:
+//
+//  * rt::RealRuntime  — std::thread workers, wall-clock time
+//  * rt::SimRuntime   — discrete-event virtual-time SMP on fibers
+//
+// so one kernel source runs on both.  ctx.work(cost) declares the virtual
+// cost of computation for the simulator; the real engine ignores it (the
+// computation itself is the cost there).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace taskprof::rt {
+
+/// Tied tasks resume only on the thread that started them; untied tasks
+/// may migrate (paper §IV-D).  The real engine demotes untied to tied —
+/// the same work-around the paper applies ("our instrumentation makes all
+/// tasks tied by default"); the simulator implements true migration.
+enum class TaskBinding : std::uint8_t { kTied, kUntied };
+
+/// Per-task-construct attributes, set at creation.
+struct TaskAttrs {
+  /// Region of the task construct (register with the RegionRegistry).
+  RegionHandle region = kInvalidRegion;
+  /// Optional parameter (e.g. recursion depth) for parameter profiling
+  /// (paper Table IV); kNoParameter for none.
+  std::int64_t parameter = kNoParameter;
+  TaskBinding binding = TaskBinding::kTied;
+  /// Execute immediately at the creation point instead of deferring
+  /// (OpenMP `if(false)` semantics).
+  bool undeferred = false;
+};
+
+class TaskContext;
+
+/// A task body.  Invoked with the context of the executing thread.
+using TaskFn = std::function<void(TaskContext&)>;
+
+/// Execution context handed to every task body (implicit and explicit).
+///
+/// All methods must be called from the task body they were handed to;
+/// contexts must not be stored beyond the body's scope.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  /// Create an explicit task.  Deferred tasks are enqueued for any thread;
+  /// undeferred tasks run to completion inside this call.
+  virtual void create_task(TaskFn fn, TaskAttrs attrs) = 0;
+
+  /// Wait until all *direct* children of the current task have completed.
+  /// A task scheduling point: the thread may execute other tasks here.
+  virtual void taskwait() = 0;
+
+  /// Team barrier; also drains all outstanding explicit tasks (like the
+  /// implicit barrier at the end of a parallel region).  Must be called
+  /// from the implicit task, by every thread of the team.
+  virtual void barrier() = 0;
+
+  /// OpenMP `single` (without the implied barrier): returns true on
+  /// exactly one thread per encounter.  Must be called from the implicit
+  /// task by every thread, in the same sequence on each.
+  virtual bool single() = 0;
+
+  /// Declare `cost` ticks of virtual computation.  Advances the virtual
+  /// clock in the simulator; no-op on the real engine.
+  virtual void work(Ticks cost) = 0;
+
+  /// Enter/exit an instrumented user region (compiler-instrumentation
+  /// stand-in).  No-ops when no measurement hooks are attached.
+  virtual void region_enter(RegionHandle region,
+                            std::int64_t parameter = kNoParameter) = 0;
+  virtual void region_exit(RegionHandle region) = 0;
+
+  /// Thread executing the current task fragment (0-based within team).
+  [[nodiscard]] virtual ThreadId thread_id() const = 0;
+
+  /// Team size of the enclosing parallel region.
+  [[nodiscard]] virtual int num_threads() const = 0;
+};
+
+/// RAII helper for region_enter/region_exit.
+class ScopedRegion {
+ public:
+  ScopedRegion(TaskContext& ctx, RegionHandle region,
+               std::int64_t parameter = kNoParameter)
+      : ctx_(ctx), region_(region) {
+    ctx_.region_enter(region_, parameter);
+  }
+  ~ScopedRegion() { ctx_.region_exit(region_); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  TaskContext& ctx_;
+  RegionHandle region_;
+};
+
+}  // namespace taskprof::rt

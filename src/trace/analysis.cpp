@@ -1,0 +1,323 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace taskprof::trace {
+
+namespace {
+
+/// Per-thread replay state.
+struct ThreadReplay {
+  TaskInstanceId current = kImplicitTaskId;
+  Ticks fragment_start = 0;
+  Ticks implicit_begin = 0;
+  bool in_implicit = false;
+
+  /// Open scheduling-point regions; last_activity tracks the end of the
+  /// last executed fragment (or the region entry) for gap classification.
+  struct SyncFrame {
+    Ticks last_activity = 0;
+  };
+  std::vector<SyncFrame> sync_stack;
+};
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const Trace& trace,
+                            const AnalysisOptions& options) {
+  TraceAnalysis out;
+  out.threads.resize(trace.thread_count());
+
+  std::unordered_map<TaskInstanceId, TaskLifetime> lifetimes;
+  std::vector<ThreadReplay> replay(trace.thread_count());
+
+  auto classify_gap = [&](Ticks gap) {
+    if (gap <= 0) return;
+    out.sync_total += gap;
+    if (gap <= options.management_gap_threshold) {
+      out.sync_management += gap;
+    } else {
+      out.sync_waiting += gap;
+    }
+  };
+
+  auto close_fragment = [&](ThreadReplay& state, ThreadId thread,
+                            Ticks now) {
+    if (state.current == kImplicitTaskId) return;
+    const Ticks duration = now - state.fragment_start;
+    TaskLifetime& life = lifetimes[state.current];
+    life.active += duration;
+    out.threads[thread].busy += duration;
+    out.threads[thread].fragments += 1;
+    if (!state.sync_stack.empty()) {
+      state.sync_stack.back().last_activity = now;
+    }
+    state.current = kImplicitTaskId;
+  };
+
+  auto open_fragment = [&](ThreadReplay& state, ThreadId thread,
+                           TaskInstanceId id, Ticks now) {
+    if (!state.sync_stack.empty()) {
+      classify_gap(now - state.sync_stack.back().last_activity);
+      state.sync_stack.back().last_activity = now;
+    }
+    state.current = id;
+    state.fragment_start = now;
+    TaskLifetime& life = lifetimes[id];
+    life.fragments += 1;
+    if (!life.started) {
+      life.started = true;
+      life.begin = now;
+      life.first_thread = thread;
+    }
+    (void)thread;
+  };
+
+  // Replay per-thread streams (each is time-ordered by construction).
+  for (ThreadId thread = 0; thread < trace.thread_count(); ++thread) {
+    ThreadReplay& state = replay[thread];
+    for (const TraceEvent& event : trace.thread_events(thread)) {
+      switch (event.kind) {
+        case EventKind::kImplicitBegin:
+          state.implicit_begin = event.time;
+          state.in_implicit = true;
+          break;
+        case EventKind::kImplicitEnd:
+          // Migrated untied tasks leave unmatched sync entries behind
+          // (their taskwait exits on another thread); drop them.
+          state.sync_stack.clear();
+          out.threads[thread].span += event.time - state.implicit_begin;
+          state.in_implicit = false;
+          break;
+        case EventKind::kCreateEnd: {
+          TaskLifetime& life = lifetimes[event.task];
+          life.id = event.task;
+          life.region = event.region;
+          life.parameter = event.parameter;
+          life.creator = thread;
+          life.created = event.time;
+          life.parent = state.current;
+          break;
+        }
+        case EventKind::kTaskBegin:
+          close_fragment(state, thread, event.time);
+          open_fragment(state, thread, event.task, event.time);
+          break;
+        case EventKind::kTaskEnd: {
+          TASKPROF_ASSERT(state.current == event.task,
+                          "trace replay: ending task is not current");
+          close_fragment(state, thread, event.time);
+          TaskLifetime& life = lifetimes[event.task];
+          life.end = event.time;
+          life.completed = true;
+          break;
+        }
+        case EventKind::kTaskSwitch:
+          close_fragment(state, thread, event.time);
+          if (event.task != kImplicitTaskId) {
+            open_fragment(state, thread, event.task, event.time);
+          }
+          break;
+        case EventKind::kMigrate:
+          lifetimes[event.task].migrations += 1;
+          break;
+        case EventKind::kTaskwaitBegin:
+        case EventKind::kBarrierBegin:
+          state.sync_stack.push_back(
+              ThreadReplay::SyncFrame{event.time});
+          break;
+        case EventKind::kTaskwaitEnd:
+        case EventKind::kBarrierEnd: {
+          // A migrated untied task's taskwait may end on a different
+          // thread than it began; such unmatched exits are skipped (the
+          // decomposition is exact for tied tasks, approximate across
+          // migrations).
+          if (state.sync_stack.empty()) break;
+          classify_gap(event.time - state.sync_stack.back().last_activity);
+          state.sync_stack.pop_back();
+          if (!state.sync_stack.empty()) {
+            state.sync_stack.back().last_activity = event.time;
+          }
+          break;
+        }
+        case EventKind::kParallelBegin:
+        case EventKind::kParallelEnd:
+        case EventKind::kCreateBegin:
+        case EventKind::kRegionEnter:
+        case EventKind::kRegionExit:
+          break;
+      }
+    }
+  }
+
+  // Collect lifetimes and aggregates.
+  for (auto& [id, life] : lifetimes) {
+    if (!life.completed) continue;
+    out.total_active += life.active;
+    if (life.created != 0 || life.begin >= life.created) {
+      out.queue_latency.add(life.begin - life.created);
+    }
+    out.instance_fragments.add(life.fragments);
+    out.tasks.push_back(life);
+  }
+  std::sort(out.tasks.begin(), out.tasks.end(),
+            [](const TaskLifetime& a, const TaskLifetime& b) {
+              return a.begin < b.begin;
+            });
+
+  // Longest dependency chain over the creation tree.
+  std::unordered_map<TaskInstanceId, std::vector<const TaskLifetime*>>
+      children;
+  for (const TaskLifetime& life : out.tasks) {
+    children[life.parent].push_back(&life);
+  }
+  struct ChainResult {
+    Ticks time = 0;
+    int length = 0;
+  };
+  // Iterative post-order over the forest rooted at implicit creations.
+  std::unordered_map<TaskInstanceId, ChainResult> memo;
+  auto chain_of = [&](const TaskLifetime& life, auto&& self) -> ChainResult {
+    if (auto it = memo.find(life.id); it != memo.end()) return it->second;
+    ChainResult best;
+    if (auto it = children.find(life.id); it != children.end()) {
+      for (const TaskLifetime* child : it->second) {
+        const ChainResult sub = self(*child, self);
+        if (sub.time > best.time) best = sub;
+      }
+    }
+    const ChainResult result{life.active + best.time, 1 + best.length};
+    memo.emplace(life.id, result);
+    return result;
+  };
+  for (const TaskLifetime& life : out.tasks) {
+    const ChainResult chain = chain_of(life, chain_of);
+    if (chain.time > out.critical_chain_time) {
+      out.critical_chain_time = chain.time;
+      out.critical_chain_length = chain.length;
+    }
+  }
+  return out;
+}
+
+std::string render_analysis(const TraceAnalysis& analysis,
+                            const RegionRegistry& registry) {
+  std::ostringstream os;
+
+  // Per-construct summary.
+  struct ConstructAgg {
+    std::uint64_t instances = 0;
+    Ticks active = 0;
+    DurationStats latency;
+    std::uint64_t fragments = 0;
+    std::uint64_t migrations = 0;
+  };
+  std::map<RegionHandle, ConstructAgg> constructs;
+  for (const TaskLifetime& life : analysis.tasks) {
+    ConstructAgg& agg = constructs[life.region];
+    agg.instances += 1;
+    agg.active += life.active;
+    agg.latency.add(life.begin - life.created);
+    agg.fragments += static_cast<std::uint64_t>(life.fragments);
+    agg.migrations += static_cast<std::uint64_t>(life.migrations);
+  }
+  TextTable table({"task construct", "instances", "active total",
+                   "mean queue latency", "fragments", "migrations"});
+  for (const auto& [region, agg] : constructs) {
+    table.add_row({registry.info(region).name, format_count(agg.instances),
+                   format_ticks(agg.active),
+                   format_ticks(static_cast<Ticks>(agg.latency.mean())),
+                   format_count(agg.fragments),
+                   format_count(agg.migrations)});
+  }
+  os << table.str();
+
+  os << "\nsynchronization-time decomposition (paper SS VII):\n";
+  os << "  total non-executing time at scheduling points: "
+     << format_ticks(analysis.sync_total) << '\n';
+  os << "  management (short gaps between fragments):     "
+     << format_ticks(analysis.sync_management) << '\n';
+  os << "  waiting for work (long gaps):                  "
+     << format_ticks(analysis.sync_waiting) << '\n';
+  os << "  management / task-execution ratio:             "
+     << format_percent(analysis.management_to_execution_ratio()) << '\n';
+
+  os << "\nlongest dependency chain: " << analysis.critical_chain_length
+     << " tasks, " << format_ticks(analysis.critical_chain_time)
+     << " active time\n";
+
+  os << "\nthreads:\n";
+  for (std::size_t t = 0; t < analysis.threads.size(); ++t) {
+    const ThreadUsage& usage = analysis.threads[t];
+    os << "  thread " << t << ": busy " << format_ticks(usage.busy) << " of "
+       << format_ticks(usage.span) << " ("
+       << format_percent(usage.utilization()) << ", "
+       << format_count(usage.fragments) << " fragments)\n";
+  }
+  return os.str();
+}
+
+std::string render_timeline(const Trace& trace, std::size_t buckets) {
+  const auto [begin, end] = trace.time_span();
+  if (end <= begin || buckets == 0) return "(empty trace)\n";
+  const double bucket_width =
+      static_cast<double>(end - begin) / static_cast<double>(buckets);
+
+  std::ostringstream os;
+  os << "timeline: " << format_ticks(end - begin) << " across " << buckets
+     << " buckets ('#' executing tasks, '.' other)\n";
+  for (ThreadId thread = 0; thread < trace.thread_count(); ++thread) {
+    // busy[i] = fraction of bucket i spent in task fragments.
+    std::vector<double> busy(buckets, 0.0);
+    TaskInstanceId current = kImplicitTaskId;
+    Ticks fragment_start = 0;
+    auto mark = [&](Ticks from, Ticks to) {
+      if (to <= from) return;
+      const double first =
+          static_cast<double>(from - begin) / bucket_width;
+      const double last = static_cast<double>(to - begin) / bucket_width;
+      for (std::size_t i = static_cast<std::size_t>(first);
+           i <= static_cast<std::size_t>(last) && i < buckets; ++i) {
+        const double bucket_lo = static_cast<double>(i) * bucket_width;
+        const double bucket_hi = bucket_lo + bucket_width;
+        const double overlap =
+            std::min(bucket_hi, static_cast<double>(to - begin)) -
+            std::max(bucket_lo, static_cast<double>(from - begin));
+        if (overlap > 0) busy[i] += overlap / bucket_width;
+      }
+    };
+    for (const TraceEvent& event : trace.thread_events(thread)) {
+      switch (event.kind) {
+        case EventKind::kTaskBegin:
+        case EventKind::kTaskSwitch:
+          if (current != kImplicitTaskId) mark(fragment_start, event.time);
+          current = event.kind == EventKind::kTaskSwitch &&
+                            event.task == kImplicitTaskId
+                        ? kImplicitTaskId
+                        : event.task;
+          fragment_start = event.time;
+          break;
+        case EventKind::kTaskEnd:
+          if (current != kImplicitTaskId) mark(fragment_start, event.time);
+          current = kImplicitTaskId;
+          break;
+        default:
+          break;
+      }
+    }
+    os << "t" << thread << " |";
+    for (double fraction : busy) {
+      os << (fraction > 0.5 ? '#' : (fraction > 0.05 ? '+' : '.'));
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace taskprof::trace

@@ -1,0 +1,103 @@
+// Trace analyses: the paper's §VII future work, implemented.
+//
+// From a recorded event trace these analyses derive what the profile
+// alone cannot:
+//
+//  * management-vs-waiting decomposition of synchronization time — the
+//    paper: "it is not yet possible to distinguish if this time is
+//    required for management, or if it is waiting time on the completion
+//    of some tasks"; here, gaps between executed task fragments inside a
+//    scheduling point are classified by length (short gap = task
+//    management / switching, long gap = starvation), giving "the ratio of
+//    overall management time to exclusive execution time for tasks";
+//  * per-instance queue latency (creation -> begin) and fragmentation;
+//  * per-thread utilization; and
+//  * the longest task dependency chain, which the paper proposes as "a
+//    good estimate for the number of concurrent tasks" (§V-B) — the
+//    estimate can be checked against the profiler's measured maximum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profile/metrics.hpp"
+#include "profile/region.hpp"
+#include "trace/trace.hpp"
+
+namespace taskprof::trace {
+
+/// Reconstructed lifetime of one explicit task instance.
+struct TaskLifetime {
+  TaskInstanceId id = 0;
+  RegionHandle region = kInvalidRegion;
+  std::int64_t parameter = kNoParameter;
+  /// Creating instance (kImplicitTaskId when created by an implicit task).
+  TaskInstanceId parent = kImplicitTaskId;
+  ThreadId creator = 0;
+  Ticks created = 0;  ///< create_end timestamp
+  ThreadId first_thread = 0;
+  Ticks begin = 0;    ///< first fragment start
+  Ticks end = 0;      ///< completion
+  Ticks active = 0;   ///< sum of executed-fragment durations
+  int fragments = 0;
+  int migrations = 0;
+  bool started = false;
+  bool completed = false;
+};
+
+struct ThreadUsage {
+  Ticks span = 0;            ///< implicit-task begin .. end
+  Ticks busy = 0;            ///< time executing explicit-task fragments
+  std::uint64_t fragments = 0;
+  [[nodiscard]] double utilization() const noexcept {
+    return span == 0 ? 0.0
+                     : static_cast<double>(busy) / static_cast<double>(span);
+  }
+};
+
+struct AnalysisOptions {
+  /// Gaps at scheduling points up to this length count as management
+  /// (dequeue/switch work); longer gaps count as waiting for work.
+  Ticks management_gap_threshold = 3 * kTicksPerUs;
+};
+
+struct TraceAnalysis {
+  std::vector<TaskLifetime> tasks;  ///< completed instances, by begin time
+  std::vector<ThreadUsage> threads;
+
+  Ticks total_active = 0;            ///< sum of task fragment time
+  DurationStats queue_latency;       ///< per instance: begin - created
+  DurationStats instance_fragments;  ///< fragments per instance
+
+  // Synchronization decomposition (§VII).
+  Ticks sync_total = 0;       ///< non-executing time inside taskwait/barrier
+  Ticks sync_management = 0;  ///< short gaps: switch/dequeue management
+  Ticks sync_waiting = 0;     ///< long gaps: no work available
+  /// (management at sync points) / (task execution time).
+  [[nodiscard]] double management_to_execution_ratio() const noexcept {
+    return total_active == 0 ? 0.0
+                             : static_cast<double>(sync_management) /
+                                   static_cast<double>(total_active);
+  }
+
+  // Longest dependency chain (creation tree), by active time.
+  Ticks critical_chain_time = 0;
+  int critical_chain_length = 0;  ///< instances on the chain
+};
+
+/// Run all analyses over a trace.
+[[nodiscard]] TraceAnalysis analyze_trace(const Trace& trace,
+                                          const AnalysisOptions& options = {});
+
+/// Human-readable report: per-construct table + decomposition + threads.
+[[nodiscard]] std::string render_analysis(const TraceAnalysis& analysis,
+                                          const RegionRegistry& registry);
+
+/// Compact textual timeline (one line per thread, one glyph per time
+/// bucket: '#' executing tasks, '.' idle/waiting, 'm' mixed).  Debugging
+/// and teaching aid, paper Vampir-style visualization in miniature.
+[[nodiscard]] std::string render_timeline(const Trace& trace,
+                                          std::size_t buckets = 80);
+
+}  // namespace taskprof::trace

@@ -1,0 +1,120 @@
+#include "trace/file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace taskprof::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'P', 'T', 'R', 'C', '1', '\n', '\0'};
+
+struct FileCloser {
+  void operator()(std::FILE* file) const noexcept {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("trace file '" + path + "': " + what);
+}
+
+void write_bytes(std::FILE* file, const void* data, std::size_t size,
+                 const std::string& path) {
+  if (std::fwrite(data, 1, size, file) != size) fail(path, "write failed");
+}
+
+void read_bytes(std::FILE* file, void* data, std::size_t size,
+                const std::string& path) {
+  if (std::fread(data, 1, size, file) != size) {
+    fail(path, "truncated or unreadable");
+  }
+}
+
+template <typename T>
+void write_value(std::FILE* file, T value, const std::string& path) {
+  write_bytes(file, &value, sizeof(T), path);
+}
+
+template <typename T>
+T read_value(std::FILE* file, const std::string& path) {
+  T value{};
+  read_bytes(file, &value, sizeof(T), path);
+  return value;
+}
+
+void write_event(std::FILE* file, const TraceEvent& event,
+                 const std::string& path) {
+  write_value<std::int64_t>(file, event.time, path);
+  write_value<std::uint32_t>(file, event.thread, path);
+  write_value<std::uint8_t>(file, static_cast<std::uint8_t>(event.kind),
+                            path);
+  write_value<std::uint64_t>(file, event.task, path);
+  write_value<std::uint32_t>(file, event.region, path);
+  write_value<std::int64_t>(file, event.parameter, path);
+  write_value<std::uint32_t>(file, event.peer, path);
+}
+
+TraceEvent read_event(std::FILE* file, const std::string& path) {
+  TraceEvent event;
+  event.time = read_value<std::int64_t>(file, path);
+  event.thread = read_value<std::uint32_t>(file, path);
+  const auto kind = read_value<std::uint8_t>(file, path);
+  if (kind > static_cast<std::uint8_t>(EventKind::kRegionExit)) {
+    fail(path, "invalid event kind");
+  }
+  event.kind = static_cast<EventKind>(kind);
+  event.task = read_value<std::uint64_t>(file, path);
+  event.region = read_value<std::uint32_t>(file, path);
+  event.parameter = read_value<std::int64_t>(file, path);
+  event.peer = read_value<std::uint32_t>(file, path);
+  return event;
+}
+
+}  // namespace
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) fail(path, "cannot open for writing");
+  write_bytes(file.get(), kMagic, sizeof(kMagic), path);
+  write_value<std::uint64_t>(file.get(), trace.thread_count(), path);
+  for (ThreadId thread = 0; thread < trace.thread_count(); ++thread) {
+    const auto& events = trace.thread_events(thread);
+    write_value<std::uint64_t>(file.get(), events.size(), path);
+    for (const TraceEvent& event : events) {
+      write_event(file.get(), event, path);
+    }
+  }
+  if (std::fflush(file.get()) != 0) fail(path, "flush failed");
+}
+
+Trace read_trace_file(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) fail(path, "cannot open for reading");
+  char magic[sizeof(kMagic)];
+  read_bytes(file.get(), magic, sizeof(magic), path);
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail(path, "bad magic (not a taskprof trace, or wrong version)");
+  }
+  const auto thread_count = read_value<std::uint64_t>(file.get(), path);
+  if (thread_count > 1'000'000) fail(path, "implausible thread count");
+  std::vector<std::vector<TraceEvent>> per_thread(thread_count);
+  for (auto& stream : per_thread) {
+    const auto count = read_value<std::uint64_t>(file.get(), path);
+    stream.reserve(count > (1u << 20) ? (1u << 20) : count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      stream.push_back(read_event(file.get(), path));
+    }
+  }
+  // Trailing garbage indicates corruption.
+  char extra;
+  if (std::fread(&extra, 1, 1, file.get()) != 0) {
+    fail(path, "trailing data after events");
+  }
+  return Trace(std::move(per_thread));
+}
+
+}  // namespace taskprof::trace

@@ -1,0 +1,25 @@
+// Binary trace files: persist recorded traces for post-mortem analysis
+// (the Scalasca/OTF2 workflow: measure once, analyze many times).
+//
+// Format (little-endian, version 1):
+//   magic   "TPTRC1\n\0"                      8 bytes
+//   u64     thread_count
+//   per thread: u64 event_count, then events:
+//     i64 time, u32 thread, u8 kind, u64 task, u32 region,
+//     i64 parameter, u32 peer                 (37 bytes packed)
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace taskprof::trace {
+
+/// Write `trace` to `path`.  Throws std::runtime_error on I/O failure.
+void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Read a trace written by write_trace_file.  Throws std::runtime_error
+/// on I/O failure, bad magic, or a truncated/corrupt file.
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+}  // namespace taskprof::trace

@@ -1,0 +1,118 @@
+#include "trace/recorder.hpp"
+
+#include "common/assert.hpp"
+
+namespace taskprof::trace {
+
+void TraceRecorder::on_parallel_begin(int num_threads) {
+  std::scoped_lock lock(resize_mutex_);
+  while (streams_.size() < static_cast<std::size_t>(num_threads)) {
+    streams_.push_back(std::make_unique<ThreadStream>());
+  }
+}
+
+void TraceRecorder::on_parallel_end() {}
+
+void TraceRecorder::on_implicit_task_begin(ThreadId thread,
+                                           const Clock& clock) {
+  ThreadStream& s = stream(thread);
+  s.clock = &clock;
+  record(thread, EventKind::kImplicitBegin);
+}
+
+void TraceRecorder::on_implicit_task_end(ThreadId thread) {
+  record(thread, EventKind::kImplicitEnd);
+}
+
+void TraceRecorder::on_task_create_begin(ThreadId thread, RegionHandle region,
+                                         std::int64_t parameter) {
+  record(thread, EventKind::kCreateBegin, kImplicitTaskId, region, parameter);
+}
+
+void TraceRecorder::on_task_create_end(ThreadId thread,
+                                       TaskInstanceId created,
+                                       RegionHandle region,
+                                       std::int64_t parameter) {
+  record(thread, EventKind::kCreateEnd, created, region, parameter);
+}
+
+void TraceRecorder::on_task_begin(ThreadId thread, TaskInstanceId id,
+                                  RegionHandle region,
+                                  std::int64_t parameter) {
+  record(thread, EventKind::kTaskBegin, id, region, parameter);
+}
+
+void TraceRecorder::on_task_end(ThreadId thread, TaskInstanceId id) {
+  record(thread, EventKind::kTaskEnd, id);
+}
+
+void TraceRecorder::on_task_switch(ThreadId thread, TaskInstanceId id) {
+  record(thread, EventKind::kTaskSwitch, id);
+}
+
+void TraceRecorder::on_task_migrate(ThreadId from, ThreadId to,
+                                    TaskInstanceId id) {
+  record(from, EventKind::kMigrate, id, kInvalidRegion, kNoParameter, to);
+}
+
+void TraceRecorder::on_taskwait_begin(ThreadId thread) {
+  record(thread, EventKind::kTaskwaitBegin);
+}
+
+void TraceRecorder::on_taskwait_end(ThreadId thread) {
+  record(thread, EventKind::kTaskwaitEnd);
+}
+
+void TraceRecorder::on_barrier_begin(ThreadId thread, bool implicit) {
+  (void)implicit;
+  record(thread, EventKind::kBarrierBegin);
+}
+
+void TraceRecorder::on_barrier_end(ThreadId thread, bool implicit) {
+  (void)implicit;
+  record(thread, EventKind::kBarrierEnd);
+}
+
+void TraceRecorder::on_region_enter(ThreadId thread, RegionHandle region,
+                                    std::int64_t parameter) {
+  record(thread, EventKind::kRegionEnter, kImplicitTaskId, region, parameter);
+}
+
+void TraceRecorder::on_region_exit(ThreadId thread, RegionHandle region) {
+  record(thread, EventKind::kRegionExit, kImplicitTaskId, region);
+}
+
+Trace TraceRecorder::take() {
+  std::vector<std::vector<TraceEvent>> per_thread;
+  per_thread.reserve(streams_.size());
+  for (auto& s : streams_) {
+    per_thread.push_back(std::move(s->events));
+    s->events.clear();
+    s->clock = nullptr;
+  }
+  return Trace(std::move(per_thread));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::size_t total = 0;
+  for (const auto& s : streams_) total += s->events.size();
+  return total;
+}
+
+void TraceRecorder::record(ThreadId thread, EventKind kind,
+                           TaskInstanceId task, RegionHandle region,
+                           std::int64_t parameter, ThreadId peer) {
+  ThreadStream& s = stream(thread);
+  TASKPROF_ASSERT(s.clock != nullptr,
+                  "trace event before the thread's implicit task began");
+  s.events.push_back(
+      TraceEvent{s.clock->now(), thread, kind, task, region, parameter, peer});
+}
+
+TraceRecorder::ThreadStream& TraceRecorder::stream(ThreadId thread) {
+  TASKPROF_ASSERT(thread < streams_.size(),
+                  "trace event from an unannounced thread");
+  return *streams_[thread];
+}
+
+}  // namespace taskprof::trace

@@ -1,0 +1,69 @@
+// TraceRecorder: a scheduler-event listener that records timestamped
+// events per thread.  Attach alongside the profiler through
+// rt::FanoutHooks for simultaneous profiling + tracing (Score-P style).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rt/hooks.hpp"
+#include "trace/trace.hpp"
+
+namespace taskprof::trace {
+
+class TraceRecorder final : public rt::SchedulerHooks {
+ public:
+  TraceRecorder() = default;
+
+  // -- rt::SchedulerHooks ---------------------------------------------------
+  void on_parallel_begin(int num_threads) override;
+  void on_parallel_end() override;
+  void on_implicit_task_begin(ThreadId thread, const Clock& clock) override;
+  void on_implicit_task_end(ThreadId thread) override;
+  void on_task_create_begin(ThreadId thread, RegionHandle region,
+                            std::int64_t parameter) override;
+  void on_task_create_end(ThreadId thread, TaskInstanceId created,
+                          RegionHandle region,
+                          std::int64_t parameter) override;
+  void on_task_begin(ThreadId thread, TaskInstanceId id, RegionHandle region,
+                     std::int64_t parameter) override;
+  void on_task_end(ThreadId thread, TaskInstanceId id) override;
+  void on_task_switch(ThreadId thread, TaskInstanceId id) override;
+  void on_task_migrate(ThreadId from, ThreadId to, TaskInstanceId id) override;
+  void on_taskwait_begin(ThreadId thread) override;
+  void on_taskwait_end(ThreadId thread) override;
+  void on_barrier_begin(ThreadId thread, bool implicit) override;
+  void on_barrier_end(ThreadId thread, bool implicit) override;
+  void on_region_enter(ThreadId thread, RegionHandle region,
+                       std::int64_t parameter) override;
+  void on_region_exit(ThreadId thread, RegionHandle region) override;
+
+  // -- Results ----------------------------------------------------------------
+
+  /// Move the recorded events out (the recorder resets and can record
+  /// another measurement).
+  [[nodiscard]] Trace take();
+
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  struct ThreadStream {
+    const Clock* clock = nullptr;
+    std::vector<TraceEvent> events;
+  };
+
+  void record(ThreadId thread, EventKind kind,
+              TaskInstanceId task = kImplicitTaskId,
+              RegionHandle region = kInvalidRegion,
+              std::int64_t parameter = kNoParameter, ThreadId peer = 0);
+  ThreadStream& stream(ThreadId thread);
+
+  // Pre-sized in on_parallel_begin; each worker then touches only its own
+  // slot, so recording is lock-free on the hot path (mirrors the
+  // per-thread memory rule of the measurement system).
+  std::vector<std::unique_ptr<ThreadStream>> streams_;
+  std::mutex resize_mutex_;
+};
+
+}  // namespace taskprof::trace

@@ -1,0 +1,74 @@
+#include "trace/sampling.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace taskprof::trace {
+
+SampleHistogram sample_trace(const Trace& trace, Ticks period) {
+  TASKPROF_ASSERT(period > 0, "sampling period must be positive");
+  SampleHistogram out;
+  out.period = period;
+  const auto [begin, end] = trace.time_span();
+  if (end <= begin) return out;
+
+  for (ThreadId thread = 0; thread < trace.thread_count(); ++thread) {
+    // Replay this thread's stream, emitting samples that fall between
+    // consecutive events with the state current at that moment.
+    RegionHandle current_region = kInvalidRegion;  // construct being run
+    std::unordered_map<TaskInstanceId, RegionHandle> instance_regions;
+    Ticks next_sample = begin;
+    bool alive = false;  // between implicit begin and end
+
+    auto emit_until = [&](Ticks until) {
+      while (next_sample < until) {
+        if (alive) {
+          ++out.total_samples;
+          if (current_region != kInvalidRegion) {
+            ++out.task_samples[current_region];
+          } else {
+            ++out.other_samples;
+          }
+        }
+        next_sample += period;
+      }
+    };
+
+    for (const TraceEvent& event : trace.thread_events(thread)) {
+      emit_until(event.time);
+      switch (event.kind) {
+        case EventKind::kImplicitBegin:
+          alive = true;
+          break;
+        case EventKind::kImplicitEnd:
+          alive = false;
+          break;
+        case EventKind::kCreateEnd:
+          instance_regions[event.task] = event.region;
+          break;
+        case EventKind::kTaskBegin:
+          instance_regions[event.task] = event.region;
+          current_region = event.region;
+          break;
+        case EventKind::kTaskEnd:
+          current_region = kInvalidRegion;
+          break;
+        case EventKind::kTaskSwitch:
+          if (event.task == kImplicitTaskId) {
+            current_region = kInvalidRegion;
+          } else if (auto it = instance_regions.find(event.task);
+                     it != instance_regions.end()) {
+            current_region = it->second;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    emit_until(end);
+  }
+  return out;
+}
+
+}  // namespace taskprof::trace

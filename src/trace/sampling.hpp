@@ -1,0 +1,39 @@
+// Post-mortem sampling: what a sampling profiler (the paper's §II
+// HPCToolkit comparison) would have seen of the same execution.
+//
+// The trace is sampled at a fixed period; each sample records which task
+// construct (if any) the thread was executing.  This reproduces the
+// paper's §II argument quantitatively: sampling estimates *aggregate*
+// time per construct well at high rates, but it cannot identify task
+// *instances* — no per-instance min/mean/max, no instance counts, no
+// creation times — which is exactly the information the granularity
+// analysis of §VI needs.
+#pragma once
+
+#include <map>
+
+#include "trace/trace.hpp"
+
+namespace taskprof::trace {
+
+struct SampleHistogram {
+  Ticks period = 0;
+  std::uint64_t total_samples = 0;
+  /// Samples taken while the thread executed a task of the construct.
+  std::map<RegionHandle, std::uint64_t> task_samples;
+  /// Samples outside any explicit task (implicit work, barriers, idling).
+  std::uint64_t other_samples = 0;
+
+  /// Estimated total execution time of a construct: samples x period.
+  [[nodiscard]] Ticks estimated_time(RegionHandle region) const {
+    const auto it = task_samples.find(region);
+    return it == task_samples.end()
+               ? 0
+               : static_cast<Ticks>(it->second) * period;
+  }
+};
+
+/// Sample every thread of the trace at `period` ticks (global phase 0).
+[[nodiscard]] SampleHistogram sample_trace(const Trace& trace, Ticks period);
+
+}  // namespace taskprof::trace

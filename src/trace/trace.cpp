@@ -1,0 +1,72 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace taskprof::trace {
+
+std::string_view event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kParallelBegin: return "parallel_begin";
+    case EventKind::kParallelEnd: return "parallel_end";
+    case EventKind::kImplicitBegin: return "implicit_begin";
+    case EventKind::kImplicitEnd: return "implicit_end";
+    case EventKind::kCreateBegin: return "create_begin";
+    case EventKind::kCreateEnd: return "create_end";
+    case EventKind::kTaskBegin: return "task_begin";
+    case EventKind::kTaskEnd: return "task_end";
+    case EventKind::kTaskSwitch: return "task_switch";
+    case EventKind::kMigrate: return "migrate";
+    case EventKind::kTaskwaitBegin: return "taskwait_begin";
+    case EventKind::kTaskwaitEnd: return "taskwait_end";
+    case EventKind::kBarrierBegin: return "barrier_begin";
+    case EventKind::kBarrierEnd: return "barrier_end";
+    case EventKind::kRegionEnter: return "region_enter";
+    case EventKind::kRegionExit: return "region_exit";
+  }
+  return "unknown";
+}
+
+Trace::Trace(std::vector<std::vector<TraceEvent>> per_thread)
+    : per_thread_(std::move(per_thread)) {}
+
+const std::vector<TraceEvent>& Trace::merged() const {
+  if (!merged_valid_) {
+    merged_.clear();
+    for (const auto& stream : per_thread_) {
+      merged_.insert(merged_.end(), stream.begin(), stream.end());
+    }
+    std::stable_sort(merged_.begin(), merged_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.thread < b.thread;
+                     });
+    merged_valid_ = true;
+  }
+  return merged_;
+}
+
+std::size_t Trace::event_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& stream : per_thread_) total += stream.size();
+  return total;
+}
+
+std::pair<Ticks, Ticks> Trace::time_span() const {
+  Ticks begin = 0;
+  Ticks end = 0;
+  bool first = true;
+  for (const auto& stream : per_thread_) {
+    for (const TraceEvent& event : stream) {
+      if (first) {
+        begin = end = event.time;
+        first = false;
+      } else {
+        begin = std::min(begin, event.time);
+        end = std::max(end, event.time);
+      }
+    }
+  }
+  return {begin, end};
+}
+
+}  // namespace taskprof::trace

@@ -1,0 +1,79 @@
+// Event traces: timestamped scheduler-event streams.
+//
+// The paper closes with "automated trace analysis ... might provide some
+// additional information" (§VII): the profile cannot distinguish
+// management time from waiting time at synchronization points, nor follow
+// dependency chains.  This subsystem records the scheduler events (the
+// same stream the profiler consumes) with timestamps, per thread, for the
+// analyses in trace/analysis.hpp — the reproduction's implementation of
+// that future work.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace taskprof::trace {
+
+enum class EventKind : std::uint8_t {
+  kParallelBegin,
+  kParallelEnd,
+  kImplicitBegin,
+  kImplicitEnd,
+  kCreateBegin,
+  kCreateEnd,
+  kTaskBegin,
+  kTaskEnd,
+  kTaskSwitch,   ///< resumption of `task` (kImplicitTaskId = back to implicit)
+  kMigrate,      ///< task moved; `thread` = source, `peer` = destination
+  kTaskwaitBegin,
+  kTaskwaitEnd,
+  kBarrierBegin,
+  kBarrierEnd,
+  kRegionEnter,
+  kRegionExit,
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind kind) noexcept;
+
+struct TraceEvent {
+  Ticks time = 0;
+  ThreadId thread = 0;
+  EventKind kind = EventKind::kTaskBegin;
+  TaskInstanceId task = kImplicitTaskId;  ///< subject instance
+  RegionHandle region = kInvalidRegion;
+  std::int64_t parameter = kNoParameter;
+  ThreadId peer = 0;  ///< migration destination
+};
+
+/// A finished trace: per-thread streams (each time-ordered by
+/// construction) plus a merged, globally time-ordered view.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<std::vector<TraceEvent>> per_thread);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return per_thread_.size();
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& thread_events(
+      ThreadId thread) const {
+    return per_thread_[thread];
+  }
+  /// All events, sorted by (time, thread); built lazily on first use.
+  [[nodiscard]] const std::vector<TraceEvent>& merged() const;
+
+  [[nodiscard]] std::size_t event_count() const noexcept;
+
+  /// Time span covered: [begin, end] over all events (0,0 when empty).
+  [[nodiscard]] std::pair<Ticks, Ticks> time_span() const;
+
+ private:
+  std::vector<std::vector<TraceEvent>> per_thread_;
+  mutable std::vector<TraceEvent> merged_;
+  mutable bool merged_valid_ = false;
+};
+
+}  // namespace taskprof::trace

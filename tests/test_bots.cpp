@@ -1,0 +1,254 @@
+// Correctness of the nine BOTS kernels on both engines, parameterized
+// over kernel, engine, thread count, and version.
+#include "bots/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "instrument/instrumentor.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace taskprof {
+namespace {
+
+struct Case {
+  std::string kernel;
+  std::string engine;  // "sim" or "real"
+  int threads;
+  bool cutoff;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  return c.kernel + "_" + c.engine + "_t" + std::to_string(c.threads) +
+         (c.cutoff ? "_cutoff" : "");
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  auto kernels = bots::make_all_kernels();
+  for (const auto& kernel : kernels) {
+    const std::string name(kernel->name());
+    for (const std::string& engine : {std::string("sim"), std::string("real")}) {
+      for (int threads : {1, 4}) {
+        cases.push_back({name, engine, threads, false});
+        if (kernel->has_cutoff_version()) {
+          cases.push_back({name, engine, threads, true});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class BotsKernelTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BotsKernelTest, SelfVerifies) {
+  const Case& c = GetParam();
+  auto kernel = bots::make_kernel(c.kernel);
+  ASSERT_NE(kernel, nullptr);
+  bots::KernelConfig config;
+  config.threads = c.threads;
+  config.size = bots::SizeClass::kTest;
+  config.cutoff = c.cutoff;
+
+  RegionRegistry registry;
+  std::unique_ptr<rt::Runtime> runtime;
+  if (c.engine == "sim") {
+    runtime = std::make_unique<rt::SimRuntime>();
+  } else {
+    runtime = std::make_unique<rt::RealRuntime>();
+  }
+  const bots::KernelResult result = kernel->run(*runtime, registry, config);
+  EXPECT_TRUE(result.ok) << result.check;
+  EXPECT_GT(result.stats.tasks_executed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, BotsKernelTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// --- Cross-engine and cross-version agreement -------------------------------
+
+class BotsAgreementTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BotsAgreementTest, SimAndRealProduceTheSameChecksum) {
+  auto kernel = bots::make_kernel(GetParam());
+  ASSERT_NE(kernel, nullptr);
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  rt::RealRuntime real;
+  const auto sim_result = kernel->run(sim, registry, config);
+  const auto real_result = kernel->run(real, registry, config);
+  EXPECT_EQ(sim_result.checksum, real_result.checksum);
+}
+
+TEST_P(BotsAgreementTest, CutoffVersionComputesTheSameResult) {
+  auto kernel = bots::make_kernel(GetParam());
+  ASSERT_NE(kernel, nullptr);
+  if (!kernel->has_cutoff_version()) GTEST_SKIP();
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  const auto plain = kernel->run(sim, registry, config);
+  config.cutoff = true;
+  const auto cutoff = kernel->run(sim, registry, config);
+  EXPECT_EQ(plain.checksum, cutoff.checksum);
+  // The cut-off version must actually reduce the task count.
+  EXPECT_LT(cutoff.stats.tasks_executed, plain.stats.tasks_executed);
+}
+
+TEST_P(BotsAgreementTest, IfClauseCutoffComputesTheSameResult) {
+  auto kernel = bots::make_kernel(GetParam());
+  ASSERT_NE(kernel, nullptr);
+  if (!kernel->has_cutoff_version()) GTEST_SKIP();
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  const auto plain = kernel->run(sim, registry, config);
+  config.cutoff = true;
+  config.if_clause = true;
+  const auto if_clause = kernel->run(sim, registry, config);
+  EXPECT_EQ(plain.checksum, if_clause.checksum);
+  // The if-clause strategy still *creates* every task (undeferred below
+  // the cut-off), unlike the manual strategy.
+  config.if_clause = false;
+  const auto manual = kernel->run(sim, registry, config);
+  EXPECT_GT(if_clause.stats.tasks_executed, manual.stats.tasks_executed);
+}
+
+TEST_P(BotsAgreementTest, IfClauseCutoffWorksOnRealEngine) {
+  auto kernel = bots::make_kernel(GetParam());
+  ASSERT_NE(kernel, nullptr);
+  if (!kernel->has_cutoff_version()) GTEST_SKIP();
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+  config.cutoff = true;
+  config.if_clause = true;
+  RegionRegistry registry;
+  rt::RealRuntime real;
+  const auto result = kernel->run(real, registry, config);
+  EXPECT_TRUE(result.ok) << result.check;
+}
+
+TEST_P(BotsAgreementTest, SimRunsAreDeterministic) {
+  auto kernel = bots::make_kernel(GetParam());
+  ASSERT_NE(kernel, nullptr);
+  bots::KernelConfig config;
+  config.threads = 4;
+  config.size = bots::SizeClass::kTest;
+
+  RegionRegistry registry;
+  rt::SimRuntime sim_a;
+  rt::SimRuntime sim_b;
+  const auto a = kernel->run(sim_a, registry, config);
+  const auto b = kernel->run(sim_b, registry, config);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.stats.parallel_ticks, b.stats.parallel_ticks);
+  EXPECT_EQ(a.stats.tasks_executed, b.stats.tasks_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Agreement, BotsAgreementTest,
+    ::testing::Values("fib", "nqueens", "sort", "strassen", "sparselu",
+                      "health", "alignment", "fft"),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+// Floorplan's task count varies with scheduling (branch-and-bound pruning
+// races), so it is excluded from the determinism suite above but must
+// still find the optimum under instrumentation.
+TEST(BotsFloorplan, FindsOptimumUnderInstrumentation) {
+  auto kernel = bots::make_kernel("floorplan");
+  bots::KernelConfig config;
+  config.threads = 4;
+  config.size = bots::SizeClass::kTest;
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  Instrumentor instr(registry);
+  sim.set_hooks(&instr);
+  const auto result = kernel->run(sim, registry, config);
+  sim.set_hooks(nullptr);
+  instr.finalize();
+  EXPECT_TRUE(result.ok) << result.check;
+}
+
+// --- Profiling metadata ------------------------------------------------------
+
+TEST(BotsProfiles, NqueensDepthParameterSplitsSubTrees) {
+  auto kernel = bots::make_kernel("nqueens");
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+  config.depth_parameter = true;
+
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  Instrumentor instr(registry);
+  sim.set_hooks(&instr);
+  const auto result = kernel->run(sim, registry, config);
+  sim.set_hooks(nullptr);
+  instr.finalize();
+  EXPECT_TRUE(result.ok);
+
+  const AggregateProfile agg = instr.aggregate();
+  // One merged sub-tree per recursion depth (paper Table IV): nqueens(8)
+  // has depth levels 0..8.
+  std::size_t depth_trees = 0;
+  for (const CallNode* root : agg.task_roots) {
+    if (root->parameter != kNoParameter) ++depth_trees;
+  }
+  EXPECT_GE(depth_trees, 8u);
+}
+
+TEST(BotsProfiles, UntiedVariantRunsCorrectly) {
+  for (const char* name : {"fib", "sort"}) {
+    auto kernel = bots::make_kernel(name);
+    bots::KernelConfig config;
+    config.threads = 4;
+    config.size = bots::SizeClass::kTest;
+    config.untied = true;
+    RegionRegistry registry;
+    rt::SimRuntime sim;
+    const auto result = kernel->run(sim, registry, config);
+    EXPECT_TRUE(result.ok) << name << ": " << result.check;
+  }
+}
+
+TEST(BotsProfiles, InstrumentedRunsMatchUninstrumentedChecksums) {
+  for (const char* name : {"fib", "nqueens", "health"}) {
+    auto kernel = bots::make_kernel(name);
+    bots::KernelConfig config;
+    config.threads = 2;
+    config.size = bots::SizeClass::kTest;
+    RegionRegistry registry;
+    rt::SimRuntime sim;
+    const auto plain = kernel->run(sim, registry, config);
+    Instrumentor instr(registry);
+    sim.set_hooks(&instr);
+    const auto instrumented = kernel->run(sim, registry, config);
+    sim.set_hooks(nullptr);
+    instr.finalize();
+    EXPECT_EQ(plain.checksum, instrumented.checksum) << name;
+    // Instrumentation costs virtual time.
+    EXPECT_GT(instrumented.stats.parallel_ticks, plain.stats.parallel_ticks)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,58 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taskprof {
+namespace {
+
+TEST(SteadyClock, Monotonic) {
+  SteadyClock clock;
+  Ticks last = clock.now();
+  for (int i = 0; i < 1000; ++i) {
+    const Ticks now = clock.now();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(SteadyClock, AdvancesEventually) {
+  SteadyClock clock;
+  const Ticks start = clock.now();
+  Ticks now = start;
+  while (now == start) now = clock.now();
+  EXPECT_GT(now, start);
+}
+
+TEST(ManualClock, StartsAtZeroByDefault) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(ManualClock, StartsAtGivenTime) {
+  ManualClock clock(1234);
+  EXPECT_EQ(clock.now(), 1234);
+}
+
+TEST(ManualClock, AdvanceAccumulates) {
+  ManualClock clock;
+  clock.advance(10);
+  clock.advance(5);
+  EXPECT_EQ(clock.now(), 15);
+}
+
+TEST(ManualClock, SetJumps) {
+  ManualClock clock;
+  clock.set(100);
+  EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(ManualClock, UsableThroughBaseInterface) {
+  ManualClock manual(7);
+  const Clock& clock = manual;
+  EXPECT_EQ(clock.now(), 7);
+  manual.advance(3);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+}  // namespace
+}  // namespace taskprof

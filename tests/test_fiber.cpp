@@ -1,0 +1,165 @@
+#include "fiber/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace taskprof {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  int value = 0;
+  Fiber fiber([&value] { value = 42; });
+  EXPECT_FALSE(fiber.finished());
+  fiber.resume();
+  EXPECT_TRUE(fiber.finished());
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber fiber([&order] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+    Fiber::yield();
+    order.push_back(5);
+  });
+  fiber.resume();
+  order.push_back(2);
+  fiber.resume();
+  order.push_back(4);
+  EXPECT_FALSE(fiber.finished());
+  fiber.resume();
+  EXPECT_TRUE(fiber.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, LocalStateSurvivesYield) {
+  int sum = 0;
+  Fiber fiber([&sum] {
+    int local = 10;
+    Fiber::yield();
+    local += 5;
+    Fiber::yield();
+    sum = local;
+  });
+  fiber.resume();
+  fiber.resume();
+  fiber.resume();
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(Fiber, DeepRecursionOnFiberStack) {
+  // ~1000 frames must fit comfortably in the default 256 KiB stack.
+  std::function<int(int)> rec = [&rec](int n) {
+    if (n == 0) return 0;
+    return 1 + rec(n - 1);
+  };
+  int result = 0;
+  Fiber fiber([&] { result = rec(1000); });
+  fiber.resume();
+  EXPECT_EQ(result, 1000);
+}
+
+TEST(Fiber, InterleavesTwoFibers) {
+  std::vector<int> order;
+  Fiber a([&order] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(4);
+  });
+  Fiber b([&order] {
+    order.push_back(2);
+    Fiber::yield();
+    order.push_back(3);
+  });
+  a.resume();
+  b.resume();
+  b.resume();
+  a.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Fiber, NestedResumeReturnsToDirectResumer) {
+  std::vector<int> order;
+  Fiber inner([&order] {
+    order.push_back(2);
+    Fiber::yield();
+    order.push_back(5);
+  });
+  Fiber outer([&order, &inner] {
+    order.push_back(1);
+    inner.resume();       // runs inner until its yield
+    order.push_back(3);   // inner's yield lands back here
+    Fiber::yield();
+    inner.resume();
+    order.push_back(6);
+  });
+  outer.resume();
+  order.push_back(4);
+  outer.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(inner.finished());
+  EXPECT_TRUE(outer.finished());
+}
+
+TEST(Fiber, ExceptionPropagatesFromResume) {
+  Fiber fiber([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fiber.resume(), std::runtime_error);
+  EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, ExceptionAfterYieldPropagates) {
+  Fiber fiber([] {
+    Fiber::yield();
+    throw std::logic_error("later");
+  });
+  fiber.resume();
+  EXPECT_THROW(fiber.resume(), std::logic_error);
+}
+
+TEST(StackPool, ReusesStacks) {
+  StackPool pool(64 * 1024);
+  {
+    Fiber fiber([] {}, &pool);
+    fiber.resume();
+  }
+  EXPECT_EQ(pool.allocated(), 1u);
+  EXPECT_EQ(pool.pooled(), 1u);
+  {
+    Fiber fiber([] {}, &pool);
+    fiber.resume();
+  }
+  EXPECT_EQ(pool.allocated(), 1u);  // second fiber reused the stack
+}
+
+TEST(StackPool, GrowsUnderConcurrentFibers) {
+  StackPool pool(64 * 1024);
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  for (int i = 0; i < 8; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([] { Fiber::yield(); }, &pool));
+    fibers.back()->resume();
+  }
+  EXPECT_EQ(pool.allocated(), 8u);
+  for (auto& fiber : fibers) fiber->resume();
+  fibers.clear();
+  EXPECT_EQ(pool.pooled(), 8u);
+}
+
+TEST(Fiber, ManySequentialFibers) {
+  StackPool pool(64 * 1024);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    Fiber fiber([&total, i] { total += static_cast<std::uint64_t>(i); },
+                &pool);
+    fiber.resume();
+  }
+  EXPECT_EQ(total, 10'000ull * 9'999 / 2);
+  EXPECT_LE(pool.allocated(), 1u);
+}
+
+}  // namespace
+}  // namespace taskprof

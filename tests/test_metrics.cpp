@@ -1,0 +1,91 @@
+#include "profile/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace taskprof {
+namespace {
+
+TEST(DurationStats, EmptyState) {
+  DurationStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.sum, 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(DurationStats, SingleSample) {
+  DurationStats stats;
+  stats.add(42);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.sum, 42);
+  EXPECT_EQ(stats.min, 42);
+  EXPECT_EQ(stats.max, 42);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+}
+
+TEST(DurationStats, TracksMinMaxMean) {
+  DurationStats stats;
+  stats.add(10);
+  stats.add(30);
+  stats.add(20);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.sum, 60);
+  EXPECT_EQ(stats.min, 10);
+  EXPECT_EQ(stats.max, 30);
+  EXPECT_DOUBLE_EQ(stats.mean(), 20.0);
+}
+
+TEST(DurationStats, ZeroDurationsAreValidSamples) {
+  DurationStats stats;
+  stats.add(0);
+  stats.add(0);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.min, 0);
+  EXPECT_EQ(stats.max, 0);
+}
+
+TEST(DurationStats, MergeCombines) {
+  DurationStats a;
+  a.add(5);
+  a.add(15);
+  DurationStats b;
+  b.add(1);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 121);
+  EXPECT_EQ(a.min, 1);
+  EXPECT_EQ(a.max, 100);
+}
+
+TEST(DurationStats, MergeEmptyIsNoop) {
+  DurationStats a;
+  a.add(7);
+  DurationStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_EQ(a.min, 7);
+  EXPECT_EQ(a.max, 7);
+}
+
+TEST(DurationStats, MergeIntoEmptyAdopts) {
+  DurationStats a;
+  DurationStats b;
+  b.add(3);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.min, 3);
+  EXPECT_EQ(a.max, 9);
+}
+
+TEST(DurationStats, ResetClears) {
+  DurationStats stats;
+  stats.add(5);
+  stats.reset();
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.sum, 0);
+}
+
+}  // namespace
+}  // namespace taskprof

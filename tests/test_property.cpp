@@ -1,0 +1,374 @@
+// Property-based tests: random task programs on the simulator must
+// satisfy the measurement-layer invariants for every seed.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace taskprof {
+namespace {
+
+/// Deterministic random task program: a tree of tasks with random
+/// branching, work, taskwait placement, tied/untied mix, and parameters.
+/// The RNG decisions are a pure function of the node's path seed, so the
+/// program shape is independent of scheduling.
+struct RandomProgram {
+  RegionHandle region_a;
+  RegionHandle region_b;
+  RegionHandle user_region;
+  int max_depth;
+
+  void spawn(rt::TaskContext& ctx, std::uint64_t path_seed, int depth) const {
+    Xoshiro256 rng(path_seed);
+    const int children =
+        depth >= max_depth ? 0 : static_cast<int>(rng.next_below(4));
+    const bool untied = rng.next_double() < 0.3;
+    const bool use_b = rng.next_double() < 0.4;
+    const bool parameterized = rng.next_double() < 0.3;
+    const Ticks work = 100 + static_cast<Ticks>(rng.next_below(5'000));
+    const bool enter_user = rng.next_double() < 0.5;
+
+    rt::TaskAttrs attrs;
+    attrs.region = use_b ? region_b : region_a;
+    attrs.parameter = parameterized ? depth : kNoParameter;
+    attrs.binding =
+        untied ? rt::TaskBinding::kUntied : rt::TaskBinding::kTied;
+
+    ctx.create_task(
+        [this, path_seed, depth, children, work, enter_user](
+            rt::TaskContext& c) {
+          if (enter_user) c.region_enter(user_region);
+          c.work(work);
+          for (int i = 0; i < children; ++i) {
+            spawn(c, path_seed * 31 + static_cast<std::uint64_t>(i) + 1,
+                  depth + 1);
+          }
+          if (children > 0) c.taskwait();
+          c.work(work / 2);
+          if (enter_user) c.region_exit(user_region);
+        },
+        attrs);
+  }
+};
+
+struct RunOutcome {
+  rt::TeamStats stats;
+  Ticks stub_total = 0;
+  Ticks task_tree_total = 0;
+  std::uint64_t merged_instances = 0;
+  bool all_exclusive_nonnegative = true;
+  Ticks implicit_inclusive = 0;
+  std::size_t max_concurrent = 0;
+};
+
+RunOutcome run_random_program(std::uint64_t seed, int threads) {
+  RegionRegistry registry;
+  RandomProgram program{
+      registry.register_region("rand_task_a", RegionType::kTask),
+      registry.register_region("rand_task_b", RegionType::kTask),
+      registry.register_region("user_fn", RegionType::kFunction),
+      /*max_depth=*/4,
+  };
+  rt::SimRuntime sim;
+  Instrumentor instr(registry);
+  sim.set_hooks(&instr);
+  RunOutcome out;
+  out.stats = sim.parallel(threads, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 6; ++i) {
+      program.spawn(ctx, seed * 1000 + static_cast<std::uint64_t>(i), 0);
+    }
+    ctx.taskwait();
+  });
+  sim.set_hooks(nullptr);
+  instr.finalize();
+
+  const AggregateProfile agg = instr.aggregate();
+  for_each_node(agg.implicit_root, [&](const CallNode& node, int) {
+    if (node.is_stub) out.stub_total += node.inclusive;
+    if (node.exclusive() < 0) out.all_exclusive_nonnegative = false;
+  });
+  for (const CallNode* root : agg.task_roots) {
+    out.task_tree_total += root->inclusive;
+    out.merged_instances += root->visits;
+    for_each_node(root, [&](const CallNode& node, int) {
+      if (node.exclusive() < 0) out.all_exclusive_nonnegative = false;
+    });
+  }
+  out.implicit_inclusive = agg.implicit_root->inclusive;
+  out.max_concurrent = agg.max_concurrent_any_thread;
+  return out;
+}
+
+class RandomProgramTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(RandomProgramTest, MeasurementInvariantsHold) {
+  const auto [seed, threads] = GetParam();
+  const RunOutcome out = run_random_program(seed, threads);
+
+  // Some work actually happened.
+  EXPECT_GT(out.stats.tasks_executed, 0u);
+
+  // Conservation: every executed fragment is timed identically in the
+  // implicit tree's stub and in the instance tree.
+  EXPECT_EQ(out.stub_total, out.task_tree_total);
+
+  // Execution-site attribution keeps all exclusive times non-negative.
+  EXPECT_TRUE(out.all_exclusive_nonnegative);
+
+  // Every created task instance ended up in exactly one merged tree.
+  EXPECT_EQ(out.merged_instances, out.stats.tasks_executed);
+
+  // The merged implicit root spans all threads: at least the region span,
+  // at most threads * span.
+  EXPECT_GE(out.implicit_inclusive, out.stats.parallel_ticks);
+  EXPECT_LE(out.implicit_inclusive,
+            static_cast<Ticks>(threads) * out.stats.parallel_ticks);
+
+  // Concurrent instances are bounded by active tree depth plus the
+  // suspended untied tasks — sanity bound, not tight.
+  EXPECT_LE(out.max_concurrent, out.stats.tasks_executed);
+  EXPECT_GE(out.max_concurrent, 1u);
+}
+
+TEST_P(RandomProgramTest, DeterministicAcrossRuns) {
+  const auto [seed, threads] = GetParam();
+  const RunOutcome a = run_random_program(seed, threads);
+  const RunOutcome b = run_random_program(seed, threads);
+  EXPECT_EQ(a.stats.parallel_ticks, b.stats.parallel_ticks);
+  EXPECT_EQ(a.stats.tasks_executed, b.stats.tasks_executed);
+  EXPECT_EQ(a.stub_total, b.stub_total);
+  EXPECT_EQ(a.implicit_inclusive, b.implicit_inclusive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomProgramTest,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull,
+                                         21ull, 34ull, 55ull, 89ull),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, int>>&
+           param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) + "_t" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// The same invariants on the real-thread engine (timing is wall clock,
+// but the structural laws are engine-independent).  Tied tasks only: the
+// real engine demotes untied anyway.
+class RealEngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RealEngineProperty, StructuralInvariantsHold) {
+  RegionRegistry registry;
+  RandomProgram program{
+      registry.register_region("rand_task_a", RegionType::kTask),
+      registry.register_region("rand_task_b", RegionType::kTask),
+      registry.register_region("user_fn", RegionType::kFunction),
+      /*max_depth=*/3,
+  };
+  rt::RealRuntime real;
+  Instrumentor instr(registry);
+  real.set_hooks(&instr);
+  const auto stats = real.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 4; ++i) {
+      program.spawn(ctx, GetParam() * 77 + static_cast<std::uint64_t>(i), 0);
+    }
+    ctx.taskwait();
+  });
+  real.set_hooks(nullptr);
+  instr.finalize();
+
+  const AggregateProfile agg = instr.aggregate();
+  Ticks stub_total = 0;
+  for_each_node(agg.implicit_root, [&](const CallNode& node, int) {
+    if (node.is_stub) stub_total += node.inclusive;
+    EXPECT_GE(node.exclusive(), 0);
+  });
+  Ticks task_total = 0;
+  std::uint64_t instances = 0;
+  for (const CallNode* root : agg.task_roots) {
+    task_total += root->inclusive;
+    instances += root->visits;
+    for_each_node(root, [](const CallNode& node, int) {
+      EXPECT_GE(node.exclusive(), 0);
+    });
+  }
+  // The conservation law holds tick-exactly on the real engine too: stub
+  // and instance frames are stamped from the same clock reads.
+  EXPECT_EQ(stub_total, task_total);
+  EXPECT_EQ(instances, stats.tasks_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(RealSeeds, RealEngineProperty,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+// The measurement invariants must hold for any cost-model configuration:
+// sweep the simulator's knobs.
+struct CostCase {
+  const char* name;
+  rt::SimCosts costs;
+  bool lifo;
+  bool strict;
+};
+
+std::vector<CostCase> cost_cases() {
+  std::vector<CostCase> cases;
+  cases.push_back({"defaults", rt::SimCosts{}, true, true});
+  rt::SimCosts free_mgmt;
+  free_mgmt.create_service = 0;
+  free_mgmt.dequeue_service = 0;
+  free_mgmt.complete_service = 0;
+  free_mgmt.contention_penalty = 0.0;
+  cases.push_back({"free_management", free_mgmt, true, true});
+  rt::SimCosts expensive;
+  expensive.create_service = 5'000;
+  expensive.dequeue_service = 5'000;
+  expensive.complete_service = 5'000;
+  expensive.contention_penalty = 2.0;
+  cases.push_back({"expensive_lock", expensive, true, true});
+  rt::SimCosts costly_events;
+  costly_events.instr_event = 2'000;
+  cases.push_back({"costly_events", costly_events, true, true});
+  cases.push_back({"fifo_relaxed", rt::SimCosts{}, false, false});
+  return cases;
+}
+
+class CostModelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CostModelSweep, InvariantsHoldForAnyCostModel) {
+  const CostCase cost_case = cost_cases()[GetParam()];
+  RegionRegistry registry;
+  const RegionHandle task = registry.register_region("t", RegionType::kTask);
+  rt::SimConfig config;
+  config.costs = cost_case.costs;
+  config.lifo_dequeue = cost_case.lifo;
+  config.strict_taskwait_scheduling = cost_case.strict;
+  rt::SimRuntime sim(config);
+  Instrumentor instr(registry);
+  sim.set_hooks(&instr);
+  std::function<void(rt::TaskContext&, int)> rec =
+      [&rec, task](rt::TaskContext& c, int depth) {
+        c.work(400);
+        if (depth == 0) return;
+        for (int i = 0; i < 2; ++i) {
+          rt::TaskAttrs attrs;
+          attrs.region = task;
+          c.create_task(
+              [&rec, depth](rt::TaskContext& cc) { rec(cc, depth - 1); },
+              attrs);
+        }
+        c.taskwait();
+      };
+  const auto stats = sim.parallel(4, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) rec(ctx, 6);
+  });
+  sim.set_hooks(nullptr);
+  instr.finalize();
+
+  const AggregateProfile agg = instr.aggregate();
+  EXPECT_EQ(stats.tasks_executed, 126u) << cost_case.name;
+  Ticks stub_total = 0;
+  for_each_node(agg.implicit_root, [&](const CallNode& node, int) {
+    if (node.is_stub) stub_total += node.inclusive;
+    EXPECT_GE(node.exclusive(), 0) << cost_case.name;
+  });
+  Ticks task_total = 0;
+  for (const CallNode* root : agg.task_roots) task_total += root->inclusive;
+  EXPECT_EQ(stub_total, task_total) << cost_case.name;
+  // All declared work (126 tasks x 400 plus creators' shares) is inside
+  // the task trees.
+  EXPECT_GE(task_total, 126 * 400) << cost_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CostModelSweep,
+                         ::testing::Range<std::size_t>(0, 5));
+
+TEST(SchedulingBound, StrictPolicyBoundsConcurrencyByDepth) {
+  // Binary task tree of depth 8: under strict scheduling the live
+  // instance count per thread stays within the chain depth (+1 for the
+  // freshly started task), for every team size.
+  RegionRegistry registry;
+  const RegionHandle task = registry.register_region("t", RegionType::kTask);
+  for (int threads : {1, 2, 4, 8, 16}) {
+    rt::SimRuntime sim;
+    Instrumentor instr(registry);
+    sim.set_hooks(&instr);
+    std::function<void(rt::TaskContext&, int)> rec =
+        [&rec, task](rt::TaskContext& c, int depth) {
+          c.work(300);
+          if (depth == 0) return;
+          for (int i = 0; i < 2; ++i) {
+            rt::TaskAttrs attrs;
+            attrs.region = task;
+            c.create_task(
+                [&rec, depth](rt::TaskContext& cc) { rec(cc, depth - 1); },
+                attrs);
+          }
+          c.taskwait();
+        };
+    sim.parallel(threads, [&](rt::TaskContext& ctx) {
+      if (ctx.single()) rec(ctx, 8);
+    });
+    sim.set_hooks(nullptr);
+    instr.finalize();
+    const AggregateProfile agg = instr.aggregate();
+    EXPECT_LE(agg.max_concurrent_any_thread, 9u) << threads << " threads";
+  }
+}
+
+TEST(RandomProgramEdge, ZeroTaskProgramStillProfiles) {
+  RegionRegistry registry;
+  rt::SimRuntime sim;
+  Instrumentor instr(registry);
+  sim.set_hooks(&instr);
+  auto stats = sim.parallel(4, [](rt::TaskContext& ctx) { ctx.work(1'000); });
+  sim.set_hooks(nullptr);
+  instr.finalize();
+  const AggregateProfile agg = instr.aggregate();
+  EXPECT_EQ(stats.tasks_executed, 0u);
+  EXPECT_TRUE(agg.task_roots.empty());
+  ASSERT_NE(agg.implicit_root, nullptr);
+  EXPECT_GE(agg.implicit_root->inclusive, 4'000);
+}
+
+TEST(RandomProgramEdge, DeepChainOfSingleChildren) {
+  RegionRegistry registry;
+  const RegionHandle region =
+      registry.register_region("chain", RegionType::kTask);
+  rt::SimRuntime sim;
+  Instrumentor instr(registry);
+  sim.set_hooks(&instr);
+  std::function<void(rt::TaskContext&, int)> chain =
+      [&](rt::TaskContext& ctx, int depth) {
+        rt::TaskAttrs attrs;
+        attrs.region = region;
+        ctx.create_task(
+            [&chain, depth](rt::TaskContext& c) {
+              c.work(50);
+              if (depth > 0) {
+                chain(c, depth - 1);
+                c.taskwait();
+              }
+            },
+            attrs);
+      };
+  auto stats = sim.parallel(2, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) chain(ctx, 60);
+  });
+  sim.set_hooks(nullptr);
+  instr.finalize();
+  const AggregateProfile agg = instr.aggregate();
+  EXPECT_EQ(stats.tasks_executed, 61u);
+  // The dependency chain forces ~chain-depth concurrent instances
+  // (paper §V-B: "the longest dependency chain ... may serve as a good
+  // estimate for the number of concurrent tasks").
+  EXPECT_GE(agg.max_concurrent_any_thread, 30u);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace taskprof {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ZeroSeedProducesNonZeroStream) {
+  Xoshiro256 rng(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 16; ++i) any_nonzero |= rng.next() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, RoughlyUniformBuckets) {
+  Xoshiro256 rng(1234);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(rng.next_double() * kBuckets)];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, kSamples / kBuckets * 0.9);
+    EXPECT_LT(count, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Xoshiro256, NoShortCycle) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) seen.insert(rng.next());
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,269 @@
+#include "rt/real_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "profile/region.hpp"
+#include "test_util.hpp"
+
+namespace taskprof {
+namespace {
+
+rt::TaskAttrs attrs_for(RegionHandle region) {
+  rt::TaskAttrs attrs;
+  attrs.region = region;
+  return attrs;
+}
+
+class RealRuntimeTest : public ::testing::Test {
+ protected:
+  RegionRegistry registry_;
+  RegionHandle task_ = registry_.register_region("t", RegionType::kTask);
+  rt::RealRuntime runtime_;
+};
+
+TEST_F(RealRuntimeTest, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(runtime_.parallel(0, [](rt::TaskContext&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(runtime_.parallel(-3, [](rt::TaskContext&) {}),
+               std::invalid_argument);
+}
+
+TEST_F(RealRuntimeTest, BodyRunsOncePerThread) {
+  std::atomic<int> bodies{0};
+  std::mutex mutex;
+  std::set<ThreadId> threads;
+  runtime_.parallel(4, [&](rt::TaskContext& ctx) {
+    bodies.fetch_add(1);
+    std::scoped_lock lock(mutex);
+    threads.insert(ctx.thread_id());
+    EXPECT_EQ(ctx.num_threads(), 4);
+  });
+  EXPECT_EQ(bodies.load(), 4);
+  EXPECT_EQ(threads, (std::set<ThreadId>{0, 1, 2, 3}));
+}
+
+TEST_F(RealRuntimeTest, SingleClaimsExactlyOneThreadPerEncounter) {
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  runtime_.parallel(4, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) first.fetch_add(1);
+    ctx.barrier();
+    if (ctx.single()) second.fetch_add(1);
+  });
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 1);
+}
+
+TEST_F(RealRuntimeTest, ImplicitBarrierDrainsAllTasks) {
+  constexpr int kTasks = 200;
+  std::atomic<int> executed{0};
+  auto stats = runtime_.parallel(3, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < kTasks; ++i) {
+      ctx.create_task([&executed](rt::TaskContext&) { executed.fetch_add(1); },
+                      attrs_for(task_));
+    }
+  });
+  EXPECT_EQ(executed.load(), kTasks);
+  EXPECT_EQ(stats.tasks_executed, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST_F(RealRuntimeTest, TaskwaitWaitsForDirectChildren) {
+  std::atomic<int> children_done{0};
+  bool observed_after_wait = false;
+  runtime_.parallel(4, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    ctx.create_task(
+        [&](rt::TaskContext& inner) {
+          for (int i = 0; i < 10; ++i) {
+            inner.create_task(
+                [&children_done](rt::TaskContext&) {
+                  children_done.fetch_add(1);
+                },
+                attrs_for(task_));
+          }
+          inner.taskwait();
+          observed_after_wait = children_done.load() == 10;
+        },
+        attrs_for(task_));
+    ctx.taskwait();
+  });
+  EXPECT_TRUE(observed_after_wait);
+}
+
+TEST_F(RealRuntimeTest, RecursiveTaskTreeComputesCorrectly) {
+  std::function<void(rt::TaskContext&, int, long*)> fib =
+      [&fib, this](rt::TaskContext& ctx, int n, long* out) {
+        if (n < 2) {
+          *out = n;
+          return;
+        }
+        long a = 0;
+        long b = 0;
+        ctx.create_task([&fib, n, &a](rt::TaskContext& c) { fib(c, n - 1, &a); },
+                        attrs_for(task_));
+        ctx.create_task([&fib, n, &b](rt::TaskContext& c) { fib(c, n - 2, &b); },
+                        attrs_for(task_));
+        ctx.taskwait();
+        *out = a + b;
+      };
+  long result = 0;
+  runtime_.parallel(4, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) {
+      fib(ctx, 15, &result);
+    }
+  });
+  EXPECT_EQ(result, 610);
+}
+
+TEST_F(RealRuntimeTest, UndeferredTaskRunsInsideCreate) {
+  bool ran_inline = false;
+  runtime_.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    rt::TaskAttrs attrs = attrs_for(task_);
+    attrs.undeferred = true;
+    ctx.create_task([&ran_inline](rt::TaskContext&) { ran_inline = true; },
+                    attrs);
+    // Undeferred semantics: complete before create_task returns.
+    EXPECT_TRUE(ran_inline);
+  });
+}
+
+TEST_F(RealRuntimeTest, UndeferredTasksCanNestAndWait) {
+  int value = 0;
+  runtime_.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    rt::TaskAttrs undeferred = attrs_for(task_);
+    undeferred.undeferred = true;
+    ctx.create_task(
+        [&value, this](rt::TaskContext& inner) {
+          inner.create_task([&value](rt::TaskContext&) { value += 5; },
+                            attrs_for(task_));
+          inner.taskwait();
+          value *= 2;
+        },
+        undeferred);
+  });
+  EXPECT_EQ(value, 10);
+}
+
+TEST_F(RealRuntimeTest, ExplicitBarrierSynchronizesPhases) {
+  constexpr int kThreads = 4;
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ordering_ok{true};
+  runtime_.parallel(kThreads, [&](rt::TaskContext& ctx) {
+    phase1.fetch_add(1);
+    ctx.barrier();
+    if (phase1.load() != kThreads) ordering_ok.store(false);
+  });
+  EXPECT_TRUE(ordering_ok.load());
+}
+
+TEST_F(RealRuntimeTest, TasksCanBeStolenByOtherThreads) {
+  // The creator busy-waits outside any scheduling point, so only the
+  // other thread (draining tasks at its implicit barrier) can run the
+  // task: a guaranteed steal, deterministic even on a one-core host.
+  std::atomic<bool> done{false};
+  std::atomic<ThreadId> executor{99};
+  auto stats = runtime_.parallel(2, [&](rt::TaskContext& ctx) {
+    if (ctx.thread_id() != 0) return;
+    ctx.create_task(
+        [&](rt::TaskContext& inner) {
+          executor.store(inner.thread_id());
+          done.store(true);
+        },
+        attrs_for(task_));
+    while (!done.load()) std::this_thread::yield();
+  });
+  EXPECT_EQ(executor.load(), 1u);
+  EXPECT_EQ(stats.steals, 1u);
+  EXPECT_EQ(stats.tasks_executed, 1u);
+}
+
+TEST_F(RealRuntimeTest, OversubscribedManyThreadsStillCompletes) {
+  std::atomic<int> executed{0};
+  runtime_.parallel(8, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 100; ++i) {
+      ctx.create_task([&executed](rt::TaskContext&) { executed.fetch_add(1); },
+                      attrs_for(task_));
+    }
+  });
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST_F(RealRuntimeTest, SequentialParallelRegionsAreIndependent) {
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> executed{0};
+    runtime_.parallel(2, [&](rt::TaskContext& ctx) {
+      if (!ctx.single()) return;
+      for (int i = 0; i < 50; ++i) {
+        ctx.create_task(
+            [&executed](rt::TaskContext&) { executed.fetch_add(1); },
+            attrs_for(task_));
+      }
+    });
+    EXPECT_EQ(executed.load(), 50);
+  }
+}
+
+TEST_F(RealRuntimeTest, HooksSeeBalancedEventsSingleThread) {
+  testutil::RecordingHooks hooks;
+  runtime_.set_hooks(&hooks);
+  runtime_.parallel(1, [&](rt::TaskContext& ctx) {
+    ctx.create_task([](rt::TaskContext& inner) { inner.taskwait(); },
+                    attrs_for(task_));
+    ctx.create_task([](rt::TaskContext&) {}, attrs_for(task_));
+  });
+  runtime_.set_hooks(nullptr);
+
+  EXPECT_EQ(hooks.count("parallel_begin"), 1u);
+  EXPECT_EQ(hooks.count("parallel_end"), 1u);
+  EXPECT_EQ(hooks.count("implicit_begin"), 1u);
+  EXPECT_EQ(hooks.count("implicit_end"), 1u);
+  EXPECT_EQ(hooks.count("create_begin"), 2u);
+  EXPECT_EQ(hooks.count("create_end"), 2u);
+  EXPECT_EQ(hooks.count("task_begin"), 2u);
+  EXPECT_EQ(hooks.count("task_end"), 2u);
+  EXPECT_EQ(hooks.count("taskwait_begin"), hooks.count("taskwait_end"));
+  EXPECT_EQ(hooks.count("ibarrier_begin"), 1u);
+  EXPECT_EQ(hooks.count("ibarrier_end"), 1u);
+
+  // Instance ids announced at creation match execution.
+  std::set<TaskInstanceId> created;
+  std::set<TaskInstanceId> begun;
+  for (const auto& event : hooks.events()) {
+    if (event.kind == "create_end") created.insert(event.id);
+    if (event.kind == "task_begin") begun.insert(event.id);
+  }
+  EXPECT_EQ(created, begun);
+  EXPECT_EQ(created.size(), 2u);
+}
+
+TEST_F(RealRuntimeTest, RegionEventsRouteToHooks) {
+  testutil::RecordingHooks hooks;
+  runtime_.set_hooks(&hooks);
+  const RegionHandle foo =
+      registry_.register_region("foo", RegionType::kFunction);
+  runtime_.parallel(1, [&](rt::TaskContext& ctx) {
+    rt::ScopedRegion region(ctx, foo);
+    ctx.work(100);  // no-op on the real engine
+  });
+  runtime_.set_hooks(nullptr);
+  EXPECT_EQ(hooks.count("region_enter"), 1u);
+  EXPECT_EQ(hooks.count("region_exit"), 1u);
+}
+
+TEST_F(RealRuntimeTest, ParallelTicksArePositive) {
+  auto stats = runtime_.parallel(2, [](rt::TaskContext&) {});
+  EXPECT_GT(stats.parallel_ticks, 0);
+  EXPECT_GT(runtime_.now(), 0);
+}
+
+}  // namespace
+}  // namespace taskprof

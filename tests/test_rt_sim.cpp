@@ -1,0 +1,359 @@
+#include "rt/sim_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+#include "profile/region.hpp"
+#include "test_util.hpp"
+
+namespace taskprof {
+namespace {
+
+rt::TaskAttrs attrs_for(RegionHandle region,
+                        rt::TaskBinding binding = rt::TaskBinding::kTied) {
+  rt::TaskAttrs attrs;
+  attrs.region = region;
+  attrs.binding = binding;
+  return attrs;
+}
+
+class SimRuntimeTest : public ::testing::Test {
+ protected:
+  RegionRegistry registry_;
+  RegionHandle task_ = registry_.register_region("t", RegionType::kTask);
+};
+
+TEST_F(SimRuntimeTest, RejectsNonPositiveThreadCount) {
+  rt::SimRuntime sim;
+  EXPECT_THROW(sim.parallel(0, [](rt::TaskContext&) {}),
+               std::invalid_argument);
+}
+
+TEST_F(SimRuntimeTest, VirtualTimeAdvancesWithDeclaredWork) {
+  rt::SimRuntime sim;
+  auto stats = sim.parallel(1, [](rt::TaskContext& ctx) { ctx.work(12'345); });
+  EXPECT_GE(stats.parallel_ticks, 12'345);
+  // Only barrier/poll overhead on top — well under a millisecond.
+  EXPECT_LT(stats.parallel_ticks, 12'345 + 100'000);
+}
+
+TEST_F(SimRuntimeTest, FullyDeterministicAcrossRuns) {
+  auto program = [this](rt::SimRuntime& sim) {
+    return sim.parallel(4, [this](rt::TaskContext& ctx) {
+      if (!ctx.single()) return;
+      std::function<void(rt::TaskContext&, int)> rec =
+          [&rec, this](rt::TaskContext& c, int depth) {
+            c.work(500);
+            if (depth == 0) return;
+            for (int i = 0; i < 3; ++i) {
+              c.create_task(
+                  [&rec, depth](rt::TaskContext& cc) { rec(cc, depth - 1); },
+                  attrs_for(task_));
+            }
+            c.taskwait();
+          };
+      rec(ctx, 5);
+    });
+  };
+  rt::SimRuntime sim_a;
+  rt::SimRuntime sim_b;
+  const auto a = program(sim_a);
+  const auto b = program(sim_b);
+  EXPECT_EQ(a.parallel_ticks, b.parallel_ticks);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.tasks_executed, 363u);  // 3 + 9 + ... + 3^5
+}
+
+TEST_F(SimRuntimeTest, WorkDistributesAcrossVirtualWorkers) {
+  // 8 independent 1 ms tasks on 4 workers should take ~2 ms, far less
+  // than the 8 ms serial span.
+  rt::SimRuntime sim;
+  auto stats = sim.parallel(4, [this](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 8; ++i) {
+      ctx.create_task([](rt::TaskContext& c) { c.work(1'000'000); },
+                      attrs_for(task_));
+    }
+  });
+  EXPECT_GE(stats.parallel_ticks, 2'000'000);
+  EXPECT_LT(stats.parallel_ticks, 4'000'000);
+}
+
+TEST_F(SimRuntimeTest, ManagementLockSerializesTinyTasks) {
+  // Thousands of zero-work tasks: the runtime lock is the bottleneck, so
+  // 8 workers cannot be anywhere near 8x faster than 1.
+  auto run = [this](int threads) {
+    rt::SimRuntime sim;
+    return sim
+        .parallel(threads,
+                  [this](rt::TaskContext& ctx) {
+                    if (!ctx.single()) return;
+                    for (int i = 0; i < 2'000; ++i) {
+                      ctx.create_task([](rt::TaskContext& c) { c.work(50); },
+                                      attrs_for(task_));
+                    }
+                  })
+        .parallel_ticks;
+  };
+  const Ticks t1 = run(1);
+  const Ticks t8 = run(8);
+  EXPECT_GT(t8, t1 / 4);  // nowhere near linear speedup
+}
+
+TEST_F(SimRuntimeTest, CoarseTasksScaleWell) {
+  auto run = [this](int threads) {
+    rt::SimRuntime sim;
+    return sim
+        .parallel(threads,
+                  [this](rt::TaskContext& ctx) {
+                    if (!ctx.single()) return;
+                    for (int i = 0; i < 64; ++i) {
+                      ctx.create_task(
+                          [](rt::TaskContext& c) { c.work(1'000'000); },
+                          attrs_for(task_));
+                    }
+                  })
+        .parallel_ticks;
+  };
+  const Ticks t1 = run(1);
+  const Ticks t4 = run(4);
+  EXPECT_LT(t4, t1 / 3);  // near-linear speedup for 1 ms tasks
+}
+
+TEST_F(SimRuntimeTest, TaskwaitOrdersResults) {
+  rt::SimRuntime sim;
+  int value = 0;
+  sim.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    ctx.create_task(
+        [&value, this](rt::TaskContext& inner) {
+          inner.create_task(
+              [&value](rt::TaskContext& c) {
+                c.work(100);
+                value += 5;
+              },
+              attrs_for(task_));
+          inner.taskwait();
+          value *= 2;
+        },
+        attrs_for(task_));
+    ctx.taskwait();
+    value += 1;
+  });
+  EXPECT_EQ(value, 11);
+}
+
+TEST_F(SimRuntimeTest, SingleClaimsOncePerEncounter) {
+  rt::SimRuntime sim;
+  int first = 0;
+  int second = 0;
+  sim.parallel(4, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) ++first;
+    ctx.barrier();
+    if (ctx.single()) ++second;
+  });
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(SimRuntimeTest, UndeferredRunsInlineInVirtualTime) {
+  rt::SimRuntime sim;
+  bool ran = false;
+  sim.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    rt::TaskAttrs attrs = attrs_for(task_);
+    attrs.undeferred = true;
+    ctx.create_task(
+        [&ran](rt::TaskContext& c) {
+          c.work(1000);
+          ran = true;
+        },
+        attrs);
+    EXPECT_TRUE(ran);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(SimRuntimeTest, UndeferredChildCanBlockOnItsOwnChildren) {
+  rt::SimRuntime sim;
+  int value = 0;
+  sim.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    rt::TaskAttrs undeferred = attrs_for(task_);
+    undeferred.undeferred = true;
+    ctx.create_task(
+        [&value, this](rt::TaskContext& inner) {
+          inner.create_task([&value](rt::TaskContext&) { value += 7; },
+                            attrs_for(task_));
+          inner.taskwait();
+          value *= 3;
+        },
+        undeferred);
+  });
+  EXPECT_EQ(value, 21);
+}
+
+TEST_F(SimRuntimeTest, UntiedTasksMigrateBetweenWorkers) {
+  rt::SimRuntime sim;
+  auto stats = sim.parallel(4, [this](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 32; ++i) {
+      ctx.create_task(
+          [this](rt::TaskContext& outer) {
+            outer.create_task([](rt::TaskContext& c) { c.work(20'000); },
+                              attrs_for(task_));
+            outer.taskwait();  // untied: may resume elsewhere
+            outer.work(5'000);
+          },
+          attrs_for(task_, rt::TaskBinding::kUntied));
+    }
+  });
+  EXPECT_EQ(stats.tasks_executed, 64u);
+  EXPECT_GT(stats.migrations, 0u);
+}
+
+TEST_F(SimRuntimeTest, TiedTasksNeverMigrate) {
+  rt::SimRuntime sim;
+  auto stats = sim.parallel(4, [this](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 32; ++i) {
+      ctx.create_task(
+          [this](rt::TaskContext& outer) {
+            outer.create_task([](rt::TaskContext& c) { c.work(20'000); },
+                              attrs_for(task_));
+            outer.taskwait();
+            outer.work(5'000);
+          },
+          attrs_for(task_));
+    }
+  });
+  EXPECT_EQ(stats.migrations, 0u);
+}
+
+TEST_F(SimRuntimeTest, UntiedMigrationCanBeDisabled) {
+  rt::SimConfig config;
+  config.untied_migration = false;
+  rt::SimRuntime sim(config);
+  auto stats = sim.parallel(4, [this](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 32; ++i) {
+      ctx.create_task(
+          [this](rt::TaskContext& outer) {
+            outer.create_task([](rt::TaskContext& c) { c.work(20'000); },
+                              attrs_for(task_));
+            outer.taskwait();
+          },
+          attrs_for(task_, rt::TaskBinding::kUntied));
+    }
+  });
+  EXPECT_EQ(stats.migrations, 0u);
+}
+
+TEST_F(SimRuntimeTest, NowAdvancesAcrossRegions) {
+  rt::SimRuntime sim;
+  EXPECT_EQ(sim.now(), 0);
+  sim.parallel(1, [](rt::TaskContext& ctx) { ctx.work(5'000); });
+  const Ticks after_first = sim.now();
+  EXPECT_GE(after_first, 5'000);
+  sim.parallel(1, [](rt::TaskContext& ctx) { ctx.work(5'000); });
+  EXPECT_GE(sim.now(), after_first + 5'000);
+}
+
+TEST_F(SimRuntimeTest, FifoConfigStillCorrect) {
+  rt::SimConfig config;
+  config.lifo_dequeue = false;
+  rt::SimRuntime sim(config);
+  int executed = 0;
+  sim.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 100; ++i) {
+      ctx.create_task([&executed](rt::TaskContext&) { ++executed; },
+                      attrs_for(task_));
+    }
+  });
+  EXPECT_EQ(executed, 100);
+}
+
+TEST_F(SimRuntimeTest, FiberStacksAreRecycledAcrossManyTasks) {
+  rt::SimRuntime sim;
+  std::function<void(rt::TaskContext&, int)> rec =
+      [&rec, this](rt::TaskContext& c, int depth) {
+        c.work(100);
+        if (depth == 0) return;
+        for (int i = 0; i < 2; ++i) {
+          c.create_task(
+              [&rec, depth](rt::TaskContext& cc) { rec(cc, depth - 1); },
+              attrs_for(task_));
+        }
+        c.taskwait();
+      };
+  auto stats = sim.parallel(4, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) rec(ctx, 10);
+  });
+  EXPECT_EQ(stats.tasks_executed, 2u * ((1u << 10) - 1));
+}
+
+TEST_F(SimRuntimeTest, HooksSeeBalancedEvents) {
+  testutil::RecordingHooks hooks;
+  rt::SimRuntime sim;
+  sim.set_hooks(&hooks);
+  sim.parallel(2, [this](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 5; ++i) {
+      ctx.create_task([](rt::TaskContext& c) { c.work(100); },
+                      attrs_for(task_));
+    }
+    ctx.taskwait();
+  });
+  sim.set_hooks(nullptr);
+  EXPECT_EQ(hooks.count("implicit_begin"), 2u);
+  EXPECT_EQ(hooks.count("implicit_end"), 2u);
+  EXPECT_EQ(hooks.count("create_begin"), 5u);
+  EXPECT_EQ(hooks.count("create_end"), 5u);
+  EXPECT_EQ(hooks.count("task_begin"), 5u);
+  EXPECT_EQ(hooks.count("task_end"), 5u);
+  EXPECT_EQ(hooks.count("ibarrier_begin"), 2u);
+  EXPECT_EQ(hooks.count("ibarrier_end"), 2u);
+
+  // Per-thread event streams must be well-formed: a task_begin while a
+  // task runs implies the previous one ended or switched.
+  for (ThreadId tid : {ThreadId{0}, ThreadId{1}}) {
+    int open = 0;
+    for (const auto& event : hooks.events_for(tid)) {
+      if (event.kind == "task_begin") {
+        ++open;
+        EXPECT_LE(open, 2);  // at most nested once here (no inner waits)
+      }
+      if (event.kind == "task_end") --open;
+    }
+    EXPECT_EQ(open, 0);
+  }
+}
+
+TEST_F(SimRuntimeTest, InstrumentationCostsSlowTheRunDown) {
+  auto run = [this](bool instrumented) {
+    testutil::RecordingHooks hooks;
+    rt::SimRuntime sim;
+    if (instrumented) sim.set_hooks(&hooks);
+    return sim
+        .parallel(1,
+                  [this](rt::TaskContext& ctx) {
+                    if (!ctx.single()) return;
+                    for (int i = 0; i < 500; ++i) {
+                      ctx.create_task([](rt::TaskContext& c) { c.work(200); },
+                                      attrs_for(task_));
+                    }
+                  })
+        .parallel_ticks;
+  };
+  const Ticks plain = run(false);
+  const Ticks instrumented = run(true);
+  EXPECT_GT(instrumented, plain);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,102 @@
+// Shared test helpers: an event-recording hook listener.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/hooks.hpp"
+
+namespace taskprof::testutil {
+
+/// Records every scheduler event (thread-safe; the real engine emits from
+/// many threads).
+class RecordingHooks final : public rt::SchedulerHooks {
+ public:
+  struct Event {
+    std::string kind;
+    ThreadId thread = 0;
+    TaskInstanceId id = 0;
+    RegionHandle region = kInvalidRegion;
+  };
+
+  void on_parallel_begin(int) override { add("parallel_begin", 0, 0); }
+  void on_parallel_end() override { add("parallel_end", 0, 0); }
+  void on_implicit_task_begin(ThreadId t, const Clock&) override {
+    add("implicit_begin", t, 0);
+  }
+  void on_implicit_task_end(ThreadId t) override {
+    add("implicit_end", t, 0);
+  }
+  void on_task_create_begin(ThreadId t, RegionHandle r,
+                            std::int64_t) override {
+    add("create_begin", t, 0, r);
+  }
+  void on_task_create_end(ThreadId t, TaskInstanceId id, RegionHandle r,
+                          std::int64_t) override {
+    add("create_end", t, id, r);
+  }
+  void on_task_begin(ThreadId t, TaskInstanceId id, RegionHandle r,
+                     std::int64_t) override {
+    add("task_begin", t, id, r);
+  }
+  void on_task_end(ThreadId t, TaskInstanceId id) override {
+    add("task_end", t, id);
+  }
+  void on_task_switch(ThreadId t, TaskInstanceId id) override {
+    add("task_switch", t, id);
+  }
+  void on_task_migrate(ThreadId from, ThreadId to,
+                       TaskInstanceId id) override {
+    add("migrate", from, id, static_cast<RegionHandle>(to));
+  }
+  void on_taskwait_begin(ThreadId t) override { add("taskwait_begin", t, 0); }
+  void on_taskwait_end(ThreadId t) override { add("taskwait_end", t, 0); }
+  void on_barrier_begin(ThreadId t, bool implicit) override {
+    add(implicit ? "ibarrier_begin" : "barrier_begin", t, 0);
+  }
+  void on_barrier_end(ThreadId t, bool implicit) override {
+    add(implicit ? "ibarrier_end" : "barrier_end", t, 0);
+  }
+  void on_region_enter(ThreadId t, RegionHandle r, std::int64_t) override {
+    add("region_enter", t, 0, r);
+  }
+  void on_region_exit(ThreadId t, RegionHandle r) override {
+    add("region_exit", t, 0, r);
+  }
+
+  std::vector<Event> events() const {
+    std::scoped_lock lock(mutex_);
+    return events_;
+  }
+
+  std::vector<Event> events_for(ThreadId thread) const {
+    std::scoped_lock lock(mutex_);
+    std::vector<Event> out;
+    for (const Event& e : events_) {
+      if (e.thread == thread) out.push_back(e);
+    }
+    return out;
+  }
+
+  std::size_t count(const std::string& kind) const {
+    std::scoped_lock lock(mutex_);
+    std::size_t n = 0;
+    for (const Event& e : events_) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+ private:
+  void add(std::string kind, ThreadId thread, TaskInstanceId id,
+           RegionHandle region = kInvalidRegion) {
+    std::scoped_lock lock(mutex_);
+    events_.push_back(Event{std::move(kind), thread, id, region});
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace taskprof::testutil

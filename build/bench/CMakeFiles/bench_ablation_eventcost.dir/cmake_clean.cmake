@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eventcost.dir/bench_ablation_eventcost.cpp.o"
+  "CMakeFiles/bench_ablation_eventcost.dir/bench_ablation_eventcost.cpp.o.d"
+  "bench_ablation_eventcost"
+  "bench_ablation_eventcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eventcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cutoff_strategies.dir/bench_cutoff_strategies.cpp.o"
+  "CMakeFiles/bench_cutoff_strategies.dir/bench_cutoff_strategies.cpp.o.d"
+  "bench_cutoff_strategies"
+  "bench_cutoff_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cutoff_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

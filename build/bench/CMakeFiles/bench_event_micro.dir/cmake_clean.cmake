@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_micro.dir/bench_event_micro.cpp.o"
+  "CMakeFiles/bench_event_micro.dir/bench_event_micro.cpp.o.d"
+  "bench_event_micro"
+  "bench_event_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_overhead_cutoff.dir/bench_fig13_overhead_cutoff.cpp.o"
+  "CMakeFiles/bench_fig13_overhead_cutoff.dir/bench_fig13_overhead_cutoff.cpp.o.d"
+  "bench_fig13_overhead_cutoff"
+  "bench_fig13_overhead_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_overhead_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

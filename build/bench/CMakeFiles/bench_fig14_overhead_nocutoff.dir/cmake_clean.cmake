@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_overhead_nocutoff.dir/bench_fig14_overhead_nocutoff.cpp.o"
+  "CMakeFiles/bench_fig14_overhead_nocutoff.dir/bench_fig14_overhead_nocutoff.cpp.o.d"
+  "bench_fig14_overhead_nocutoff"
+  "bench_fig14_overhead_nocutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_overhead_nocutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realtime_overhead.dir/bench_realtime_overhead.cpp.o"
+  "CMakeFiles/bench_realtime_overhead.dir/bench_realtime_overhead.cpp.o.d"
+  "bench_realtime_overhead"
+  "bench_realtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_comparison.dir/bench_sampling_comparison.cpp.o"
+  "CMakeFiles/bench_sampling_comparison.dir/bench_sampling_comparison.cpp.o.d"
+  "bench_sampling_comparison"
+  "bench_sampling_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

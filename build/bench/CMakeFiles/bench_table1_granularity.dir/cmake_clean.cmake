@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_granularity.dir/bench_table1_granularity.cpp.o"
+  "CMakeFiles/bench_table1_granularity.dir/bench_table1_granularity.cpp.o.d"
+  "bench_table1_granularity"
+  "bench_table1_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nqueens.dir/bench_table3_nqueens.cpp.o"
+  "CMakeFiles/bench_table3_nqueens.dir/bench_table3_nqueens.cpp.o.d"
+  "bench_table3_nqueens"
+  "bench_table3_nqueens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

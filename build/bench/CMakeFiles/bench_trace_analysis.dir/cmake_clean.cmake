@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_analysis.dir/bench_trace_analysis.cpp.o"
+  "CMakeFiles/bench_trace_analysis.dir/bench_trace_analysis.cpp.o.d"
+  "bench_trace_analysis"
+  "bench_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqueens_casestudy.dir/nqueens_casestudy.cpp.o"
+  "CMakeFiles/nqueens_casestudy.dir/nqueens_casestudy.cpp.o.d"
+  "nqueens_casestudy"
+  "nqueens_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqueens_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_cli.dir/taskprof_cli.cpp.o"
+  "CMakeFiles/taskprof_cli.dir/taskprof_cli.cpp.o.d"
+  "taskprof_cli"
+  "taskprof_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

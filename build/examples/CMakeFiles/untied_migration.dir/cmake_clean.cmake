@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untied_migration.dir/untied_migration.cpp.o"
+  "CMakeFiles/untied_migration.dir/untied_migration.cpp.o.d"
+  "untied_migration"
+  "untied_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untied_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_nqueens_casestudy]=] "/root/repo/build/examples/nqueens_casestudy")
+set_tests_properties([=[example_nqueens_casestudy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_untied_migration]=] "/root/repo/build/examples/untied_migration")
+set_tests_properties([=[example_untied_migration]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_summary]=] "/root/repo/build/examples/taskprof_cli" "--kernel=fib" "--size=test" "--threads=2" "--report=summary")
+set_tests_properties([=[example_cli_summary]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_trace]=] "/root/repo/build/examples/taskprof_cli" "--kernel=sort" "--size=test" "--threads=2" "--trace" "--report=findings")
+set_tests_properties([=[example_cli_trace]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bots/kernel.hpp"
 #include "common/format.hpp"
@@ -115,5 +116,117 @@ inline void print_header(const char* title, const char* paper_ref,
               size_name(options.size),
               static_cast<unsigned long long>(options.seed));
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable output (the BENCH_<name>.json convention).
+//
+// Benches that track a performance trajectory across PRs write one flat
+// JSON file per run: a top-level object with "bench", the harness options,
+// and a "results" array of records.  JsonWriter is a minimal emitter for
+// exactly that shape — keys are written verbatim, strings are escaped,
+// commas and indentation are managed by the begin/end nesting.
+// ---------------------------------------------------------------------------
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(4096); }
+
+  void begin_object(const char* key = nullptr) { open('{', '}', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open('[', ']', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const std::string& value) {
+    pre(key);
+    out_ += '"';
+    append_escaped(value);
+    out_ += '"';
+  }
+  void field(const char* key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const char* key, std::uint64_t value) {
+    pre(key);
+    out_ += std::to_string(value);
+  }
+  void field(const char* key, std::int64_t value) {
+    pre(key);
+    out_ += std::to_string(value);
+  }
+  void field(const char* key, int value) {
+    field(key, static_cast<std::int64_t>(value));
+  }
+  void field(const char* key, double value) {
+    pre(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out_ += buf;
+  }
+  void field(const char* key, bool value) {
+    pre(key);
+    out_ += value ? "true" : "false";
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Write the document to `path`; returns false (with a message on
+  /// stderr) when the file cannot be written.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void open(char bracket, char closer, const char* key) {
+    pre(key);
+    out_ += bracket;
+    stack_.push_back(closer);
+    first_ = true;
+  }
+  void close(char closer) {
+    out_ += '\n';
+    stack_.pop_back();
+    indent();
+    out_ += closer;
+    first_ = false;
+  }
+  void pre(const char* key) {
+    if (!stack_.empty()) {
+      out_ += first_ ? "\n" : ",\n";
+      indent();
+    }
+    first_ = false;
+    if (key != nullptr) {
+      out_ += '"';
+      append_escaped(key);
+      out_ += "\": ";
+    }
+  }
+  void indent() {
+    out_.append(2 * stack_.size(), ' ');
+  }
+  void append_escaped(const std::string& s) {
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default: out_ += c;
+      }
+    }
+  }
+
+  std::string out_;
+  std::vector<char> stack_;
+  bool first_ = true;
+};
 
 }  // namespace taskprof::bench

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_contention.dir/bench_queue_contention.cpp.o"
+  "CMakeFiles/bench_queue_contention.dir/bench_queue_contention.cpp.o.d"
+  "bench_queue_contention"
+  "bench_queue_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

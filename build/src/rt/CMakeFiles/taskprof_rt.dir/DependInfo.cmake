@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/rt/real_runtime.cpp" "src/rt/CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o.d"
   "/root/repo/src/rt/sim_runtime.cpp" "src/rt/CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o.d"
+  "/root/repo/src/rt/steal_deque.cpp" "src/rt/CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o" "gcc" "src/rt/CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o.d"
   "CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o"
   "CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o.d"
+  "CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o"
+  "CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o.d"
   "libtaskprof_rt.a"
   "libtaskprof_rt.pdb"
 )

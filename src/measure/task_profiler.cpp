@@ -1,6 +1,7 @@
 #include "measure/task_profiler.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -279,22 +280,30 @@ void ThreadTaskProfiler::merge_and_recycle(
 
 TaskInstanceState* ThreadTaskProfiler::find_instance(
     TaskInstanceId id) noexcept {
-  for (auto& inst : instances_) {
-    if (inst->id == id) return inst.get();
+  if (last_hit_ < instances_.size() && instances_[last_hit_]->id == id) {
+    return instances_[last_hit_].get();
+  }
+  // Backward scan: with LIFO scheduling the sought instance is almost
+  // always the most recently added one.
+  for (std::size_t i = instances_.size(); i-- > 0;) {
+    if (instances_[i]->id == id) {
+      last_hit_ = i;
+      return instances_[i].get();
+    }
   }
   return nullptr;
 }
 
 std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::take_instance(
     TaskInstanceId id) {
-  for (auto it = instances_.begin(); it != instances_.end(); ++it) {
-    if ((*it)->id == id) {
-      std::unique_ptr<TaskInstanceState> out = std::move(*it);
-      instances_.erase(it);
-      return out;
-    }
-  }
-  return nullptr;
+  if (find_instance(id) == nullptr) return nullptr;  // also sets last_hit_
+  // Swap-and-pop: instance order carries no meaning (lookups only), and
+  // the heap addresses current_ and callers hold stay valid.
+  std::swap(instances_[last_hit_], instances_.back());
+  std::unique_ptr<TaskInstanceState> out = std::move(instances_.back());
+  instances_.pop_back();
+  last_hit_ = 0;
+  return out;
 }
 
 CallNode* ThreadTaskProfiler::merged_root_for(RegionHandle region,

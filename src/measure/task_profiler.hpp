@@ -231,8 +231,12 @@ class ThreadTaskProfiler {
 
   // Active instances.  Linear vector: the paper measured at most 20
   // concurrent instances per thread (Table II), so O(n) lookup is cheap
-  // and avoids hashing on the hot path.
+  // and avoids hashing on the hot path.  Untied/adopted instances can
+  // accumulate far beyond that, so lookups keep a last-hit index (tasks
+  // overwhelmingly re-address the instance they just touched) and
+  // removal is swap-and-pop instead of an order-preserving erase.
   std::vector<std::unique_ptr<TaskInstanceState>> instances_;
+  std::size_t last_hit_ = 0;  ///< index of the most recently found instance
   std::vector<std::unique_ptr<TaskInstanceState>> instance_freelist_;
   TaskInstanceState* current_ = nullptr;  // nullptr = implicit task
 

@@ -108,13 +108,28 @@ CallNode* find_or_create_child(NodePool& pool, CallNode* parent,
 void merge_subtree(NodePool& pool, CallNode* dst, const CallNode* src);
 
 /// Preorder traversal.  `fn` is called as fn(node, depth).
+///
+/// Iterative via the intrusive links (first_child to descend,
+/// next_sibling / parent to backtrack): O(1) space and no call recursion,
+/// so report generation over the arbitrarily deep trees of cut-off-free
+/// task recursion (nqueens, fib) cannot overflow the stack.
 template <typename Fn>
 void for_each_node(const CallNode* root, Fn&& fn, int depth = 0) {
   if (root == nullptr) return;
-  fn(*root, depth);
-  for (const CallNode* c = root->first_child; c != nullptr;
-       c = c->next_sibling) {
-    for_each_node(c, fn, depth + 1);
+  const CallNode* node = root;
+  for (;;) {
+    fn(*node, depth);
+    if (node->first_child != nullptr) {
+      node = node->first_child;
+      ++depth;
+      continue;
+    }
+    while (node != root && node->next_sibling == nullptr) {
+      node = node->parent;
+      --depth;
+    }
+    if (node == root) return;
+    node = node->next_sibling;
   }
 }
 

@@ -9,10 +9,48 @@
 
 #include "common/assert.hpp"
 #include "common/clock.hpp"
+#include "rt/steal_deque.hpp"
 
 namespace taskprof::rt {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Memory-ordering audit (the lock-free scheduler's correctness argument).
+//
+// With the mutex scheduler, every queue operation was a full
+// acquire/release pair, so the relaxed counter updates around it were
+// incidentally fenced.  With the Chase–Lev deque the only publication
+// edges are the deque's own release(bottom)/acquire(steal) pair and the
+// explicit orderings below:
+//
+//  * pending_children / outstanding increments stay RELAXED: they are
+//    performed by the creating thread *before* the deque push, and the
+//    push's release-store of `bottom` happens-before any thief's
+//    acquire-load that obtains the task.  Hence the increment precedes
+//    the executing thread's decrement in each counter's modification
+//    order — the counters can never be observed "decrement first".
+//    Taskwait additionally only reads pending_children of the task the
+//    *current thread* is executing, so the increments are same-thread.
+//  * pending_children / outstanding decrements are RELEASE and the
+//    taskwait / barrier re-check loads are ACQUIRE: observing the final
+//    decrement synchronizes with everything the child task wrote.
+//  * the barrier arrival counter is an ACQ_REL fetch_add, and the exit
+//    condition loads it with ACQUIRE: a thread leaving the barrier has a
+//    happens-before edge to every arrived thread's pre-barrier writes
+//    (including their relaxed `outstanding` increments, so the
+//    "arrived == all && outstanding == 0" conjunction cannot miss a
+//    queued task of the closing phase).
+//  * TaskRecord::refs uses the shared_ptr discipline: relaxed increments
+//    (the incrementing thread already holds a reference) and an acq_rel
+//    decrement, so the thread that drops the last reference owns all
+//    prior writes before the record is recycled.
+//  * slab recycling publishes with a release-CAS onto the remote free
+//    list and the owner drains it with an acquire-exchange, extending
+//    the refs chain to the next allocation.
+// ---------------------------------------------------------------------------
+
+class RecordSlab;
 
 /// One explicit (or implicit) task instance known to the scheduler.
 struct TaskRecord {
@@ -27,28 +65,101 @@ struct TaskRecord {
   std::atomic<std::uint32_t> refs{1};
   ThreadId creator = 0;
   bool deferred = false;  ///< counted in queue/outstanding bookkeeping
+  /// Slab the record was carved from; nullptr for implicit-task records,
+  /// which live inside ThreadState and are never recycled.
+  RecordSlab* slab = nullptr;
+  std::atomic<TaskRecord*> next_free{nullptr};  ///< free-list link
 };
 
-/// Drop one lifetime reference; delete when none remain.  Implicit-task
-/// records (stack-allocated, id == kImplicitTaskId) keep their own
-/// reference forever and are never deleted here.
-void release_ref(TaskRecord* rec) {
-  if (rec->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    delete rec;
-  }
-}
+/// Per-thread TaskRecord allocator: chunked slabs plus a free list,
+/// mirroring the NodePool of src/profile/calltree.hpp.  Allocation is
+/// owner-thread only; recycling can happen on any thread (a stolen
+/// task's record dies on the thief), so dead records from other threads
+/// land on a lock-free MPSC stack that the owner drains wholesale.
+class RecordSlab {
+ public:
+  RecordSlab() = default;
+  RecordSlab(const RecordSlab&) = delete;
+  RecordSlab& operator=(const RecordSlab&) = delete;
 
-/// Per-thread task queue.  A plain mutex-protected deque: the benchmark
-/// host is heavily oversubscribed, so a simple fair queue beats a clever
-/// lock-free deque in robustness, and the paper's contention effects are
-/// studied in the simulator anyway.
+  /// Owner thread only.
+  TaskRecord* allocate() {
+    TaskRecord* rec = local_free_;
+    if (rec == nullptr) {
+      // Claim the whole remote chain in one exchange; the owner is the
+      // only consumer, so there is no ABA window.
+      rec = remote_free_.exchange(nullptr, std::memory_order_acquire);
+    }
+    if (rec != nullptr) {
+      local_free_ = rec->next_free.load(std::memory_order_relaxed);
+      TASKPROF_ASSERT(
+          rec->pending_children.load(std::memory_order_relaxed) == 0,
+          "recycled record has pending children");
+      rec->refs.store(1, std::memory_order_relaxed);
+      return rec;
+    }
+    if (next_in_chunk_ == kChunkSize) {
+      chunks_.push_back(std::make_unique<TaskRecord[]>(kChunkSize));
+      next_in_chunk_ = 0;
+    }
+    rec = &chunks_.back()[next_in_chunk_++];
+    rec->slab = this;
+    return rec;
+  }
+
+  /// Any thread.  `local` must be true iff the caller *is* the owner
+  /// thread (then the push needs no atomics at all).
+  void recycle(TaskRecord* rec, bool local) {
+    rec->fn = nullptr;  // drop captured state as eagerly as delete did
+    if (local) {
+      rec->next_free.store(local_free_, std::memory_order_relaxed);
+      local_free_ = rec;
+      return;
+    }
+    TaskRecord* head = remote_free_.load(std::memory_order_relaxed);
+    do {
+      rec->next_free.store(head, std::memory_order_relaxed);
+    } while (!remote_free_.compare_exchange_weak(
+        head, rec, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+ private:
+  static constexpr std::size_t kChunkSize = 128;
+
+  std::vector<std::unique_ptr<TaskRecord[]>> chunks_;
+  std::size_t next_in_chunk_ = kChunkSize;  // forces first chunk allocation
+  TaskRecord* local_free_ = nullptr;        // owner-only LIFO
+  alignas(64) std::atomic<TaskRecord*> remote_free_{nullptr};
+};
+
+/// Per-thread task queue, in both scheduler variants.  Only the one
+/// selected by RealConfig::scheduler is touched at runtime; the idle
+/// variant costs a few empty words.
 struct WorkerQueue {
+  // kMutexDeque: the pre-optimization fair queue.
   std::mutex mutex;
   std::deque<TaskRecord*> tasks;
+  // kChaseLev: the lock-free deque.
+  StealDeque deque;
 };
 
-struct BarrierEpisode {
-  std::atomic<int> arrived{0};
+/// Number of single-construct episode slots.  Claims use monotonically
+/// increasing episode numbers, so slots are reused modulo the shard count
+/// without ever being reset — no bound on how far threads may drift apart.
+constexpr std::size_t kSingleShards = 64;
+
+struct SingleShard {
+  alignas(64) std::atomic<std::uint64_t> claimed{0};
+};
+
+/// Team barrier: the generation-counting form of a sense-reversing
+/// barrier.  Instead of flipping one sense bit (which supports only two
+/// in-flight episodes), each thread's private episode counter *is* its
+/// sense, and `arrived` accumulates across episodes: episode g is fully
+/// arrived once arrived >= g * nthreads.  One word, no reset, no mutex,
+/// and no per-episode allocation.
+struct TeamBarrier {
+  alignas(64) std::atomic<std::uint64_t> arrived{0};
 };
 
 }  // namespace
@@ -67,17 +178,17 @@ struct RealRuntime::Impl {
   std::atomic<std::uint64_t> outstanding{0};
   std::atomic<TaskInstanceId> next_id{1};
 
-  std::mutex episode_mutex;
-  std::vector<std::unique_ptr<std::atomic<int>>> single_episodes;
-  std::vector<std::unique_ptr<BarrierEpisode>> barrier_episodes;
+  std::unique_ptr<SingleShard[]> single_shards;
+  TeamBarrier barrier;
 
   // --- per-thread state --------------------------------------------------
   struct ThreadState {
     ThreadId tid = 0;
     TaskRecord implicit_record;
+    RecordSlab slab;
     std::vector<TaskRecord*> task_stack;  // bottom = &implicit_record
-    std::size_t single_counter = 0;
-    std::size_t barrier_counter = 0;
+    std::uint64_t single_counter = 0;
+    std::uint64_t barrier_counter = 0;
     std::uint64_t executed = 0;
     std::uint64_t steals = 0;
   };
@@ -85,7 +196,33 @@ struct RealRuntime::Impl {
 
   // --- scheduling --------------------------------------------------------
 
+  void enqueue(ThreadState& st, TaskRecord* rec) {
+    WorkerQueue& own = *queues[st.tid];
+    if (config.scheduler == SchedulerKind::kChaseLev) {
+      own.deque.push(rec);
+      return;
+    }
+    std::scoped_lock lock(own.mutex);
+    own.tasks.push_back(rec);
+  }
+
   TaskRecord* try_acquire(ThreadState& st) {
+    if (config.scheduler == SchedulerKind::kChaseLev) {
+      if (auto* t = static_cast<TaskRecord*>(queues[st.tid]->deque.pop())) {
+        return t;
+      }
+      if (!config.steal) return nullptr;
+      for (int offset = 1; offset < nthreads; ++offset) {
+        WorkerQueue& victim =
+            *queues[(st.tid + static_cast<ThreadId>(offset)) %
+                    static_cast<ThreadId>(nthreads)];
+        if (auto* t = static_cast<TaskRecord*>(victim.deque.steal())) {
+          ++st.steals;
+          return t;
+        }
+      }
+      return nullptr;
+    }
     WorkerQueue& own = *queues[st.tid];
     {
       std::scoped_lock lock(own.mutex);
@@ -111,6 +248,18 @@ struct RealRuntime::Impl {
     return nullptr;
   }
 
+  /// Drop one lifetime reference; recycle into the creator's slab when
+  /// none remain.  Implicit-task records (ThreadState members,
+  /// slab == nullptr) keep their own reference forever and never get here
+  /// with refs == 1.
+  void release_ref(ThreadState& st, TaskRecord* rec) {
+    if (rec->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      TASKPROF_ASSERT(rec->slab != nullptr,
+                      "implicit-task record dropped its last reference");
+      rec->slab->recycle(rec, /*local=*/rec->creator == st.tid);
+    }
+  }
+
   void execute(ThreadState& st, TaskContext& ctx, TaskRecord* rec) {
     if (hooks != nullptr) {
       hooks->on_task_begin(st.tid, rec->id, rec->attrs.region,
@@ -126,30 +275,14 @@ struct RealRuntime::Impl {
       outstanding.fetch_sub(1, std::memory_order_release);
     }
     ++st.executed;
-    release_ref(rec);
-    release_ref(parent);
+    release_ref(st, rec);
+    release_ref(st, parent);
     // Resuming an enclosing *explicit* task is a task switch (Fig. 12);
     // returning to the implicit task is implied by on_task_end.
     TaskRecord* enclosing = st.task_stack.back();
     if (hooks != nullptr && enclosing != &st.implicit_record) {
       hooks->on_task_switch(st.tid, enclosing->id);
     }
-  }
-
-  std::atomic<int>& single_episode(std::size_t index) {
-    std::scoped_lock lock(episode_mutex);
-    while (single_episodes.size() <= index) {
-      single_episodes.push_back(std::make_unique<std::atomic<int>>(0));
-    }
-    return *single_episodes[index];
-  }
-
-  BarrierEpisode& barrier_episode(std::size_t index) {
-    std::scoped_lock lock(episode_mutex);
-    while (barrier_episodes.size() <= index) {
-      barrier_episodes.push_back(std::make_unique<BarrierEpisode>());
-    }
-    return *barrier_episodes[index];
   }
 };
 
@@ -168,7 +301,7 @@ class RealContext final : public TaskContext {
     }
     const TaskInstanceId id =
         rt_.next_id.fetch_add(1, std::memory_order_relaxed);
-    auto* rec = new TaskRecord();
+    TaskRecord* rec = st_.slab.allocate();
     rec->fn = std::move(fn);
     rec->attrs = attrs;
     rec->id = id;
@@ -186,13 +319,11 @@ class RealContext final : public TaskContext {
       return;
     }
     rec->deferred = true;
+    // Relaxed is sufficient: both counters are published to other threads
+    // through the enqueue below (see the memory-ordering audit above).
     rec->parent->pending_children.fetch_add(1, std::memory_order_relaxed);
     rt_.outstanding.fetch_add(1, std::memory_order_relaxed);
-    {
-      WorkerQueue& own = *rt_.queues[st_.tid];
-      std::scoped_lock lock(own.mutex);
-      own.tasks.push_back(rec);
-    }
+    rt_.enqueue(st_, rec);
     if (hooks != nullptr) {
       hooks->on_task_create_end(st_.tid, id, attrs.region, attrs.parameter);
     }
@@ -222,8 +353,10 @@ class RealContext final : public TaskContext {
                     "barrier must be called from the implicit task");
     SchedulerHooks* hooks = rt_.hooks;
     if (hooks != nullptr) hooks->on_barrier_begin(st_.tid, implicit);
-    BarrierEpisode& episode = rt_.barrier_episode(st_.barrier_counter++);
-    episode.arrived.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t generation = ++st_.barrier_counter;
+    const std::uint64_t needed =
+        generation * static_cast<std::uint64_t>(rt_.nthreads);
+    rt_.barrier.arrived.fetch_add(1, std::memory_order_acq_rel);
     int spins = 0;
     while (true) {
       if (TaskRecord* t = rt_.try_acquire(st_)) {
@@ -231,10 +364,14 @@ class RealContext final : public TaskContext {
         spins = 0;
         continue;
       }
-      // Stable exit condition: every thread has reached this barrier and
-      // no explicit task is queued or running anywhere ("outstanding"
-      // stays > 0 while a popped task executes).
-      if (episode.arrived.load(std::memory_order_acquire) == rt_.nthreads &&
+      // Stable exit condition: every thread has reached this barrier
+      // generation and no explicit task is queued or running anywhere
+      // ("outstanding" stays > 0 while a popped task executes).  A fast
+      // thread may already be in a later generation and have queued new
+      // tasks; draining those here is legal (a barrier is a task
+      // scheduling point) and the exit only requires that *this*
+      // generation's work is gone.
+      if (rt_.barrier.arrived.load(std::memory_order_acquire) >= needed &&
           rt_.outstanding.load(std::memory_order_acquire) == 0) {
         break;
       }
@@ -249,10 +386,23 @@ class RealContext final : public TaskContext {
   bool single() override {
     TASKPROF_ASSERT(st_.task_stack.back() == &st_.implicit_record,
                     "single must be called from the implicit task");
-    std::atomic<int>& claimed = rt_.single_episode(st_.single_counter++);
-    int expected = 0;
-    return claimed.compare_exchange_strong(expected, 1,
-                                           std::memory_order_acq_rel);
+    // Episode numbers are monotonic per thread and all threads encounter
+    // singles in the same sequence, so the first thread to attempt
+    // episode e always finds the slot's last claim <= e - kSingleShards
+    // and wins; every later attempt of e observes a claim >= e.  Exactly
+    // one winner per episode, without resets or an episode registry.
+    const std::uint64_t episode = ++st_.single_counter;
+    std::atomic<std::uint64_t>& slot =
+        rt_.single_shards[(episode - 1) % kSingleShards].claimed;
+    std::uint64_t seen = slot.load(std::memory_order_acquire);
+    while (seen < episode) {
+      if (slot.compare_exchange_weak(seen, episode,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   void work(Ticks cost) override {
@@ -299,8 +449,8 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
   rt.nthreads = num_threads;
   rt.queues.clear();
   rt.threads.clear();
-  rt.single_episodes.clear();
-  rt.barrier_episodes.clear();
+  rt.single_shards = std::make_unique<SingleShard[]>(kSingleShards);
+  rt.barrier.arrived.store(0);
   rt.outstanding.store(0);
   rt.next_id.store(1);
   for (int i = 0; i < num_threads; ++i) {

@@ -10,15 +10,33 @@
 //
 // Untied tasks are demoted to tied (documented paper work-around, §IV-D2);
 // the simulator engine implements real migration.
+//
+// The scheduler core exists in two variants (DESIGN.md §7): the default
+// lock-free Chase–Lev work-stealing deque, and the original mutex-guarded
+// std::deque kept for the contention ablation (bench_queue_contention,
+// bench_ablation_design).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "rt/runtime.hpp"
 
 namespace taskprof::rt {
 
+/// Which per-thread task-queue implementation the engine schedules with.
+/// Both implement the same policy (owner LIFO, thieves FIFO from the
+/// opposite end), so task counts are identical; only the synchronization
+/// cost differs.
+enum class SchedulerKind : std::uint8_t {
+  kMutexDeque,  ///< std::mutex around a std::deque (pre-optimization core)
+  kChaseLev,    ///< lock-free Chase–Lev deque (rt/steal_deque.hpp)
+};
+
 struct RealConfig {
+  /// Task-queue implementation; the ablation knob for
+  /// bench_queue_contention and bench_ablation_design.
+  SchedulerKind scheduler = SchedulerKind::kChaseLev;
   /// Allow threads to execute tasks created by other threads.
   bool steal = true;
   /// Failed acquisition attempts before the spin loops call

@@ -1,0 +1,125 @@
+#include "rt/steal_deque.hpp"
+
+namespace taskprof::rt {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+struct StealDeque::Buffer {
+  explicit Buffer(std::size_t cap)
+      : capacity(cap), mask(cap - 1), slots(new std::atomic<void*>[cap]) {}
+  ~Buffer() { delete[] slots; }
+
+  std::atomic<void*>& slot(std::int64_t index) noexcept {
+    return slots[static_cast<std::size_t>(index) & mask];
+  }
+
+  std::size_t capacity;
+  std::size_t mask;
+  std::atomic<void*>* slots;
+  Buffer* retired_next = nullptr;  ///< owner-only reclamation chain
+};
+
+StealDeque::StealDeque(std::size_t initial_capacity) {
+  buffer_.store(new Buffer(round_up_pow2(initial_capacity)),
+                std::memory_order_relaxed);
+}
+
+StealDeque::~StealDeque() {
+  delete buffer_.load(std::memory_order_relaxed);
+  for (Buffer* b = retired_; b != nullptr;) {
+    Buffer* next = b->retired_next;
+    delete b;
+    b = next;
+  }
+}
+
+void StealDeque::push(void* item) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+    buf = grow(buf, t, b);
+  }
+  buf->slot(b).store(item, std::memory_order_relaxed);
+  // Release-publish the new bottom: a thief that acquire-reads b+1 sees
+  // the slot contents and everything the owner wrote before push().
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+void* StealDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  // seq_cst handshake with steal(): the reservation of slot b must be
+  // globally ordered against a thief's top/bottom reads, or owner and
+  // thief could both take the same last item.
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {  // deque was empty: undo the reservation
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  void* item = buf->slot(b).load(std::memory_order_relaxed);
+  if (t == b) {
+    // Last item: race thieves for it via the top counter.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      item = nullptr;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return item;
+}
+
+void* StealDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  // Read the candidate *before* claiming it: after a successful CAS the
+  // owner may recycle index t.  The read stays valid because the owner
+  // cannot overwrite slot t while top == t — wrapping onto it would
+  // require b - t >= capacity, which triggers grow() into a fresh buffer
+  // instead (and outgrown buffers are never freed mid-run).
+  void* item = buf->slot(t).load(std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the claim race; caller retries elsewhere
+  }
+  return item;
+}
+
+bool StealDeque::empty() const noexcept {
+  return top_.load(std::memory_order_acquire) >=
+         bottom_.load(std::memory_order_acquire);
+}
+
+std::size_t StealDeque::capacity() const noexcept {
+  return buffer_.load(std::memory_order_acquire)->capacity;
+}
+
+StealDeque::Buffer* StealDeque::grow(Buffer* old, std::int64_t top,
+                                     std::int64_t bottom) {
+  auto* bigger = new Buffer(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) {
+    bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  // Thieves may still read `old` through a stale buffer_ load; its live
+  // range [top, bottom) keeps the same items, so a stale read that wins
+  // its top-CAS still yields the right item.  Retire, don't delete.
+  old->retired_next = retired_;
+  retired_ = old;
+  ++grows_;
+  buffer_.store(bigger, std::memory_order_release);
+  return bigger;
+}
+
+}  // namespace taskprof::rt

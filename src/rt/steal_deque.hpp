@@ -1,0 +1,70 @@
+// Chase–Lev lock-free work-stealing deque (Chase & Lev, SPAA 2005).
+//
+// One owner thread pushes and pops at the *bottom* (LIFO, depth-first —
+// the policy that bounds concurrently active task instances, paper §V-B);
+// any other thread steals from the *top* (FIFO, oldest task first).  The
+// circular buffer grows on demand; outgrown buffers are retired, not
+// freed, because a concurrent thief may still hold a stale buffer
+// pointer — they are reclaimed when the deque is destroyed.
+//
+// Memory orderings follow Lê et al., "Correct and Efficient Work-Stealing
+// for Weak Memory Models" (PPoPP 2013), with one deliberate deviation:
+// the bottom/top handshake in pop()/steal() uses seq_cst *accesses*
+// instead of standalone seq_cst fences.  ThreadSanitizer does not model
+// std::atomic_thread_fence, so the fence formulation cannot be
+// machine-checked; the access formulation can, at the cost of one
+// store-load barrier per pop — negligible against a task execution.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace taskprof::rt {
+
+class StealDeque {
+ public:
+  /// `initial_capacity` is rounded up to a power of two (minimum 2).
+  explicit StealDeque(std::size_t initial_capacity = 64);
+  ~StealDeque();
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only.  Publishes `item`: everything the owner wrote before the
+  /// push is visible to whichever thread pops or steals it.
+  void push(void* item);
+
+  /// Owner only.  Takes the most recently pushed item, or nullptr when
+  /// the deque is empty (including losing the last item to a thief).
+  void* pop();
+
+  /// Any thread.  Takes the oldest item, or nullptr when the deque is
+  /// empty *or* the claim race was lost — callers treat nullptr as "try
+  /// elsewhere / retry", never as "guaranteed empty".
+  void* steal();
+
+  /// Approximate (racy) emptiness check; exact when quiescent.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Current buffer capacity (racy; exact on the owner thread).
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  /// Number of buffer growths since construction (owner-read statistic).
+  [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
+
+ private:
+  struct Buffer;
+
+  Buffer* grow(Buffer* old, std::int64_t top, std::int64_t bottom);
+
+  // top_ and bottom_ sit on separate cache lines: thieves hammer top_
+  // with CAS while the owner cycles bottom_ on every push/pop.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_{nullptr};
+  Buffer* retired_ = nullptr;  ///< owner-only chain of outgrown buffers
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace taskprof::rt

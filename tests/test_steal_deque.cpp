@@ -1,0 +1,118 @@
+#include "rt/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace taskprof::rt {
+namespace {
+
+// Items are synthetic non-null pointers encoding an index.
+void* token(std::uintptr_t index) {
+  return reinterpret_cast<void*>(index + 1);
+}
+
+std::uintptr_t index_of(void* item) {
+  return reinterpret_cast<std::uintptr_t>(item) - 1;
+}
+
+TEST(StealDequeTest, PopIsLifoStealIsFifo) {
+  StealDeque dq;
+  for (std::uintptr_t i = 0; i < 4; ++i) dq.push(token(i));
+  EXPECT_EQ(index_of(dq.steal()), 0u);  // oldest
+  EXPECT_EQ(index_of(dq.pop()), 3u);    // newest
+  EXPECT_EQ(index_of(dq.steal()), 1u);
+  EXPECT_EQ(index_of(dq.pop()), 2u);
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(StealDequeTest, EmptyDequeYieldsNull) {
+  StealDeque dq(2);
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+  dq.push(token(7));
+  EXPECT_EQ(index_of(dq.pop()), 7u);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(StealDequeTest, GrowPreservesAllItemsInOrder) {
+  constexpr std::uintptr_t kItems = 5000;
+  StealDeque dq(2);  // forces repeated growth
+  for (std::uintptr_t i = 0; i < kItems; ++i) dq.push(token(i));
+  EXPECT_GE(dq.capacity(), kItems);
+  EXPECT_GT(dq.grows(), 0u);
+  for (std::uintptr_t i = kItems; i-- > 0;) {
+    EXPECT_EQ(index_of(dq.pop()), i);
+  }
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(StealDequeTest, InterleavedPushPopReusesSlots) {
+  StealDeque dq(4);
+  std::uintptr_t next = 0;
+  std::uintptr_t live = 0;
+  for (int round = 0; round < 1000; ++round) {
+    dq.push(token(next++));
+    dq.push(token(next++));
+    live += 2;
+    if (round % 3 == 0) {
+      ASSERT_NE(dq.pop(), nullptr);
+      --live;
+    }
+  }
+  std::uintptr_t drained = 0;
+  while (dq.pop() != nullptr) ++drained;
+  EXPECT_EQ(drained, live);
+}
+
+/// The race the lock-free algorithm exists for: one owner pushing and
+/// popping on a tiny initial buffer (constant growth) while several
+/// thieves hammer steal().  Every item must be delivered exactly once.
+TEST(StealDequeTest, GrowStealRaceDeliversEveryItemExactlyOnce) {
+  constexpr std::uintptr_t kItems = 100000;
+  constexpr int kThieves = 3;
+  StealDeque dq(2);
+  std::vector<std::atomic<int>> delivered(kItems);
+  std::atomic<std::uintptr_t> taken{0};
+
+  auto take = [&](void* item) {
+    if (item == nullptr) return false;
+    delivered[index_of(item)].fetch_add(1, std::memory_order_relaxed);
+    taken.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      while (taken.load(std::memory_order_relaxed) < kItems) {
+        if (!take(dq.steal())) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Owner: pushes everything, popping a share along the way (exercising
+  // the last-item pop/steal race), then helps drain.
+  for (std::uintptr_t i = 0; i < kItems; ++i) {
+    dq.push(token(i));
+    if (i % 2 == 0) take(dq.pop());
+  }
+  while (taken.load(std::memory_order_relaxed) < kItems) {
+    if (!take(dq.pop())) std::this_thread::yield();
+  }
+  for (auto& t : thieves) t.join();
+
+  for (std::uintptr_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(delivered[i].load(), 1) << "item " << i;
+  }
+  EXPECT_TRUE(dq.empty());
+}
+
+}  // namespace
+}  // namespace taskprof::rt

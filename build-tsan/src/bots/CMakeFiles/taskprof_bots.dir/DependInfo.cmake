@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bots/alignment.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/alignment.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/alignment.cpp.o.d"
+  "/root/repo/src/bots/fft.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/fft.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/fft.cpp.o.d"
+  "/root/repo/src/bots/fib.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/fib.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/fib.cpp.o.d"
+  "/root/repo/src/bots/floorplan.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/floorplan.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/floorplan.cpp.o.d"
+  "/root/repo/src/bots/health.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/health.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/health.cpp.o.d"
+  "/root/repo/src/bots/kernels.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/kernels.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/kernels.cpp.o.d"
+  "/root/repo/src/bots/nqueens.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/nqueens.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/nqueens.cpp.o.d"
+  "/root/repo/src/bots/sort.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/sort.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/sort.cpp.o.d"
+  "/root/repo/src/bots/sparselu.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/sparselu.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/sparselu.cpp.o.d"
+  "/root/repo/src/bots/strassen.cpp" "src/bots/CMakeFiles/taskprof_bots.dir/strassen.cpp.o" "gcc" "src/bots/CMakeFiles/taskprof_bots.dir/strassen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rt/CMakeFiles/taskprof_rt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/profile/CMakeFiles/taskprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fiber/CMakeFiles/taskprof_fiber.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/taskprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_bots.dir/alignment.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/alignment.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/fft.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/fft.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/fib.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/fib.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/floorplan.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/floorplan.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/health.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/health.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/kernels.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/kernels.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/nqueens.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/nqueens.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/sort.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/sort.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/sparselu.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/sparselu.cpp.o.d"
+  "CMakeFiles/taskprof_bots.dir/strassen.cpp.o"
+  "CMakeFiles/taskprof_bots.dir/strassen.cpp.o.d"
+  "libtaskprof_bots.a"
+  "libtaskprof_bots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_bots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaskprof_bots.a"
+)

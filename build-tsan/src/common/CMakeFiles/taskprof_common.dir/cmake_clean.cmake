@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_common.dir/format.cpp.o"
+  "CMakeFiles/taskprof_common.dir/format.cpp.o.d"
+  "libtaskprof_common.a"
+  "libtaskprof_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

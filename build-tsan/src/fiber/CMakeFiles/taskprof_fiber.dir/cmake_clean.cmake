@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/taskprof_fiber.dir/fiber.cpp.o.d"
+  "libtaskprof_fiber.a"
+  "libtaskprof_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

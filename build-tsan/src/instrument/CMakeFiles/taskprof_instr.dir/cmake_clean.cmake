@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_instr.dir/instrumentor.cpp.o"
+  "CMakeFiles/taskprof_instr.dir/instrumentor.cpp.o.d"
+  "libtaskprof_instr.a"
+  "libtaskprof_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

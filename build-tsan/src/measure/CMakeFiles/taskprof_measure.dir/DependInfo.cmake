@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/aggregate.cpp" "src/measure/CMakeFiles/taskprof_measure.dir/aggregate.cpp.o" "gcc" "src/measure/CMakeFiles/taskprof_measure.dir/aggregate.cpp.o.d"
+  "/root/repo/src/measure/task_profiler.cpp" "src/measure/CMakeFiles/taskprof_measure.dir/task_profiler.cpp.o" "gcc" "src/measure/CMakeFiles/taskprof_measure.dir/task_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/profile/CMakeFiles/taskprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/taskprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

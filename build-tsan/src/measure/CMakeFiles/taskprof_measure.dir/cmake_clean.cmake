@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_measure.dir/aggregate.cpp.o"
+  "CMakeFiles/taskprof_measure.dir/aggregate.cpp.o.d"
+  "CMakeFiles/taskprof_measure.dir/task_profiler.cpp.o"
+  "CMakeFiles/taskprof_measure.dir/task_profiler.cpp.o.d"
+  "libtaskprof_measure.a"
+  "libtaskprof_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_profile.dir/calltree.cpp.o"
+  "CMakeFiles/taskprof_profile.dir/calltree.cpp.o.d"
+  "CMakeFiles/taskprof_profile.dir/region.cpp.o"
+  "CMakeFiles/taskprof_profile.dir/region.cpp.o.d"
+  "libtaskprof_profile.a"
+  "libtaskprof_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

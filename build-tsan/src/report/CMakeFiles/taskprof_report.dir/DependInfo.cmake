@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/analysis.cpp" "src/report/CMakeFiles/taskprof_report.dir/analysis.cpp.o" "gcc" "src/report/CMakeFiles/taskprof_report.dir/analysis.cpp.o.d"
+  "/root/repo/src/report/cube_export.cpp" "src/report/CMakeFiles/taskprof_report.dir/cube_export.cpp.o" "gcc" "src/report/CMakeFiles/taskprof_report.dir/cube_export.cpp.o.d"
+  "/root/repo/src/report/text_report.cpp" "src/report/CMakeFiles/taskprof_report.dir/text_report.cpp.o" "gcc" "src/report/CMakeFiles/taskprof_report.dir/text_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/measure/CMakeFiles/taskprof_measure.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/profile/CMakeFiles/taskprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/taskprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

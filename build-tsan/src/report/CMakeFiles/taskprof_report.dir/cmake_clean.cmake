@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_report.dir/analysis.cpp.o"
+  "CMakeFiles/taskprof_report.dir/analysis.cpp.o.d"
+  "CMakeFiles/taskprof_report.dir/cube_export.cpp.o"
+  "CMakeFiles/taskprof_report.dir/cube_export.cpp.o.d"
+  "CMakeFiles/taskprof_report.dir/text_report.cpp.o"
+  "CMakeFiles/taskprof_report.dir/text_report.cpp.o.d"
+  "libtaskprof_report.a"
+  "libtaskprof_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/real_runtime.cpp" "src/rt/CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o.d"
+  "/root/repo/src/rt/sim_runtime.cpp" "src/rt/CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o.d"
+  "/root/repo/src/rt/steal_deque.cpp" "src/rt/CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o" "gcc" "src/rt/CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/taskprof_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fiber/CMakeFiles/taskprof_fiber.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o"
+  "CMakeFiles/taskprof_rt.dir/real_runtime.cpp.o.d"
+  "CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o"
+  "CMakeFiles/taskprof_rt.dir/sim_runtime.cpp.o.d"
+  "CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o"
+  "CMakeFiles/taskprof_rt.dir/steal_deque.cpp.o.d"
+  "libtaskprof_rt.a"
+  "libtaskprof_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/taskprof_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/taskprof_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/file.cpp" "src/trace/CMakeFiles/taskprof_trace.dir/file.cpp.o" "gcc" "src/trace/CMakeFiles/taskprof_trace.dir/file.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/taskprof_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/taskprof_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/sampling.cpp" "src/trace/CMakeFiles/taskprof_trace.dir/sampling.cpp.o" "gcc" "src/trace/CMakeFiles/taskprof_trace.dir/sampling.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/taskprof_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/taskprof_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rt/CMakeFiles/taskprof_rt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/profile/CMakeFiles/taskprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fiber/CMakeFiles/taskprof_fiber.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/taskprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

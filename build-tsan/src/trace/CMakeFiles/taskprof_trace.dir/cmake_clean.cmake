@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskprof_trace.dir/analysis.cpp.o"
+  "CMakeFiles/taskprof_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/taskprof_trace.dir/file.cpp.o"
+  "CMakeFiles/taskprof_trace.dir/file.cpp.o.d"
+  "CMakeFiles/taskprof_trace.dir/recorder.cpp.o"
+  "CMakeFiles/taskprof_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/taskprof_trace.dir/sampling.cpp.o"
+  "CMakeFiles/taskprof_trace.dir/sampling.cpp.o.d"
+  "CMakeFiles/taskprof_trace.dir/trace.cpp.o"
+  "CMakeFiles/taskprof_trace.dir/trace.cpp.o.d"
+  "libtaskprof_trace.a"
+  "libtaskprof_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskprof_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

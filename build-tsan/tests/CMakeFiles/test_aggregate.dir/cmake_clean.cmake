@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregate.dir/test_aggregate.cpp.o"
+  "CMakeFiles/test_aggregate.dir/test_aggregate.cpp.o.d"
+  "test_aggregate"
+  "test_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

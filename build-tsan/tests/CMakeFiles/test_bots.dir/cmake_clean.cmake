@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bots.dir/test_bots.cpp.o"
+  "CMakeFiles/test_bots.dir/test_bots.cpp.o.d"
+  "test_bots"
+  "test_bots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

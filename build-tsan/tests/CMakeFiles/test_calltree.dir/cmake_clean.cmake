@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calltree.dir/test_calltree.cpp.o"
+  "CMakeFiles/test_calltree.dir/test_calltree.cpp.o.d"
+  "test_calltree"
+  "test_calltree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calltree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumentor.dir/test_instrumentor.cpp.o"
+  "CMakeFiles/test_instrumentor.dir/test_instrumentor.cpp.o.d"
+  "test_instrumentor"
+  "test_instrumentor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumentor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_report.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_report.dir/test_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/report/CMakeFiles/taskprof_report.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/taskprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/instrument/CMakeFiles/taskprof_instr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bots/CMakeFiles/taskprof_bots.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/measure/CMakeFiles/taskprof_measure.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rt/CMakeFiles/taskprof_rt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fiber/CMakeFiles/taskprof_fiber.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/profile/CMakeFiles/taskprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/taskprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

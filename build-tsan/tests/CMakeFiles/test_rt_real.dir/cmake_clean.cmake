@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_real.dir/test_rt_real.cpp.o"
+  "CMakeFiles/test_rt_real.dir/test_rt_real.cpp.o.d"
+  "test_rt_real"
+  "test_rt_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

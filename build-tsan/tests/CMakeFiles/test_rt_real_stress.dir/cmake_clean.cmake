@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_real_stress.dir/test_rt_real_stress.cpp.o"
+  "CMakeFiles/test_rt_real_stress.dir/test_rt_real_stress.cpp.o.d"
+  "test_rt_real_stress"
+  "test_rt_real_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_real_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steal_deque.dir/test_steal_deque.cpp.o"
+  "CMakeFiles/test_steal_deque.dir/test_steal_deque.cpp.o.d"
+  "test_steal_deque"
+  "test_steal_deque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steal_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_profiler.dir/test_task_profiler.cpp.o"
+  "CMakeFiles/test_task_profiler.dir/test_task_profiler.cpp.o.d"
+  "test_task_profiler"
+  "test_task_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

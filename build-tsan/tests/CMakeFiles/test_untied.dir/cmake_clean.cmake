@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_untied.dir/test_untied.cpp.o"
+  "CMakeFiles/test_untied.dir/test_untied.cpp.o.d"
+  "test_untied"
+  "test_untied.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_untied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

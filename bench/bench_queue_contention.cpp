@@ -32,12 +32,6 @@ using namespace taskprof;
 
 namespace {
 
-std::string format_double(double value, int decimals) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
-  return buf;
-}
-
 struct Sizes {
   std::uint64_t spawn_tasks;
   int fib_n;
@@ -91,59 +85,15 @@ RunResult run_spawn_drain(rt::RealRuntime& runtime, int threads,
   return out;
 }
 
-void fib_task(rt::TaskContext& ctx, RegionHandle task, int n, long* result) {
-  if (n < 2) {
-    *result = n;
-    return;
-  }
-  rt::TaskAttrs attrs;
-  attrs.region = task;
-  long a = 0;
-  long b = 0;
-  ctx.create_task(
-      [task, n, &a](rt::TaskContext& c) { fib_task(c, task, n - 1, &a); },
-      attrs);
-  ctx.create_task(
-      [task, n, &b](rt::TaskContext& c) { fib_task(c, task, n - 2, &b); },
-      attrs);
-  ctx.taskwait();
-  *result = a + b;
-}
-
 RunResult run_fib(rt::RealRuntime& runtime, int threads, RegionHandle task,
                   int n) {
   long result = 0;
   RunResult out;
   out.stats = runtime.parallel(threads, [&](rt::TaskContext& ctx) {
-    if (ctx.single()) fib_task(ctx, task, n, &result);
+    if (ctx.single()) bench::fib_workload(ctx, task, n, &result);
   });
   out.checksum = static_cast<std::uint64_t>(result);
   return out;
-}
-
-void nqueens_task(rt::TaskContext& ctx, RegionHandle task, int n, int row,
-                  std::uint32_t cols, std::uint32_t diag1, std::uint32_t diag2,
-                  std::atomic<std::uint64_t>& solutions) {
-  if (row == n) {
-    solutions.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  rt::TaskAttrs attrs;
-  attrs.region = task;
-  for (int col = 0; col < n; ++col) {
-    const std::uint32_t c = 1u << col;
-    const std::uint32_t d1 = 1u << (row + col);
-    const std::uint32_t d2 = 1u << (row - col + n - 1);
-    if ((cols & c) != 0 || (diag1 & d1) != 0 || (diag2 & d2) != 0) continue;
-    ctx.create_task(
-        [task, n, row, cols, diag1, diag2, c, d1, d2,
-         &solutions](rt::TaskContext& child) {
-          nqueens_task(child, task, n, row + 1, cols | c, diag1 | d1,
-                       diag2 | d2, solutions);
-        },
-        attrs);
-  }
-  ctx.taskwait();
 }
 
 RunResult run_nqueens(rt::RealRuntime& runtime, int threads, RegionHandle task,
@@ -151,7 +101,9 @@ RunResult run_nqueens(rt::RealRuntime& runtime, int threads, RegionHandle task,
   std::atomic<std::uint64_t> solutions{0};
   RunResult out;
   out.stats = runtime.parallel(threads, [&](rt::TaskContext& ctx) {
-    if (ctx.single()) nqueens_task(ctx, task, n, 0, 0, 0, 0, solutions);
+    if (ctx.single()) {
+      bench::nqueens_workload(ctx, task, n, 0, 0, 0, 0, solutions);
+    }
   });
   out.checksum = solutions.load();
   return out;
@@ -237,45 +189,12 @@ CellResult measure(const Workload& workload, rt::SchedulerKind scheduler,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bots::SizeClass size = bots::SizeClass::kSmall;
-  std::uint64_t seed = 42;
-  int reps = 3;
-  std::string out_path = "BENCH_queue_contention.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick" || arg == "--size=test") {
-      size = bots::SizeClass::kTest;
-    } else if (arg == "--size=small") {
-      size = bots::SizeClass::kSmall;
-    } else if (arg == "--size=medium") {
-      size = bots::SizeClass::kMedium;
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      try {
-        seed = std::stoull(arg.substr(7));
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "bad --seed value: %s\n", arg.c_str());
-        return 2;
-      }
-    } else if (arg.rfind("--reps=", 0) == 0) {
-      try {
-        reps = std::max(1, std::stoi(arg.substr(7)));
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "bad --reps value: %s\n", arg.c_str());
-        return 2;
-      }
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: %s [--size=test|small|medium] [--quick] [--seed=N] "
-          "[--reps=N] [--out=FILE.json]\n",
-          argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return 2;
-    }
-  }
+  const bench::TrajectoryOptions options = bench::parse_trajectory_options(
+      argc, argv, "BENCH_queue_contention.json");
+  const bots::SizeClass size = options.size;
+  const std::uint64_t seed = options.seed;
+  const int reps = options.reps;
+  const std::string& out_path = options.out_path;
 
   const Sizes sz = sizes_for(size);
   std::printf("=== Scheduler contention: mutex deque vs. Chase-Lev ===\n");
@@ -353,9 +272,11 @@ int main(int argc, char** argv) {
             {workload.name, std::to_string(threads),
              scheduler_name(scheduler), std::to_string(stats.tasks_executed),
              std::to_string(stats.steals),
-             format_double(cell.span_ms, 2),
-             format_double(cell.tasks_per_sec, 0),
-             cell.run.rounds > 0 ? format_double(cell.ns_per_round, 0) : "-"});
+             bench::format_double(cell.span_ms, 2),
+             bench::format_double(cell.tasks_per_sec, 0),
+             cell.run.rounds > 0
+                 ? bench::format_double(cell.ns_per_round, 0)
+                 : "-"});
 
         json.begin_object();
         json.field("workload", workload.name);

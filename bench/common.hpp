@@ -12,8 +12,10 @@
 // uses the real engine.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <optional>
 #include <string>
@@ -97,6 +99,124 @@ inline double overhead(Ticks plain, Ticks instrumented) {
   return plain == 0 ? 0.0
                     : static_cast<double>(instrumented - plain) /
                           static_cast<double>(plain);
+}
+
+/// Fixed-decimal double formatting for bench tables ("12.34").
+inline std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+/// Options for trajectory benches — the BENCH_<name>.json emitters that
+/// track performance across PRs.  Extends the basic size/seed flags with
+/// the shared --reps / --out flags, parsed identically in every bench.
+struct TrajectoryOptions {
+  bots::SizeClass size = bots::SizeClass::kSmall;
+  std::uint64_t seed = 42;
+  int reps = 3;
+  std::string out_path;
+};
+
+/// Parse the trajectory-bench command line.  `default_out` names the
+/// BENCH_<name>.json written when --out is absent.  Exits with a usage
+/// message on bad input (malformed numbers included).
+inline TrajectoryOptions parse_trajectory_options(int argc, char** argv,
+                                                  const char* default_out) {
+  TrajectoryOptions options;
+  options.out_path = default_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" || arg == "--size=test") {
+      options.size = bots::SizeClass::kTest;
+    } else if (arg == "--size=small") {
+      options.size = bots::SizeClass::kSmall;
+    } else if (arg == "--size=medium") {
+      options.size = bots::SizeClass::kMedium;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      try {
+        options.seed = std::stoull(arg.substr(7));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --seed value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      try {
+        options.reps = std::stoi(arg.substr(7));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --reps value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      if (options.reps < 1) options.reps = 1;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--size=test|small|medium] [--quick] [--seed=N] "
+          "[--reps=N] [--out=FILE.json]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Shared real-engine recursive workloads (engine-agnostic: they only use
+// TaskContext).  bench_queue_contention and bench_telemetry_overhead
+// measure the *same* task graphs so their numbers are comparable.
+// ---------------------------------------------------------------------------
+
+/// Cut-off-free fib recursion — the paper's fine-grained worst case
+/// (Fig. 14): two child tasks plus a taskwait per node.
+inline void fib_workload(rt::TaskContext& ctx, RegionHandle task, int n,
+                         long* result) {
+  if (n < 2) {
+    *result = n;
+    return;
+  }
+  rt::TaskAttrs attrs;
+  attrs.region = task;
+  long a = 0;
+  long b = 0;
+  ctx.create_task(
+      [task, n, &a](rt::TaskContext& c) { fib_workload(c, task, n - 1, &a); },
+      attrs);
+  ctx.create_task(
+      [task, n, &b](rt::TaskContext& c) { fib_workload(c, task, n - 2, &b); },
+      attrs);
+  ctx.taskwait();
+  *result = a + b;
+}
+
+/// Cut-off-free nqueens recursion: wider fan-out, deeper taskwait nesting.
+inline void nqueens_workload(rt::TaskContext& ctx, RegionHandle task, int n,
+                             int row, std::uint32_t cols, std::uint32_t diag1,
+                             std::uint32_t diag2,
+                             std::atomic<std::uint64_t>& solutions) {
+  if (row == n) {
+    solutions.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rt::TaskAttrs attrs;
+  attrs.region = task;
+  for (int col = 0; col < n; ++col) {
+    const std::uint32_t c = 1u << col;
+    const std::uint32_t d1 = 1u << (row + col);
+    const std::uint32_t d2 = 1u << (row - col + n - 1);
+    if ((cols & c) != 0 || (diag1 & d1) != 0 || (diag2 & d2) != 0) continue;
+    ctx.create_task(
+        [task, n, row, cols, diag1, diag2, c, d1, d2,
+         &solutions](rt::TaskContext& child) {
+          nqueens_workload(child, task, n, row + 1, cols | c, diag1 | d1,
+                           diag2 | d2, solutions);
+        },
+        attrs);
+  }
+  ctx.taskwait();
 }
 
 inline const char* size_name(bots::SizeClass size) {

@@ -20,7 +20,9 @@
 #include "report/text_report.hpp"
 #include "rt/real_runtime.hpp"
 #include "rt/sim_runtime.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/analysis.hpp"
+#include "trace/chrome_export.hpp"
 #include "trace/file.hpp"
 #include "trace/recorder.hpp"
 
@@ -51,6 +53,12 @@ void usage(const char* argv0) {
       "  --analyze-trace=FILE  post-mortem mode: load FILE (written by\n"
       "                        --trace-out) and print the analyses; no\n"
       "                        kernel runs\n"
+      "  --telemetry           attach the scheduler-telemetry registry and\n"
+      "                        print the telemetry section (steal rates,\n"
+      "                        high-water marks, measured hook overhead)\n"
+      "  --telemetry-json=FILE write the telemetry snapshot as JSON\n"
+      "  --chrome-trace=FILE   write a chrome://tracing / Perfetto timeline\n"
+      "                        (implies --trace)\n"
       "  --uninstrumented      run without measurement (timing baseline)\n",
       argv0);
 }
@@ -62,8 +70,11 @@ struct CliOptions {
   bots::KernelConfig config;
   bool instrumented = true;
   bool trace = false;
+  bool telemetry = false;
   std::string trace_out;
   std::string analyze_trace;
+  std::string telemetry_json;
+  std::string chrome_trace;
 };
 
 bool parse(int argc, char** argv, CliOptions& cli) {
@@ -104,6 +115,14 @@ bool parse(int argc, char** argv, CliOptions& cli) {
       cli.trace_out = value_of("--trace-out=");
     } else if (arg.rfind("--analyze-trace=", 0) == 0) {
       cli.analyze_trace = value_of("--analyze-trace=");
+    } else if (arg == "--telemetry") {
+      cli.telemetry = true;
+    } else if (arg.rfind("--telemetry-json=", 0) == 0) {
+      cli.telemetry = true;
+      cli.telemetry_json = value_of("--telemetry-json=");
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      cli.trace = true;
+      cli.chrome_trace = value_of("--chrome-trace=");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -212,6 +231,8 @@ int main(int argc, char** argv) {
   RegionRegistry registry;
   std::unique_ptr<Instrumentor> instrumentor;
   std::unique_ptr<trace::TraceRecorder> recorder;
+  std::unique_ptr<telemetry::Registry> telem;
+  std::unique_ptr<telemetry::TimedHooks> timed;
   rt::FanoutHooks fanout;
   if (cli.instrumented) {
     instrumentor = std::make_unique<Instrumentor>(registry);
@@ -221,10 +242,25 @@ int main(int argc, char** argv) {
     recorder = std::make_unique<trace::TraceRecorder>();
     fanout.add(recorder.get());
   }
-  if (cli.instrumented || cli.trace) runtime->set_hooks(&fanout);
+  if (cli.telemetry) telem = std::make_unique<telemetry::Registry>();
+  if (cli.instrumented || cli.trace) {
+    // With telemetry on, the timing decorator sits between the engine and
+    // the measurement hooks so their cost lands in the telemetry too.
+    if (telem != nullptr) {
+      timed = std::make_unique<telemetry::TimedHooks>(&fanout, telem.get());
+      runtime->set_hooks(timed.get());
+    } else {
+      runtime->set_hooks(&fanout);
+    }
+  }
+  if (telem != nullptr) runtime->set_telemetry(telem.get());
   const bots::KernelResult result = kernel->run(*runtime, registry,
                                                 cli.config);
   runtime->set_hooks(nullptr);
+  runtime->set_telemetry(nullptr);
+
+  telemetry::Snapshot telemetry_snapshot;
+  if (telem != nullptr) telemetry_snapshot = telem->snapshot();
 
   if (cli.trace) {
     const trace::Trace recorded = recorder->take();
@@ -238,9 +274,38 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    if (!cli.chrome_trace.empty()) {
+      try {
+        trace::ChromeExportOptions chrome;
+        chrome.registry = &registry;
+        chrome.telemetry = telem != nullptr ? &telemetry_snapshot : nullptr;
+        trace::write_chrome_trace(cli.chrome_trace, recorded, chrome);
+        std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                    cli.chrome_trace.c_str());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+      }
+    }
     const trace::TraceAnalysis analysis = trace::analyze_trace(recorded);
     std::fputs(trace::render_analysis(analysis, registry).c_str(), stdout);
     std::fputs(trace::render_timeline(recorded).c_str(), stdout);
+  }
+
+  if (telem != nullptr) {
+    std::fputs(render_telemetry(telemetry_snapshot).c_str(), stdout);
+    if (!cli.telemetry_json.empty()) {
+      std::FILE* f = std::fopen(cli.telemetry_json.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", cli.telemetry_json.c_str());
+        return 1;
+      }
+      const std::string json = telemetry::snapshot_to_json(telemetry_snapshot);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("telemetry snapshot written to %s\n",
+                  cli.telemetry_json.c_str());
+    }
   }
 
   if (!cli.instrumented) {

@@ -1,5 +1,7 @@
 #include "report/text_report.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/format.hpp"
@@ -118,6 +120,57 @@ std::string render_profile(const AggregateProfile& profile,
      << '\n';
   os << "max concurrent task instances per thread: "
      << profile.max_concurrent_any_thread << '\n';
+  return os.str();
+}
+
+std::string render_telemetry(const telemetry::Snapshot& snapshot) {
+  using telemetry::Counter;
+  using telemetry::Gauge;
+  std::ostringstream os;
+  os << "=== scheduler telemetry (" << snapshot.threads << " threads) ===\n";
+
+  const std::uint64_t attempts = snapshot.counter(Counter::kStealAttempts);
+  if (attempts > 0) {
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.1f %%",
+                  snapshot.steal_success_rate() * 100.0);
+    os << "steal success rate: " << rate << " ("
+       << format_count(snapshot.counter(Counter::kStealSuccesses)) << " of "
+       << format_count(attempts) << " probes, "
+       << format_count(snapshot.counter(Counter::kStealAborts))
+       << " empty rounds)\n";
+  }
+  const std::uint64_t hook_events = snapshot.counter(Counter::kHookEvents);
+  if (hook_events > 0) {
+    os << "hook overhead: "
+       << format_ticks(snapshot.counter(Counter::kHookTicks)) << " over "
+       << format_count(hook_events) << " events ("
+       << format_ticks(static_cast<Ticks>(snapshot.hook_mean_ticks()))
+       << "/event)\n";
+  }
+
+  TextTable counters({"counter", "total", "per-thread max"});
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (snapshot.counter(c) == 0) continue;
+    std::uint64_t thread_max = 0;
+    for (const auto& row : snapshot.per_thread) {
+      thread_max = std::max(thread_max, row[i]);
+    }
+    counters.add_row({std::string(telemetry::counter_name(c)),
+                      format_count(snapshot.counter(c)),
+                      format_count(thread_max)});
+  }
+  if (counters.row_count() > 0) os << counters.str();
+
+  TextTable gauges({"gauge (high water)", "max"});
+  for (std::size_t i = 0; i < telemetry::kGaugeCount; ++i) {
+    const auto g = static_cast<Gauge>(i);
+    if (snapshot.gauge(g) == 0) continue;
+    gauges.add_row({std::string(telemetry::gauge_name(g)),
+                    format_count(snapshot.gauge(g))});
+  }
+  if (gauges.row_count() > 0) os << gauges.str();
   return os.str();
 }
 

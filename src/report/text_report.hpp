@@ -11,6 +11,7 @@
 #include "measure/aggregate.hpp"
 #include "profile/calltree.hpp"
 #include "profile/region.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace taskprof {
 
@@ -28,6 +29,13 @@ struct ReportOptions {
 [[nodiscard]] std::string render_profile(const AggregateProfile& profile,
                                          const RegionRegistry& registry,
                                          const ReportOptions& options = {});
+
+/// Render the scheduler-telemetry section: derived rates (steal success,
+/// hook overhead) followed by the counter and gauge tables.  Counters that
+/// never fired are omitted so the engine-specific ones don't print as
+/// zero noise.
+[[nodiscard]] std::string render_telemetry(
+    const telemetry::Snapshot& snapshot);
 
 /// Machine-readable export: one CSV row per node with the full call path.
 /// Columns: tree,path,stub,parameter,visits,inclusive_ns,exclusive_ns,

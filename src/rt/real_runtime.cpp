@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "common/clock.hpp"
 #include "rt/steal_deque.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace taskprof::rt {
 
@@ -123,6 +124,16 @@ class RecordSlab {
         head, rec, std::memory_order_release, std::memory_order_relaxed));
   }
 
+  /// Records ever carved from chunks (owner-read).  Free lists only
+  /// recycle, so this is the slab-occupancy high-water mark: the most
+  /// records this thread ever had live at once (± the remote-free-list
+  /// drain lag), at zero hot-path cost.
+  [[nodiscard]] std::uint64_t carved() const noexcept {
+    if (chunks_.empty()) return 0;
+    return static_cast<std::uint64_t>(chunks_.size()) * kChunkSize -
+           static_cast<std::uint64_t>(kChunkSize - next_in_chunk_);
+  }
+
  private:
   static constexpr std::size_t kChunkSize = 128;
 
@@ -170,6 +181,7 @@ struct RealRuntime::Impl {
   // --- configuration / global state ------------------------------------
   RealConfig config;
   SchedulerHooks* hooks = nullptr;
+  telemetry::Registry* telemetry = nullptr;
   SteadyClock clock;
 
   // --- team state (valid during one parallel region) --------------------
@@ -190,7 +202,11 @@ struct RealRuntime::Impl {
     std::uint64_t single_counter = 0;
     std::uint64_t barrier_counter = 0;
     std::uint64_t executed = 0;
+    std::uint64_t created = 0;
     std::uint64_t steals = 0;
+    std::uint64_t steal_attempts = 0;
+    /// Cached telemetry handle (detached no-op unless a sink is set).
+    telemetry::Registry::ThreadSlots telem;
   };
   std::vector<std::unique_ptr<ThreadState>> threads;
 
@@ -200,10 +216,26 @@ struct RealRuntime::Impl {
     WorkerQueue& own = *queues[st.tid];
     if (config.scheduler == SchedulerKind::kChaseLev) {
       own.deque.push(rec);
+      if (st.telem.attached()) {
+        st.telem.gauge_max(telemetry::Gauge::kDequeDepth, own.deque.size());
+      }
       return;
     }
-    std::scoped_lock lock(own.mutex);
-    own.tasks.push_back(rec);
+    std::size_t depth = 0;
+    {
+      std::scoped_lock lock(own.mutex);
+      own.tasks.push_back(rec);
+      depth = own.tasks.size();
+    }
+    st.telem.gauge_max(telemetry::Gauge::kDequeDepth, depth);
+  }
+
+  /// One stolen-task acquisition: bumps the always-on attempt counter and,
+  /// when a sink is attached, the telemetry steal counters.
+  void count_steal(ThreadState& st, bool success) noexcept {
+    ++st.steal_attempts;
+    st.telem.add(telemetry::Counter::kStealAttempts);
+    if (success) st.telem.add(telemetry::Counter::kStealSuccesses);
   }
 
   TaskRecord* try_acquire(ThreadState& st) {
@@ -218,9 +250,12 @@ struct RealRuntime::Impl {
                     static_cast<ThreadId>(nthreads)];
         if (auto* t = static_cast<TaskRecord*>(victim.deque.steal())) {
           ++st.steals;
+          count_steal(st, /*success=*/true);
           return t;
         }
+        count_steal(st, /*success=*/false);
       }
+      if (nthreads > 1) st.telem.add(telemetry::Counter::kStealAborts);
       return nullptr;
     }
     WorkerQueue& own = *queues[st.tid];
@@ -237,14 +272,23 @@ struct RealRuntime::Impl {
       WorkerQueue& victim =
           *queues[(st.tid + static_cast<ThreadId>(offset)) %
                   static_cast<ThreadId>(nthreads)];
-      std::scoped_lock lock(victim.mutex);
-      if (!victim.tasks.empty()) {
-        TaskRecord* t = victim.tasks.front();
-        victim.tasks.pop_front();
+      bool success = false;
+      TaskRecord* t = nullptr;
+      {
+        std::scoped_lock lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+          t = victim.tasks.front();
+          victim.tasks.pop_front();
+          success = true;
+        }
+      }
+      count_steal(st, success);
+      if (success) {
         ++st.steals;
         return t;
       }
     }
+    if (nthreads > 1) st.telem.add(telemetry::Counter::kStealAborts);
     return nullptr;
   }
 
@@ -256,7 +300,10 @@ struct RealRuntime::Impl {
     if (rec->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       TASKPROF_ASSERT(rec->slab != nullptr,
                       "implicit-task record dropped its last reference");
-      rec->slab->recycle(rec, /*local=*/rec->creator == st.tid);
+      const bool local = rec->creator == st.tid;
+      rec->slab->recycle(rec, local);
+      st.telem.add(telemetry::Counter::kSlabRecycles);
+      if (!local) st.telem.add(telemetry::Counter::kSlabRemoteRecycles);
     }
   }
 
@@ -264,6 +311,11 @@ struct RealRuntime::Impl {
     if (hooks != nullptr) {
       hooks->on_task_begin(st.tid, rec->id, rec->attrs.region,
                            rec->attrs.parameter);
+    }
+    st.telem.add(telemetry::Counter::kTasksExecuted);
+    if (st.telem.attached()) {
+      st.telem.gauge_max(telemetry::Gauge::kTaskStackDepth,
+                         st.task_stack.size() + 1);
     }
     st.task_stack.push_back(rec);
     rec->fn(ctx);
@@ -301,6 +353,14 @@ class RealContext final : public TaskContext {
     }
     const TaskInstanceId id =
         rt_.next_id.fetch_add(1, std::memory_order_relaxed);
+    ++st_.created;
+    if (st_.telem.attached()) {
+      st_.telem.add(telemetry::Counter::kTasksCreated);
+      st_.telem.add(attrs.undeferred
+                        ? telemetry::Counter::kTasksUndeferred
+                        : telemetry::Counter::kTasksDeferred);
+      st_.telem.add(telemetry::Counter::kSlabAllocs);
+    }
     TaskRecord* rec = st_.slab.allocate();
     rec->fn = std::move(fn);
     rec->attrs = attrs;
@@ -332,6 +392,7 @@ class RealContext final : public TaskContext {
   void taskwait() override {
     SchedulerHooks* hooks = rt_.hooks;
     if (hooks != nullptr) hooks->on_taskwait_begin(st_.tid);
+    st_.telem.add(telemetry::Counter::kTaskwaitEntries);
     TaskRecord* current = st_.task_stack.back();
     int spins = 0;
     while (current->pending_children.load(std::memory_order_acquire) > 0) {
@@ -340,6 +401,7 @@ class RealContext final : public TaskContext {
         spins = 0;
       } else if (++spins >= rt_.config.spins_before_yield) {
         spins = 0;
+        count_yield();
         std::this_thread::yield();
       }
     }
@@ -353,6 +415,7 @@ class RealContext final : public TaskContext {
                     "barrier must be called from the implicit task");
     SchedulerHooks* hooks = rt_.hooks;
     if (hooks != nullptr) hooks->on_barrier_begin(st_.tid, implicit);
+    st_.telem.add(telemetry::Counter::kBarrierEntries);
     const std::uint64_t generation = ++st_.barrier_counter;
     const std::uint64_t needed =
         generation * static_cast<std::uint64_t>(rt_.nthreads);
@@ -377,6 +440,7 @@ class RealContext final : public TaskContext {
       }
       if (++spins >= rt_.config.spins_before_yield) {
         spins = 0;
+        count_yield();
         std::this_thread::yield();
       }
     }
@@ -399,6 +463,7 @@ class RealContext final : public TaskContext {
       if (slot.compare_exchange_weak(seen, episode,
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
+        st_.telem.add(telemetry::Counter::kSingleWins);
         return true;
       }
     }
@@ -426,6 +491,10 @@ class RealContext final : public TaskContext {
   [[nodiscard]] int num_threads() const override { return rt_.nthreads; }
 
  private:
+  void count_yield() noexcept {
+    st_.telem.add(telemetry::Counter::kSchedYields);
+  }
+
   RealRuntime::Impl& rt_;
   RealRuntime::Impl::ThreadState& st_;
 };
@@ -438,6 +507,10 @@ RealRuntime::RealRuntime(RealConfig config)
 RealRuntime::~RealRuntime() = default;
 
 void RealRuntime::set_hooks(SchedulerHooks* hooks) { impl_->hooks = hooks; }
+
+void RealRuntime::set_telemetry(telemetry::Registry* registry) {
+  impl_->telemetry = registry;
+}
 
 Ticks RealRuntime::now() const { return impl_->clock.now(); }
 
@@ -459,6 +532,12 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
     st->tid = static_cast<ThreadId>(i);
     st->implicit_record.id = kImplicitTaskId;
     rt.threads.push_back(std::move(st));
+  }
+  if (rt.telemetry != nullptr) {
+    rt.telemetry->prepare(num_threads);
+    // Hand each worker a direct handle to its counter block so the
+    // per-event path skips the registry's block-table indirection.
+    for (const auto& st : rt.threads) st->telem = rt.telemetry->slots(st->tid);
   }
 
   if (rt.hooks != nullptr) rt.hooks->on_parallel_begin(num_threads);
@@ -489,7 +568,15 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
   stats.parallel_ticks = t1 - t0;
   for (const auto& st : rt.threads) {
     stats.tasks_executed += st->executed;
+    stats.tasks_created += st->created;
     stats.steals += st->steals;
+    stats.steal_attempts += st->steal_attempts;
+    if (rt.telemetry != nullptr) {
+      // Quiescent point: the workers joined, so the owner-only carved()
+      // reads and the single-writer gauge stores are race-free here.
+      rt.telemetry->gauge_max(st->tid, telemetry::Gauge::kSlabRecords,
+                              st->slab.carved());
+    }
   }
   TASKPROF_ASSERT(rt.outstanding.load() == 0,
                   "tasks outstanding after parallel region");

@@ -53,6 +53,7 @@ class RealRuntime final : public Runtime {
   RealRuntime& operator=(const RealRuntime&) = delete;
 
   void set_hooks(SchedulerHooks* hooks) override;
+  void set_telemetry(telemetry::Registry* registry) override;
   TeamStats parallel(int num_threads, TaskFn body) override;
   [[nodiscard]] Ticks now() const override;
 

@@ -6,15 +6,22 @@
 #include "rt/hooks.hpp"
 #include "rt/task_context.hpp"
 
+namespace taskprof::telemetry {
+class Registry;
+}  // namespace taskprof::telemetry
+
 namespace taskprof::rt {
 
 /// Aggregate counters of one parallel region, reported by the engine
 /// (independent of profiling — used by benches to report uninstrumented
-/// runs).
+/// runs).  This is the cheap always-on summary; the deep view is the
+/// telemetry::Registry attached via set_telemetry.
 struct TeamStats {
   Ticks parallel_ticks = 0;          ///< duration of the region (team span)
   std::uint64_t tasks_executed = 0;  ///< explicit task instances completed
+  std::uint64_t tasks_created = 0;   ///< explicit task instances created
   std::uint64_t steals = 0;          ///< tasks executed off their creating thread
+  std::uint64_t steal_attempts = 0;  ///< victim-queue probes by idle threads
   std::uint64_t migrations = 0;      ///< untied resumptions on a new thread
 };
 
@@ -28,6 +35,15 @@ class Runtime {
   /// be called while a parallel region is running.  The engine treats a
   /// null listener as "uninstrumented": no events, no event costs.
   virtual void set_hooks(SchedulerHooks* hooks) = 0;
+
+  /// Attach (or detach with nullptr) a scheduler-telemetry sink.  Must not
+  /// be called while a parallel region is running.  With no sink the
+  /// engines skip every telemetry slot update (one predictable branch per
+  /// site); with a sink they record steals, queue depths, slab occupancy,
+  /// and scheduling-point entries into per-thread lock-free counters.
+  virtual void set_telemetry(telemetry::Registry* registry) {
+    (void)registry;
+  }
 
   /// Run `body` as the implicit task of `num_threads` threads, including
   /// the implicit barrier at the end.  Throws std::invalid_argument for

@@ -9,6 +9,7 @@
 #include "common/assert.hpp"
 #include "common/clock.hpp"
 #include "fiber/fiber.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace taskprof::rt {
 
@@ -82,6 +83,7 @@ struct Worker {
   std::size_t barrier_counter = 0;
   std::size_t single_counter = 0;
   std::uint64_t executed = 0;
+  std::uint64_t created = 0;
   std::uint64_t steals = 0;
   std::uint64_t migrations = 0;
 };
@@ -120,6 +122,7 @@ struct SimRuntime::Impl {
 
   SimConfig config;
   SchedulerHooks* hooks = nullptr;
+  telemetry::Registry* telemetry = nullptr;
   StackPool stack_pool;
   Ticks base_time = 0;
 
@@ -146,6 +149,23 @@ struct SimRuntime::Impl {
   /// Per measurement event, instrumented runs pay a virtual cost.
   void charge(Worker& w) const noexcept {
     if (hooks != nullptr) w.time += config.costs.instr_event;
+  }
+
+  /// Telemetry shorthands (no-ops without a sink).
+  void count(const Worker& w, telemetry::Counter c) const noexcept {
+    if (telemetry != nullptr) telemetry->add(w.id, c);
+  }
+
+  /// A dequeue that took a task created by another worker is the
+  /// simulator's steal; attempts == successes here (the central queue
+  /// cannot probe empty victims).
+  void count_dequeue(Worker& w, const SimTask& task) const noexcept {
+    if (task.creator == w.id) return;
+    ++w.steals;
+    if (telemetry != nullptr) {
+      telemetry->add(w.id, telemetry::Counter::kStealAttempts);
+      telemetry->add(w.id, telemetry::Counter::kStealSuccesses);
+    }
   }
 
   /// Serve a management-lock operation for `w`: FIFO queueing plus
@@ -273,6 +293,10 @@ class SimContext final : public TaskContext {
     rec->parent = w->running;
     rec->creator = w->id;
     rec->parent->refs += 1;  // the child keeps its parent record alive
+    ++w->created;
+    rt_.count(*w, telemetry::Counter::kTasksCreated);
+    rt_.count(*w, attrs.undeferred ? telemetry::Counter::kTasksUndeferred
+                                   : telemetry::Counter::kTasksDeferred);
 
     if (attrs.undeferred) {
       rt_.request = Request::kInlineRun;
@@ -296,6 +320,7 @@ class SimContext final : public TaskContext {
     Worker* w = rt_.current;
     rt_.charge(*w);
     if (rt_.hooks != nullptr) rt_.hooks->on_taskwait_begin(w->id);
+    rt_.count(*w, telemetry::Counter::kTaskwaitEntries);
     w->time += rt_.config.costs.taskwait_check;
     SimTask* cur = w->running;
     if (cur->pending_children > 0) {
@@ -315,6 +340,7 @@ class SimContext final : public TaskContext {
                     "barrier must be called from the implicit task");
     rt_.charge(*w);
     if (rt_.hooks != nullptr) rt_.hooks->on_barrier_begin(w->id, implicit);
+    rt_.count(*w, telemetry::Counter::kBarrierEntries);
     rt_.request = Request::kBarrierBlock;
     Fiber::yield();
     w = rt_.current;
@@ -333,6 +359,7 @@ class SimContext final : public TaskContext {
     }
     if (!rt_.single_claimed[index]) {
       rt_.single_claimed[index] = true;
+      rt_.count(*w, telemetry::Counter::kSingleWins);
       return true;
     }
     return false;
@@ -483,6 +510,10 @@ void SimRuntime::Impl::serve_enqueue(Worker& w) {
   rec->parent->queued_children.push_back(rec);
   rec->refs += 1;
   ++outstanding;
+  if (telemetry != nullptr) {
+    telemetry->gauge_max(w.id, telemetry::Gauge::kRunQueueDepth,
+                         queue.size());
+  }
   w.action = Worker::Action::kRunFiber;  // resume the creator's fiber
 }
 
@@ -504,6 +535,7 @@ void SimRuntime::Impl::serve_complete(Worker& w) {
     parent->inline_child = nullptr;
   }
   ++w.executed;
+  count(w, telemetry::Counter::kTasksExecuted);
   // Return the fiber stack now; the record itself may outlive this point
   // (fire-and-forget children still reference their parent).
   task->fiber.reset();
@@ -522,6 +554,7 @@ void SimRuntime::Impl::resume_untied(Worker& w,
     if (hooks != nullptr) hooks->on_task_migrate(task->home, w.id, task->id);
     task->home = w.id;
     ++w.migrations;
+    count(w, telemetry::Counter::kMigrations);
   }
   charge(w);
   if (hooks != nullptr) hooks->on_task_switch(w.id, task->id);
@@ -561,7 +594,7 @@ void SimRuntime::Impl::schedule(Worker& w) {
     // 2a. Newest queued direct child of the waiting task.
     if (SimTask* child = take_direct_child(constraint)) {
       serve_lock(w, config.costs.dequeue_service);
-      if (child->creator != w.id) ++w.steals;
+      count_dequeue(w, *child);
       start_task(w, child);
       return;
     }
@@ -592,7 +625,7 @@ void SimRuntime::Impl::schedule(Worker& w) {
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
         candidate->in_queue = false;
         release_ref(candidate);  // the queue's reference
-        if (candidate->creator != w.id) ++w.steals;
+        count_dequeue(w, *candidate);
         start_task(w, candidate);
         return;
       }
@@ -656,7 +689,7 @@ void SimRuntime::Impl::schedule(Worker& w) {
     }
     task->in_queue = false;
     release_ref(task);  // the queue's reference
-    if (task->creator != w.id) ++w.steals;
+    count_dequeue(w, *task);
     start_task(w, task);
     return;
   }
@@ -694,6 +727,10 @@ SimRuntime::~SimRuntime() = default;
 
 void SimRuntime::set_hooks(SchedulerHooks* hooks) { impl_->hooks = hooks; }
 
+void SimRuntime::set_telemetry(telemetry::Registry* registry) {
+  impl_->telemetry = registry;
+}
+
 Ticks SimRuntime::now() const { return impl_->base_time; }
 
 const SimConfig& SimRuntime::config() const { return impl_->config; }
@@ -723,6 +760,7 @@ TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
   rt.done_count = 0;
   rt.body = std::move(body);
   rt.context = std::make_unique<SimContext>(rt);
+  if (rt.telemetry != nullptr) rt.telemetry->prepare(num_threads);
 
   if (rt.hooks != nullptr) rt.hooks->on_parallel_begin(num_threads);
   const Ticks t0 = rt.base_time;
@@ -748,9 +786,13 @@ TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
   stats.parallel_ticks = end - t0;
   for (const Worker& w : rt.workers) {
     stats.tasks_executed += w.executed;
+    stats.tasks_created += w.created;
     stats.steals += w.steals;
     stats.migrations += w.migrations;
   }
+  // Central-queue scheduling cannot probe an empty victim, so every
+  // cross-worker dequeue is both the attempt and the success.
+  stats.steal_attempts = stats.steals;
   TASKPROF_ASSERT(rt.outstanding == 0, "tasks outstanding after region");
   // Stale queue entries (tasks taken through a parent's queued-children
   // index) may remain; live ones may not.  Drop the queue's references.

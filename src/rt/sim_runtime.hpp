@@ -78,6 +78,7 @@ class SimRuntime final : public Runtime {
   SimRuntime& operator=(const SimRuntime&) = delete;
 
   void set_hooks(SchedulerHooks* hooks) override;
+  void set_telemetry(telemetry::Registry* registry) override;
   TeamStats parallel(int num_threads, TaskFn body) override;
 
   /// Current virtual time (max over workers; advances across regions).

@@ -47,6 +47,15 @@ class StealDeque {
   /// Approximate (racy) emptiness check; exact when quiescent.
   [[nodiscard]] bool empty() const noexcept;
 
+  /// Approximate current depth (racy; exact on the owner thread between
+  /// its own operations).  Telemetry reads this for the deque high-water
+  /// gauge.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::int64_t bottom = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t top = top_.load(std::memory_order_relaxed);
+    return bottom > top ? static_cast<std::size_t>(bottom - top) : 0;
+  }
+
   /// Current buffer capacity (racy; exact on the owner thread).
   [[nodiscard]] std::size_t capacity() const noexcept;
 

@@ -1,0 +1,234 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace taskprof::telemetry {
+
+std::string_view counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kTasksCreated: return "tasks_created";
+    case Counter::kTasksExecuted: return "tasks_executed";
+    case Counter::kTasksDeferred: return "tasks_deferred";
+    case Counter::kTasksUndeferred: return "tasks_undeferred";
+    case Counter::kStealAttempts: return "steal_attempts";
+    case Counter::kStealSuccesses: return "steal_successes";
+    case Counter::kStealAborts: return "steal_aborts";
+    case Counter::kTaskwaitEntries: return "taskwait_entries";
+    case Counter::kBarrierEntries: return "barrier_entries";
+    case Counter::kSingleWins: return "single_wins";
+    case Counter::kSchedYields: return "sched_yields";
+    case Counter::kSlabAllocs: return "slab_allocs";
+    case Counter::kSlabRecycles: return "slab_recycles";
+    case Counter::kSlabRemoteRecycles: return "slab_remote_recycles";
+    case Counter::kMigrations: return "migrations";
+    case Counter::kHookEvents: return "hook_events";
+    case Counter::kHookTicks: return "hook_ticks";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+std::string_view gauge_name(Gauge g) noexcept {
+  switch (g) {
+    case Gauge::kDequeDepth: return "deque_depth_hwm";
+    case Gauge::kSlabRecords: return "slab_records_hwm";
+    case Gauge::kTaskStackDepth: return "task_stack_depth_hwm";
+    case Gauge::kRunQueueDepth: return "run_queue_depth_hwm";
+    case Gauge::kCount_: break;
+  }
+  return "?";
+}
+
+double Snapshot::steal_success_rate() const noexcept {
+  const std::uint64_t attempts = counter(Counter::kStealAttempts);
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(counter(Counter::kStealSuccesses)) /
+         static_cast<double>(attempts);
+}
+
+double Snapshot::hook_mean_ticks() const noexcept {
+  const std::uint64_t events = counter(Counter::kHookEvents);
+  if (events == 0) return 0.0;
+  return static_cast<double>(counter(Counter::kHookTicks)) /
+         static_cast<double>(events);
+}
+
+std::string snapshot_to_json(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  char buf[64];
+  auto u64 = [&out](std::uint64_t v) { out += std::to_string(v); };
+  out += "{\n  \"threads\": ";
+  u64(static_cast<std::uint64_t>(snapshot.threads));
+  out += ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    out += counter_name(static_cast<Counter>(i));
+    out += "\": ";
+    u64(snapshot.counters[i]);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    out += gauge_name(static_cast<Gauge>(i));
+    out += "\": ";
+    u64(snapshot.gauges[i]);
+  }
+  out += "\n  },\n  \"derived\": {\n    \"steal_success_rate\": ";
+  std::snprintf(buf, sizeof buf, "%.6g", snapshot.steal_success_rate());
+  out += buf;
+  out += ",\n    \"hook_mean_ns\": ";
+  std::snprintf(buf, sizeof buf, "%.6g", snapshot.hook_mean_ticks());
+  out += buf;
+  out += "\n  },\n  \"per_thread\": [";
+  for (std::size_t t = 0; t < snapshot.per_thread.size(); ++t) {
+    out += t == 0 ? "\n" : ",\n";
+    out += "    [";
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      if (i != 0) out += ", ";
+      u64(snapshot.per_thread[t][i]);
+    }
+    out += "]";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+void Registry::prepare(int num_threads) {
+  TASKPROF_ASSERT(num_threads >= 0, "negative thread count");
+  while (blocks_.size() < static_cast<std::size_t>(num_threads)) {
+    blocks_.push_back(std::make_unique<Block>());
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.threads = static_cast<int>(blocks_.size());
+  snap.per_thread.resize(blocks_.size());
+  for (std::size_t t = 0; t < blocks_.size(); ++t) {
+    const Block& block = *blocks_[t];
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      const std::uint64_t v =
+          block.counters[i].load(std::memory_order_relaxed);
+      snap.per_thread[t][i] = v;
+      snap.counters[i] += v;
+    }
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      const std::uint64_t v = block.gauges[i].load(std::memory_order_relaxed);
+      if (v > snap.gauges[i]) snap.gauges[i] = v;
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  for (auto& block : blocks_) {
+    for (auto& c : block->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : block->gauges) g.store(0, std::memory_order_relaxed);
+  }
+}
+
+TimedHooks::TimedHooks(rt::SchedulerHooks* inner, Registry* registry,
+                       const Clock* clock)
+    : inner_(inner),
+      registry_(registry),
+      clock_(clock != nullptr ? clock : &default_clock_) {
+  TASKPROF_ASSERT(inner != nullptr && registry != nullptr,
+                  "TimedHooks needs an inner listener and a registry");
+}
+
+void TimedHooks::on_parallel_begin(int num_threads) {
+  registry_->prepare(num_threads);
+  const Timed timed(*this, 0);  // encountering thread is the master
+  inner_->on_parallel_begin(num_threads);
+}
+
+void TimedHooks::on_parallel_end() {
+  const Timed timed(*this, 0);
+  inner_->on_parallel_end();
+}
+
+void TimedHooks::on_implicit_task_begin(ThreadId thread, const Clock& clock) {
+  const Timed timed(*this, thread);
+  inner_->on_implicit_task_begin(thread, clock);
+}
+
+void TimedHooks::on_implicit_task_end(ThreadId thread) {
+  const Timed timed(*this, thread);
+  inner_->on_implicit_task_end(thread);
+}
+
+void TimedHooks::on_task_create_begin(ThreadId thread, RegionHandle region,
+                                      std::int64_t parameter) {
+  const Timed timed(*this, thread);
+  inner_->on_task_create_begin(thread, region, parameter);
+}
+
+void TimedHooks::on_task_create_end(ThreadId thread, TaskInstanceId created,
+                                    RegionHandle region,
+                                    std::int64_t parameter) {
+  const Timed timed(*this, thread);
+  inner_->on_task_create_end(thread, created, region, parameter);
+}
+
+void TimedHooks::on_task_begin(ThreadId thread, TaskInstanceId id,
+                               RegionHandle region, std::int64_t parameter) {
+  const Timed timed(*this, thread);
+  inner_->on_task_begin(thread, id, region, parameter);
+}
+
+void TimedHooks::on_task_end(ThreadId thread, TaskInstanceId id) {
+  const Timed timed(*this, thread);
+  inner_->on_task_end(thread, id);
+}
+
+void TimedHooks::on_task_switch(ThreadId thread, TaskInstanceId id) {
+  const Timed timed(*this, thread);
+  inner_->on_task_switch(thread, id);
+}
+
+void TimedHooks::on_task_migrate(ThreadId from, ThreadId to,
+                                 TaskInstanceId id) {
+  const Timed timed(*this, from);
+  inner_->on_task_migrate(from, to, id);
+}
+
+void TimedHooks::on_taskwait_begin(ThreadId thread) {
+  const Timed timed(*this, thread);
+  inner_->on_taskwait_begin(thread);
+}
+
+void TimedHooks::on_taskwait_end(ThreadId thread) {
+  const Timed timed(*this, thread);
+  inner_->on_taskwait_end(thread);
+}
+
+void TimedHooks::on_barrier_begin(ThreadId thread, bool implicit) {
+  const Timed timed(*this, thread);
+  inner_->on_barrier_begin(thread, implicit);
+}
+
+void TimedHooks::on_barrier_end(ThreadId thread, bool implicit) {
+  const Timed timed(*this, thread);
+  inner_->on_barrier_end(thread, implicit);
+}
+
+void TimedHooks::on_region_enter(ThreadId thread, RegionHandle region,
+                                 std::int64_t parameter) {
+  const Timed timed(*this, thread);
+  inner_->on_region_enter(thread, region, parameter);
+}
+
+void TimedHooks::on_region_exit(ThreadId thread, RegionHandle region) {
+  const Timed timed(*this, thread);
+  inner_->on_region_exit(thread, region);
+}
+
+}  // namespace taskprof::telemetry

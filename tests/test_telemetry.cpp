@@ -1,0 +1,288 @@
+// Tests for the scheduler-telemetry registry (src/telemetry): concurrent
+// counter recording, monotonic gauges, snapshot aggregation, the JSON
+// export, the TimedHooks self-timing decorator, and end-to-end agreement
+// with the always-on TeamStats when attached to the real engine.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/task_context.hpp"
+
+namespace taskprof {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Registry;
+using telemetry::Snapshot;
+
+TEST(TelemetryRegistry, SingleThreadCountsExactly) {
+  Registry registry;
+  registry.prepare(2);
+  registry.add(0, Counter::kTasksCreated);
+  registry.add(0, Counter::kTasksCreated, 4);
+  registry.add(1, Counter::kTasksCreated, 10);
+  registry.add(1, Counter::kStealAttempts, 3);
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.threads, 2);
+  EXPECT_EQ(snap.counter(Counter::kTasksCreated), 15u);
+  EXPECT_EQ(snap.counter(Counter::kStealAttempts), 3u);
+  EXPECT_EQ(snap.counter(Counter::kTasksExecuted), 0u);
+  ASSERT_EQ(snap.per_thread.size(), 2u);
+  EXPECT_EQ(snap.per_thread[0][static_cast<std::size_t>(
+                Counter::kTasksCreated)],
+            5u);
+  EXPECT_EQ(snap.per_thread[1][static_cast<std::size_t>(
+                Counter::kTasksCreated)],
+            10u);
+}
+
+TEST(TelemetryRegistry, GaugesKeepHighWater) {
+  Registry registry;
+  registry.prepare(2);
+  registry.gauge_max(0, Gauge::kDequeDepth, 5);
+  registry.gauge_max(0, Gauge::kDequeDepth, 3);  // lower: ignored
+  registry.gauge_max(0, Gauge::kDequeDepth, 9);
+  registry.gauge_max(1, Gauge::kDequeDepth, 7);
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.gauge(Gauge::kDequeDepth), 9u);  // max over threads
+
+  registry.reset();
+  const Snapshot zero = registry.snapshot();
+  EXPECT_EQ(zero.gauge(Gauge::kDequeDepth), 0u);
+  EXPECT_EQ(zero.counter(Counter::kTasksCreated), 0u);
+}
+
+TEST(TelemetryRegistry, PrepareKeepsExistingCounts) {
+  Registry registry;
+  registry.prepare(1);
+  registry.add(0, Counter::kTasksCreated, 7);
+  registry.prepare(4);  // grow: existing block untouched
+  EXPECT_EQ(registry.thread_capacity(), 4);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kTasksCreated), 7u);
+}
+
+// Each thread hammers its own block while the main thread snapshots
+// concurrently.  Snapshots must never crash or read torn values larger
+// than the final total; the final (quiescent) snapshot must be exact.
+TEST(TelemetryRegistry, ConcurrentIncrementAndSnapshot) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 200000;
+  Registry registry;
+  registry.prepare(kThreads);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        registry.add(t, Counter::kTasksCreated);
+        registry.gauge_max(t, Gauge::kDequeDepth, i % 97);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Concurrent snapshots: monotonically growing, never over the total.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Snapshot snap = registry.snapshot();
+    const std::uint64_t seen = snap.counter(Counter::kTasksCreated);
+    EXPECT_GE(seen, last);
+    EXPECT_LE(seen, kPerThread * kThreads);
+    last = seen;
+  }
+  for (auto& w : workers) w.join();
+
+  const Snapshot final_snap = registry.snapshot();
+  EXPECT_EQ(final_snap.counter(Counter::kTasksCreated),
+            kPerThread * kThreads);
+  EXPECT_EQ(final_snap.gauge(Gauge::kDequeDepth), 96u);
+}
+
+TEST(TelemetrySnapshot, DerivedRates) {
+  Registry registry;
+  registry.prepare(1);
+  registry.add(0, Counter::kStealAttempts, 8);
+  registry.add(0, Counter::kStealSuccesses, 2);
+  registry.add(0, Counter::kHookEvents, 4);
+  registry.add(0, Counter::kHookTicks, 100);
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.steal_success_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(snap.hook_mean_ticks(), 25.0);
+
+  const Snapshot empty = Registry().snapshot();
+  EXPECT_DOUBLE_EQ(empty.steal_success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.hook_mean_ticks(), 0.0);
+}
+
+TEST(TelemetrySnapshot, JsonExportContainsCountersAndDerived) {
+  Registry registry;
+  registry.prepare(2);
+  registry.add(0, Counter::kTasksCreated, 3);
+  registry.add(1, Counter::kStealAttempts, 4);
+  registry.add(1, Counter::kStealSuccesses, 1);
+  registry.gauge_max(0, Gauge::kDequeDepth, 11);
+
+  const std::string json = telemetry::snapshot_to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tasks_created\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"deque_depth_hwm\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"steal_success_rate\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"per_thread\""), std::string::npos);
+  // Crude structural sanity: balanced braces/brackets.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TelemetryNames, AllEnumeratorsNamed) {
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    EXPECT_FALSE(
+        telemetry::counter_name(static_cast<Counter>(i)).empty());
+  }
+  for (std::size_t i = 0; i < telemetry::kGaugeCount; ++i) {
+    EXPECT_FALSE(telemetry::gauge_name(static_cast<Gauge>(i)).empty());
+  }
+}
+
+// Inner hooks that advance a ManualClock by a fixed cost per event, so
+// TimedHooks' measured hook time is exactly predictable.
+class SlowHooks final : public rt::SchedulerHooks {
+ public:
+  SlowHooks(ManualClock* clock, Ticks cost) : clock_(clock), cost_(cost) {}
+
+  void on_task_begin(ThreadId, TaskInstanceId, RegionHandle,
+                     std::int64_t) override {
+    clock_->advance(cost_);
+  }
+  void on_task_end(ThreadId, TaskInstanceId) override {
+    clock_->advance(cost_);
+  }
+
+ private:
+  ManualClock* clock_;
+  Ticks cost_;
+};
+
+TEST(TimedHooks, ChargesInnerCallbackTimeToRegistry) {
+  Registry registry;
+  registry.prepare(1);
+  ManualClock clock;
+  SlowHooks inner(&clock, 10);
+  telemetry::TimedHooks timed(&inner, &registry, &clock);
+
+  timed.on_task_begin(0, 1, 0, kNoParameter);
+  timed.on_task_end(0, 1);
+  timed.on_task_switch(0, kImplicitTaskId);  // no-op inner: zero ticks
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kHookEvents), 3u);
+  EXPECT_EQ(snap.counter(Counter::kHookTicks), 20u);
+  EXPECT_DOUBLE_EQ(snap.hook_mean_ticks(), 20.0 / 3.0);
+}
+
+TEST(TimedHooks, ParallelBeginPreparesRegistry) {
+  Registry registry;
+  rt::SchedulerHooks inner;  // all no-ops
+  telemetry::TimedHooks timed(&inner, &registry);
+  timed.on_parallel_begin(3);
+  EXPECT_GE(registry.thread_capacity(), 3);
+}
+
+// End-to-end on the real engine: deep telemetry must agree with the
+// always-on TeamStats summary for the shared quantities.
+void telemetry_matches_team_stats(rt::SchedulerKind scheduler) {
+  rt::RealConfig config;
+  config.scheduler = scheduler;
+  rt::RealRuntime runtime(config);
+  Registry registry;
+  runtime.set_telemetry(&registry);
+
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  const rt::TeamStats stats =
+      runtime.parallel(4, [&ran](rt::TaskContext& ctx) {
+        if (ctx.thread_id() != 0) return;
+        for (int i = 0; i < kTasks; ++i) {
+          ctx.create_task(
+              [&ran](rt::TaskContext&) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+              },
+              {});
+        }
+        ctx.taskwait();
+      });
+  runtime.set_telemetry(nullptr);
+
+  EXPECT_EQ(ran.load(), kTasks);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kTasksCreated), stats.tasks_created);
+  EXPECT_EQ(snap.counter(Counter::kTasksCreated),
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(snap.counter(Counter::kTasksExecuted),
+            stats.tasks_executed);
+  EXPECT_EQ(snap.counter(Counter::kStealAttempts), stats.steal_attempts);
+  EXPECT_EQ(snap.counter(Counter::kStealSuccesses), stats.steals);
+  EXPECT_LE(snap.counter(Counter::kStealSuccesses),
+            snap.counter(Counter::kStealAttempts));
+  // Every created task got a slab record, and all were returned.
+  EXPECT_EQ(snap.counter(Counter::kSlabAllocs),
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(snap.counter(Counter::kSlabRecycles),
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_GE(snap.gauge(Gauge::kSlabRecords), 1u);
+  EXPECT_GE(snap.counter(Counter::kTaskwaitEntries), 1u);
+  EXPECT_GE(snap.counter(Counter::kBarrierEntries), 4u);
+}
+
+TEST(TelemetryEndToEnd, ChaseLevMatchesTeamStats) {
+  telemetry_matches_team_stats(rt::SchedulerKind::kChaseLev);
+}
+
+TEST(TelemetryEndToEnd, MutexDequeMatchesTeamStats) {
+  telemetry_matches_team_stats(rt::SchedulerKind::kMutexDeque);
+}
+
+TEST(TelemetryEndToEnd, NoSinkMeansNoRegistryTouches) {
+  // Running without set_telemetry must leave a separate registry empty
+  // (nothing global leaks) and still fill TeamStats.
+  rt::RealRuntime runtime;
+  Registry registry;  // never attached
+  std::atomic<int> ran{0};
+  const rt::TeamStats stats =
+      runtime.parallel(2, [&ran](rt::TaskContext& ctx) {
+        if (ctx.thread_id() != 0) return;
+        for (int i = 0; i < 10; ++i) {
+          ctx.create_task(
+              [&ran](rt::TaskContext&) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+              },
+              {});
+        }
+        ctx.taskwait();
+      });
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(stats.tasks_created, 10u);
+  EXPECT_EQ(registry.snapshot().counter(Counter::kTasksCreated), 0u);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,167 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <tuple>
+
+#include "profile/calltree.hpp"
+
+namespace taskprof::check {
+
+namespace {
+
+constexpr std::string_view kCreatePrefix = "create ";
+
+[[gnu::format(printf, 1, 2)]] std::string fmt(const char* format, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+std::string key_name(const ConstructCount& c) {
+  if (c.parameter == kNoParameter) return c.name;
+  return c.name + "(" + std::to_string(c.parameter) + ")";
+}
+
+}  // namespace
+
+ProfileProjection project_profile(const AggregateProfile& profile,
+                                  const RegionRegistry& registry,
+                                  const rt::TeamStats& stats) {
+  ProfileProjection proj;
+  proj.tasks_executed = stats.tasks_executed;
+  proj.tasks_created = stats.tasks_created;
+  proj.max_concurrent = profile.max_concurrent_any_thread;
+  proj.threads = profile.thread_count;
+
+  std::map<std::pair<std::string, std::int64_t>, ConstructCount> constructs;
+
+  for (const CallNode* root : profile.task_roots) {
+    if (root == nullptr || root->region >= registry.size()) continue;
+    const RegionInfo& info = registry.info(root->region);
+    ConstructCount& entry =
+        constructs[{info.name, root->parameter}];
+    entry.name = info.name;
+    entry.parameter = root->parameter;
+    entry.instances += root->visits;
+  }
+
+  // Creation counts live wherever the creating construct ran: implicit
+  // trees and task trees both.  kTaskCreate regions are named
+  // "create <construct>"; creation nodes carry the created task's
+  // parameter, matching the merged roots' keys.
+  auto scan_creates = [&](const CallNode* root) {
+    for_each_node(root, [&](const CallNode& node, int) {
+      if (node.region >= registry.size()) return;
+      const RegionInfo& info = registry.info(node.region);
+      if (info.type != RegionType::kTaskCreate) return;
+      std::string construct = info.name;
+      if (construct.size() > kCreatePrefix.size() &&
+          std::string_view(construct).substr(0, kCreatePrefix.size()) ==
+              kCreatePrefix) {
+        construct = construct.substr(kCreatePrefix.size());
+      }
+      ConstructCount& entry = constructs[{construct, node.parameter}];
+      entry.name = construct;
+      entry.parameter = node.parameter;
+      entry.creations += node.visits;
+    });
+  };
+  scan_creates(profile.implicit_root);
+  for (const CallNode* root : profile.task_roots) scan_creates(root);
+
+  proj.constructs.reserve(constructs.size());
+  for (auto& [key, value] : constructs) proj.constructs.push_back(value);
+  return proj;
+}
+
+std::vector<std::string> diff_projections(const ProfileProjection& a,
+                                          const ProfileProjection& b) {
+  std::vector<std::string> diffs;
+  const char* an = a.engine.empty() ? "lhs" : a.engine.c_str();
+  const char* bn = b.engine.empty() ? "rhs" : b.engine.c_str();
+
+  if (a.tasks_executed != b.tasks_executed) {
+    diffs.push_back(fmt("tasks executed: %s=%" PRIu64 " %s=%" PRIu64, an,
+                        a.tasks_executed, bn, b.tasks_executed));
+  }
+  if (a.tasks_created != b.tasks_created) {
+    diffs.push_back(fmt("tasks created: %s=%" PRIu64 " %s=%" PRIu64, an,
+                        a.tasks_created, bn, b.tasks_created));
+  }
+  if (a.checksum != b.checksum) {
+    diffs.push_back(fmt("checksum: %s=%" PRIu64 " %s=%" PRIu64, an,
+                        a.checksum, bn, b.checksum));
+  }
+  if (!a.self_check_ok) diffs.push_back(fmt("%s failed its self-check", an));
+  if (!b.self_check_ok) diffs.push_back(fmt("%s failed its self-check", bn));
+
+  // Concurrency is schedule-dependent, but its bounds are not.
+  for (const ProfileProjection* p : {&a, &b}) {
+    const char* pn = p->engine.empty() ? "engine" : p->engine.c_str();
+    if (p->tasks_executed > 0 &&
+        (p->max_concurrent < 1 || p->max_concurrent > p->tasks_executed)) {
+      diffs.push_back(
+          fmt("%s: max concurrent instances %zu outside [1, %" PRIu64 "]",
+              pn, p->max_concurrent, p->tasks_executed));
+    }
+  }
+
+  // Per-construct comparison: both lists are sorted by (name, parameter).
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.constructs.size() || ib < b.constructs.size()) {
+    const ConstructCount* ca =
+        ia < a.constructs.size() ? &a.constructs[ia] : nullptr;
+    const ConstructCount* cb =
+        ib < b.constructs.size() ? &b.constructs[ib] : nullptr;
+    int order = 0;
+    if (ca == nullptr) {
+      order = 1;
+    } else if (cb == nullptr) {
+      order = -1;
+    } else if (std::tie(ca->name, ca->parameter) <
+               std::tie(cb->name, cb->parameter)) {
+      order = -1;
+    } else if (std::tie(cb->name, cb->parameter) <
+               std::tie(ca->name, ca->parameter)) {
+      order = 1;
+    }
+    if (order < 0) {
+      diffs.push_back(fmt("construct '%s' only in %s",
+                          key_name(*ca).c_str(), an));
+      ++ia;
+      continue;
+    }
+    if (order > 0) {
+      diffs.push_back(fmt("construct '%s' only in %s",
+                          key_name(*cb).c_str(), bn));
+      ++ib;
+      continue;
+    }
+    if (ca->instances != cb->instances) {
+      diffs.push_back(fmt("construct '%s' instances: %s=%" PRIu64
+                          " %s=%" PRIu64,
+                          key_name(*ca).c_str(), an, ca->instances, bn,
+                          cb->instances));
+    }
+    if (ca->creations != cb->creations) {
+      diffs.push_back(fmt("construct '%s' creations: %s=%" PRIu64
+                          " %s=%" PRIu64,
+                          key_name(*ca).c_str(), an, ca->creations, bn,
+                          cb->creations));
+    }
+    ++ia;
+    ++ib;
+  }
+  return diffs;
+}
+
+}  // namespace taskprof::check

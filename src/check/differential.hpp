@@ -1,0 +1,56 @@
+// Order-insensitive profile projections for sim/real differential checks.
+//
+// The two engines schedule the same program very differently (virtual
+// discrete-event time vs. racing OS threads), so their profiles cannot be
+// compared tick-for-tick.  What *must* agree for a schedule-independent
+// program is the projection onto counts and attribution structure:
+// per-construct executed-instance counts, per-construct creation counts,
+// total tasks created/executed, the kernel's self-verified checksum, and
+// the concurrency bounds.  project_profile() extracts that projection;
+// diff_projections() reports every disagreement as a string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "measure/aggregate.hpp"
+#include "profile/region.hpp"
+#include "rt/runtime.hpp"
+
+namespace taskprof::check {
+
+/// Per-task-construct counts, keyed by (name, parameter) of the merged
+/// task root.
+struct ConstructCount {
+  std::string name;
+  std::int64_t parameter = kNoParameter;
+  std::uint64_t instances = 0;  ///< merged root visits (= executions)
+  std::uint64_t creations = 0;  ///< visits of the paired "create" region
+};
+
+/// Schedule-independent projection of one engine run.
+struct ProfileProjection {
+  std::string engine;  ///< label used in diff messages ("sim", "real")
+  std::vector<ConstructCount> constructs;  ///< sorted by (name, parameter)
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_created = 0;
+  std::uint64_t checksum = 0;   ///< kernel result value (0 if none)
+  bool self_check_ok = true;    ///< kernel self-verification outcome
+  std::size_t max_concurrent = 0;
+  std::size_t threads = 0;
+};
+
+/// Extract the projection from a finalized profile.  Creation counts are
+/// matched to constructs by stripping the instrumentor's "create " name
+/// prefix from kTaskCreate regions.
+[[nodiscard]] ProfileProjection project_profile(
+    const AggregateProfile& profile, const RegionRegistry& registry,
+    const rt::TeamStats& stats);
+
+/// Compare two projections of the same program; returns one line per
+/// disagreement (empty when the engines agree).
+[[nodiscard]] std::vector<std::string> diff_projections(
+    const ProfileProjection& a, const ProfileProjection& b);
+
+}  // namespace taskprof::check

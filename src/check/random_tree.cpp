@@ -1,0 +1,98 @@
+#include "check/random_tree.hpp"
+
+#include "common/rng.hpp"
+
+namespace taskprof::check {
+
+RandomTaskTree::RandomTaskTree(RegionRegistry& registry, TreeShape shape)
+    : shape_(shape),
+      task_a_(registry.register_region("rand_task_a", RegionType::kTask)),
+      task_b_(registry.register_region("rand_task_b", RegionType::kTask)),
+      user_(registry.register_region("user_fn", RegionType::kFunction)) {}
+
+void RandomTaskTree::spawn(rt::TaskContext& ctx, std::uint64_t path_seed,
+                           int depth) const {
+  Xoshiro256 rng(path_seed);
+  // Draw order is part of the generator's identity: seeds produce the
+  // same trees as the original test_property generator, and the knobs
+  // added later (undeferred, taskwait placement) draw strictly after the
+  // original five decisions.
+  const int children =
+      depth >= shape_.max_depth
+          ? 0
+          : static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(shape_.max_fanout)));
+  const bool untied = rng.next_double() < shape_.untied_fraction;
+  const bool use_b = rng.next_double() < shape_.second_construct_fraction;
+  const bool parameterized = rng.next_double() < shape_.parameter_fraction;
+  const Ticks work =
+      shape_.work_min + static_cast<Ticks>(rng.next_below(
+                            static_cast<std::uint64_t>(shape_.work_span)));
+  const bool enter_user = rng.next_double() < shape_.user_region_fraction;
+  const bool undeferred = rng.next_double() < shape_.undeferred_fraction;
+  const bool wait_for_children =
+      rng.next_double() < shape_.taskwait_fraction;
+
+  rt::TaskAttrs attrs;
+  attrs.region = use_b ? task_b_ : task_a_;
+  attrs.parameter = parameterized ? depth : kNoParameter;
+  attrs.binding = untied ? rt::TaskBinding::kUntied : rt::TaskBinding::kTied;
+  attrs.undeferred = undeferred;
+
+  ctx.create_task(
+      [this, path_seed, depth, children, work, enter_user,
+       wait_for_children](rt::TaskContext& c) {
+        if (enter_user) c.region_enter(user_);
+        c.work(work);
+        for (int i = 0; i < children; ++i) {
+          spawn(c, path_seed * 31 + static_cast<std::uint64_t>(i) + 1,
+                depth + 1);
+        }
+        if (children > 0 && wait_for_children) c.taskwait();
+        c.work(work / 2);
+        if (enter_user) c.region_exit(user_);
+      },
+      attrs);
+}
+
+rt::TeamStats RandomTaskTree::run(rt::Runtime& runtime, std::uint64_t seed,
+                                  int threads, int roots) const {
+  return runtime.parallel(threads, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < roots; ++i) {
+      spawn(ctx, seed * 1000 + static_cast<std::uint64_t>(i), 0);
+    }
+    ctx.taskwait();
+  });
+}
+
+UniformTree::UniformTree(RegionRegistry& registry, Ticks work)
+    : work_(work),
+      task_(registry.register_region("uniform_task", RegionType::kTask)) {}
+
+void UniformTree::body(rt::TaskContext& ctx, int depth, int fanout) const {
+  ctx.work(work_);
+  if (depth <= 0) return;
+  for (int i = 0; i < fanout; ++i) {
+    rt::TaskAttrs attrs;
+    attrs.region = task_;
+    ctx.create_task(
+        [this, depth, fanout](rt::TaskContext& c) {
+          body(c, depth - 1, fanout);
+        },
+        attrs);
+  }
+  ctx.taskwait();
+}
+
+std::uint64_t UniformTree::task_count(int depth, int fanout) noexcept {
+  std::uint64_t total = 0;
+  std::uint64_t level = 1;
+  for (int k = 1; k <= depth; ++k) {
+    level *= static_cast<std::uint64_t>(fanout);
+    total += level;
+  }
+  return total;
+}
+
+}  // namespace taskprof::check

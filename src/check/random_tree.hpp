@@ -1,0 +1,93 @@
+// Property-based task-tree generators, shared by tests/test_property.cpp
+// and the schedule fuzzer.
+//
+// RandomTaskTree grows a random tree of tasks whose every decision
+// (fan-out, tied/untied, parameters, taskwait placement, work amount) is a
+// pure function of the node's *path seed* — the program shape is therefore
+// identical on both engines and under any schedule perturbation, which is
+// what makes the sim/real differential comparison (src/check/differential)
+// meaningful for random programs.  UniformTree is the deterministic
+// complement: a complete fanout^depth tree with a closed-form task count,
+// for tests that assert exact totals.
+#pragma once
+
+#include <cstdint>
+
+#include "profile/region.hpp"
+#include "rt/runtime.hpp"
+
+namespace taskprof::check {
+
+/// Distribution knobs for RandomTaskTree.  The defaults reproduce the
+/// historical RandomProgram of tests/test_property.cpp.
+struct TreeShape {
+  int max_depth = 4;
+  /// Children per task are drawn uniformly from [0, max_fanout).
+  int max_fanout = 4;
+  double untied_fraction = 0.3;
+  /// Fraction of tasks using the second construct ("rand_task_b").
+  double second_construct_fraction = 0.4;
+  /// Fraction of tasks carrying their depth as a profile parameter.
+  double parameter_fraction = 0.3;
+  /// Fraction of task bodies wrapped in an instrumented user region.
+  double user_region_fraction = 0.5;
+  /// Probability that a spawning task waits for its children; the rest
+  /// fire-and-forget (the implicit barrier collects them).
+  double taskwait_fraction = 1.0;
+  /// Fraction of tasks created undeferred (OpenMP `if(0)`), executing
+  /// inline inside the creation construct.
+  double undeferred_fraction = 0.0;
+  Ticks work_min = 100;
+  Ticks work_span = 5'000;  ///< work drawn from [work_min, work_min + span)
+};
+
+/// Seeded random task tree over two task constructs and one user region.
+class RandomTaskTree {
+ public:
+  /// Registers the generator's regions in `registry` (idempotent: the
+  /// registry dedups identical name/type pairs).
+  explicit RandomTaskTree(RegionRegistry& registry, TreeShape shape = {});
+
+  /// Create one random subtree rooted at a task whose decisions derive
+  /// from `path_seed`.  Must be called from inside a parallel region.
+  void spawn(rt::TaskContext& ctx, std::uint64_t path_seed, int depth) const;
+
+  /// Convenience driver: one parallel region in which a single thread
+  /// spawns `roots` top-level random trees and taskwaits.
+  rt::TeamStats run(rt::Runtime& runtime, std::uint64_t seed, int threads,
+                    int roots = 6) const;
+
+  [[nodiscard]] RegionHandle task_a() const noexcept { return task_a_; }
+  [[nodiscard]] RegionHandle task_b() const noexcept { return task_b_; }
+  [[nodiscard]] RegionHandle user_region() const noexcept { return user_; }
+  [[nodiscard]] const TreeShape& shape() const noexcept { return shape_; }
+
+ private:
+  TreeShape shape_;
+  RegionHandle task_a_;
+  RegionHandle task_b_;
+  RegionHandle user_;
+};
+
+/// Complete task tree: every task up to `depth` spawns `fanout` children
+/// and taskwaits; every task works `work` ticks.  fanout = 1 degenerates
+/// into the suspended-chain scenario of paper §V-B.
+class UniformTree {
+ public:
+  explicit UniformTree(RegionRegistry& registry, Ticks work = 400);
+
+  /// Run the tree body: call from the implicit task (or a task body).
+  void body(rt::TaskContext& ctx, int depth, int fanout) const;
+
+  /// Number of explicit tasks body() creates: sum of fanout^k, k=1..depth.
+  [[nodiscard]] static std::uint64_t task_count(int depth,
+                                                int fanout) noexcept;
+
+  [[nodiscard]] RegionHandle task_region() const noexcept { return task_; }
+
+ private:
+  Ticks work_;
+  RegionHandle task_;
+};
+
+}  // namespace taskprof::check

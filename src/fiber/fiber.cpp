@@ -2,6 +2,10 @@
 
 #include <cstdint>
 
+#if defined(TASKPROF_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #include "common/assert.hpp"
 
 namespace taskprof {
@@ -50,6 +54,9 @@ Fiber::~Fiber() {
   // Destroying an unfinished fiber abandons its stack frame contents; the
   // simulator only does this on teardown after an error, which is
   // acceptable (no cleanup runs, like a cancelled thread).
+#if defined(TASKPROF_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
   if (pool_ != nullptr) pool_->release(std::move(stack_));
 }
 
@@ -70,6 +77,9 @@ void Fiber::run() noexcept {
   finished_ = true;
   // Final switch back to the resumer.  swapcontext (not setcontext) so the
   // (dead) context stays well-formed.
+#if defined(TASKPROF_TSAN_FIBERS)
+  __tsan_switch_to_fiber(tsan_return_, 0);
+#endif
   swapcontext(&context_, &return_context_);
 }
 
@@ -90,6 +100,11 @@ void Fiber::resume() {
   Fiber* previous = t_current_fiber;
   t_current_fiber = this;
   running_ = true;
+#if defined(TASKPROF_TSAN_FIBERS)
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_return_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&return_context_, &context_);
   running_ = false;
   t_current_fiber = previous;
@@ -103,6 +118,9 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = t_current_fiber;
   TASKPROF_ASSERT(self != nullptr, "yield outside of a fiber");
+#if defined(TASKPROF_TSAN_FIBERS)
+  __tsan_switch_to_fiber(self->tsan_return_, 0);
+#endif
   swapcontext(&self->context_, &self->return_context_);
 }
 

@@ -20,6 +20,18 @@
 #include <memory>
 #include <vector>
 
+// ThreadSanitizer must be told about user-level context switches: without
+// __tsan_switch_to_fiber its shadow call stack grows across every
+// swapcontext until the stack depot overflows (observed as
+// "sanitizer_stackdepot.cpp CHECK failed" under long fuzz runs).
+#if defined(__SANITIZE_THREAD__)
+#define TASKPROF_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TASKPROF_TSAN_FIBERS 1
+#endif
+#endif
+
 namespace taskprof {
 
 /// Recycles fixed-size fiber stacks.  One pool per simulator instance.
@@ -91,6 +103,10 @@ class Fiber {
   bool started_ = false;
   bool finished_ = false;
   bool running_ = false;
+#if defined(TASKPROF_TSAN_FIBERS)
+  void* tsan_fiber_ = nullptr;   ///< tsan's state for this fiber's stack
+  void* tsan_return_ = nullptr;  ///< tsan fiber of the resume() caller
+#endif
 };
 
 }  // namespace taskprof

@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/clock.hpp"
+#include "rt/schedule_policy.hpp"
 #include "rt/steal_deque.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -207,12 +208,24 @@ struct RealRuntime::Impl {
     std::uint64_t steal_attempts = 0;
     /// Cached telemetry handle (detached no-op unless a sink is set).
     telemetry::Registry::ThreadSlots telem;
+    /// Seeded perturbation stream (detached no-op without a policy).
+    ScheduleStream sched;
   };
   std::vector<std::unique_ptr<ThreadState>> threads;
 
   // --- scheduling --------------------------------------------------------
 
+  /// Fuzzing-only yield injection: widens the race window at a scheduling
+  /// point so seeded runs explore interleavings a quiet host rarely hits.
+  void perturb(ThreadState& st, SchedulePoint point) {
+    if (st.sched.yield_before(point)) {
+      st.telem.add(telemetry::Counter::kSchedYields);
+      std::this_thread::yield();
+    }
+  }
+
   void enqueue(ThreadState& st, TaskRecord* rec) {
+    perturb(st, SchedulePoint::kTaskCreate);
     WorkerQueue& own = *queues[st.tid];
     if (config.scheduler == SchedulerKind::kChaseLev) {
       own.deque.push(rec);
@@ -238,58 +251,64 @@ struct RealRuntime::Impl {
     if (success) st.telem.add(telemetry::Counter::kStealSuccesses);
   }
 
-  TaskRecord* try_acquire(ThreadState& st) {
-    if (config.scheduler == SchedulerKind::kChaseLev) {
-      if (auto* t = static_cast<TaskRecord*>(queues[st.tid]->deque.pop())) {
-        return t;
-      }
-      if (!config.steal) return nullptr;
-      for (int offset = 1; offset < nthreads; ++offset) {
-        WorkerQueue& victim =
-            *queues[(st.tid + static_cast<ThreadId>(offset)) %
-                    static_cast<ThreadId>(nthreads)];
-        if (auto* t = static_cast<TaskRecord*>(victim.deque.steal())) {
-          ++st.steals;
-          count_steal(st, /*success=*/true);
-          return t;
-        }
-        count_steal(st, /*success=*/false);
-      }
-      if (nthreads > 1) st.telem.add(telemetry::Counter::kStealAborts);
-      return nullptr;
-    }
+  /// LIFO pop from the worker's own queue (either scheduler variant).
+  TaskRecord* pop_own(ThreadState& st) {
     WorkerQueue& own = *queues[st.tid];
-    {
-      std::scoped_lock lock(own.mutex);
-      if (!own.tasks.empty()) {
-        TaskRecord* t = own.tasks.back();
-        own.tasks.pop_back();
-        return t;
-      }
+    if (config.scheduler == SchedulerKind::kChaseLev) {
+      return static_cast<TaskRecord*>(own.deque.pop());
     }
-    if (!config.steal) return nullptr;
-    for (int offset = 1; offset < nthreads; ++offset) {
+    std::scoped_lock lock(own.mutex);
+    if (own.tasks.empty()) return nullptr;
+    TaskRecord* t = own.tasks.back();
+    own.tasks.pop_back();
+    return t;
+  }
+
+  /// One full FIFO-steal sweep over the other workers' queues.  The scan
+  /// starts at neighbour offset 1 + rotation — rotation is 0 without a
+  /// schedule policy, preserving the historical clockwise order.
+  TaskRecord* steal_round(ThreadState& st) {
+    if (!config.steal || nthreads <= 1) return nullptr;
+    const auto ring = static_cast<std::uint32_t>(nthreads - 1);
+    const std::uint32_t rotation =
+        st.sched.victim_rotation(static_cast<std::uint32_t>(nthreads));
+    for (std::uint32_t i = 0; i < ring; ++i) {
+      const ThreadId offset = 1 + (rotation + i) % ring;
       WorkerQueue& victim =
-          *queues[(st.tid + static_cast<ThreadId>(offset)) %
-                  static_cast<ThreadId>(nthreads)];
-      bool success = false;
+          *queues[(st.tid + offset) % static_cast<ThreadId>(nthreads)];
       TaskRecord* t = nullptr;
-      {
+      if (config.scheduler == SchedulerKind::kChaseLev) {
+        t = static_cast<TaskRecord*>(victim.deque.steal());
+      } else {
         std::scoped_lock lock(victim.mutex);
         if (!victim.tasks.empty()) {
           t = victim.tasks.front();
           victim.tasks.pop_front();
-          success = true;
         }
       }
-      count_steal(st, success);
-      if (success) {
+      count_steal(st, t != nullptr);
+      if (t != nullptr) {
         ++st.steals;
         return t;
       }
     }
-    if (nthreads > 1) st.telem.add(telemetry::Counter::kStealAborts);
+    st.telem.add(telemetry::Counter::kStealAborts);
     return nullptr;
+  }
+
+  TaskRecord* try_acquire(ThreadState& st) {
+    perturb(st, SchedulePoint::kAcquire);
+    // Under a schedule policy a worker occasionally inverts the LIFO-local
+    // bias and raids other queues before its own — the inversion OpenMP
+    // permits at any task scheduling point but a fair scheduler never
+    // exercises.
+    if (st.sched.attached() && config.steal && nthreads > 1 &&
+        st.sched.steal_first()) {
+      if (TaskRecord* t = steal_round(st)) return t;
+      return pop_own(st);
+    }
+    if (TaskRecord* t = pop_own(st)) return t;
+    return steal_round(st);
   }
 
   /// Drop one lifetime reference; recycle into the creator's slab when
@@ -393,6 +412,7 @@ class RealContext final : public TaskContext {
     SchedulerHooks* hooks = rt_.hooks;
     if (hooks != nullptr) hooks->on_taskwait_begin(st_.tid);
     st_.telem.add(telemetry::Counter::kTaskwaitEntries);
+    rt_.perturb(st_, SchedulePoint::kTaskwait);
     TaskRecord* current = st_.task_stack.back();
     int spins = 0;
     while (current->pending_children.load(std::memory_order_acquire) > 0) {
@@ -416,6 +436,7 @@ class RealContext final : public TaskContext {
     SchedulerHooks* hooks = rt_.hooks;
     if (hooks != nullptr) hooks->on_barrier_begin(st_.tid, implicit);
     st_.telem.add(telemetry::Counter::kBarrierEntries);
+    rt_.perturb(st_, SchedulePoint::kBarrier);
     const std::uint64_t generation = ++st_.barrier_counter;
     const std::uint64_t needed =
         generation * static_cast<std::uint64_t>(rt_.nthreads);
@@ -531,6 +552,9 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
     auto st = std::make_unique<Impl::ThreadState>();
     st->tid = static_cast<ThreadId>(i);
     st->implicit_record.id = kImplicitTaskId;
+    if (rt.config.policy != nullptr) {
+      st->sched = rt.config.policy->stream(st->tid);
+    }
     rt.threads.push_back(std::move(st));
   }
   if (rt.telemetry != nullptr) {

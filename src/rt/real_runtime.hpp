@@ -24,6 +24,8 @@
 
 namespace taskprof::rt {
 
+class SchedulePolicy;  // rt/schedule_policy.hpp
+
 /// Which per-thread task-queue implementation the engine schedules with.
 /// Both implement the same policy (owner LIFO, thieves FIFO from the
 /// opposite end), so task counts are identical; only the synchronization
@@ -42,6 +44,10 @@ struct RealConfig {
   /// Failed acquisition attempts before the spin loops call
   /// std::this_thread::yield() (essential on oversubscribed hosts).
   int spins_before_yield = 16;
+  /// Seeded schedule perturbation (victim rotation, steal-before-pop,
+  /// injected yields) for the fuzzing harness in src/check/.  Not owned;
+  /// must outlive the runtime.  nullptr leaves scheduling unperturbed.
+  const SchedulePolicy* policy = nullptr;
 };
 
 class RealRuntime final : public Runtime {

@@ -1,0 +1,123 @@
+// Seeded schedule perturbation for both task engines.
+//
+// A SchedulePolicy wraps one 64-bit seed.  Each worker thread derives its
+// own ScheduleStream (an independent xoshiro256** sequence split from the
+// seed by thread id), and the engines consult that stream at every
+// scheduling point: before pushing a deferred task, when choosing between
+// popping locally and stealing, when picking a steal victim, and inside
+// taskwait/barrier wait loops.  On the deterministic sim engine the same
+// seed therefore reproduces one interleaving exactly; on the real-thread
+// engine it biases the race outcomes strongly enough that a failing seed
+// usually reproduces and can be shrunk (see src/check/fuzz.hpp).
+//
+// A default-constructed ScheduleStream is *detached*: every query returns
+// the neutral answer (never yield, rotation 0, pop-before-steal, jitter 0),
+// so engines built without a policy behave bit-identically to before this
+// hook existed.  The policy object itself is immutable and may be shared
+// across threads; each ScheduleStream belongs to exactly one worker.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace taskprof::rt {
+
+/// Where in the engine a perturbation decision is being made.  Streams mix
+/// the point into each draw so that, e.g., adding a new yield site does not
+/// silently shift every later decision of an unrelated kind.
+enum class SchedulePoint : std::uint8_t {
+  kTaskCreate = 1,   ///< producer about to publish a deferred task
+  kAcquire = 2,      ///< worker about to look for runnable work
+  kTaskwait = 3,     ///< inside a taskwait wait loop
+  kBarrier = 4,      ///< inside a barrier wait loop
+};
+
+/// Per-thread decision stream.  Value type; default state is detached.
+class ScheduleStream {
+ public:
+  ScheduleStream() = default;
+
+  [[nodiscard]] bool attached() const noexcept { return attached_; }
+
+  /// True (~1 in 8 draws) when the worker should yield the OS thread (real
+  /// engine) before acting at `point`.
+  [[nodiscard]] bool yield_before(SchedulePoint point) noexcept {
+    if (!attached_) return false;
+    return (draw(point) & 7u) == 0;
+  }
+
+  /// True (~1 in 4 draws) when the worker should try stealing *before*
+  /// popping its own queue, inverting the LIFO-local bias.
+  [[nodiscard]] bool steal_first() noexcept {
+    if (!attached_) return false;
+    return (draw(SchedulePoint::kAcquire) & 3u) == 0;
+  }
+
+  /// Rotation applied to the victim scan order: the worker starts probing
+  /// at neighbour offset 1 + rotation instead of always offset 1.  Returns
+  /// a value in [0, nthreads - 2]; 0 (also the detached answer) keeps the
+  /// historical clockwise order.
+  [[nodiscard]] std::uint32_t victim_rotation(std::uint32_t nthreads) noexcept {
+    if (!attached_ || nthreads <= 2) return 0;
+    return static_cast<std::uint32_t>(
+        draw(SchedulePoint::kAcquire) % (nthreads - 1));
+  }
+
+  /// Uniform pick in [0, bound).  Used by the sim engine to choose among
+  /// equally-eligible queued tasks or resumable untied suspensions.
+  [[nodiscard]] std::uint64_t pick(std::uint64_t bound) noexcept {
+    if (!attached_ || bound <= 1) return 0;
+    return draw(SchedulePoint::kAcquire) % bound;
+  }
+
+  /// Virtual-time jitter in [0, max) ticks, zero about half the time.  The
+  /// sim engine adds this at scheduling points to shuffle which worker the
+  /// discrete-event loop serves next.
+  [[nodiscard]] Ticks jitter(Ticks max) noexcept {
+    if (!attached_ || max <= 0) return 0;
+    const std::uint64_t raw = draw(SchedulePoint::kAcquire);
+    if ((raw & 1u) != 0) return 0;
+    return static_cast<Ticks>((raw >> 1) % static_cast<std::uint64_t>(max));
+  }
+
+ private:
+  friend class SchedulePolicy;
+  explicit ScheduleStream(std::uint64_t seed) : rng_(seed), attached_(true) {}
+
+  std::uint64_t draw(SchedulePoint point) noexcept {
+    // Golden-ratio multiples decorrelate the same underlying draw across
+    // point kinds without a second RNG state.
+    return rng_.next() ^ (0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(point));
+  }
+
+  Xoshiro256 rng_{0};
+  bool attached_ = false;
+};
+
+/// Immutable seed holder shared by all workers of one runtime instance.
+/// Must outlive the runtime that references it (RealConfig / SimConfig
+/// store a raw pointer).
+class SchedulePolicy {
+ public:
+  explicit SchedulePolicy(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derive the decision stream for one worker.  Streams for distinct
+  /// thread ids are statistically independent; the same (seed, thread)
+  /// pair always yields the same stream.
+  [[nodiscard]] ScheduleStream stream(ThreadId thread) const noexcept {
+    SplitMix64 split(seed_);
+    std::uint64_t derived = split.next();
+    for (ThreadId i = 0; i <= thread; ++i) derived = split.next();
+    return ScheduleStream(derived);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace taskprof::rt

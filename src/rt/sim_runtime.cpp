@@ -9,6 +9,7 @@
 #include "common/assert.hpp"
 #include "common/clock.hpp"
 #include "fiber/fiber.hpp"
+#include "rt/schedule_policy.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace taskprof::rt {
@@ -86,6 +87,8 @@ struct Worker {
   std::uint64_t created = 0;
   std::uint64_t steals = 0;
   std::uint64_t migrations = 0;
+  /// Seeded perturbation stream (detached no-op without a policy).
+  ScheduleStream sched;
 };
 
 /// Clock view onto one worker's virtual time.
@@ -298,6 +301,15 @@ class SimContext final : public TaskContext {
     rt_.count(*w, attrs.undeferred ? telemetry::Counter::kTasksUndeferred
                                    : telemetry::Counter::kTasksDeferred);
 
+    // The child may run to completion and have its record released before
+    // this fiber resumes (always possible for an undeferred child; for a
+    // deferred one a thief can finish it between the enqueue being served
+    // and the creator running again), so capture everything the create-end
+    // event needs while `rec` is still certainly alive.
+    const TaskInstanceId child_id = rec->id;
+    const RegionHandle child_region = rec->attrs.region;
+    const std::int64_t child_parameter = rec->attrs.parameter;
+
     if (attrs.undeferred) {
       rt_.request = Request::kInlineRun;
       rt_.request_task = rec;
@@ -312,7 +324,8 @@ class SimContext final : public TaskContext {
     w = rt_.current;
     rt_.charge(*w);
     if (rt_.hooks != nullptr) {
-      hooks_create_end(*w, rec);
+      rt_.hooks->on_task_create_end(w->id, child_id, child_region,
+                                    child_parameter);
     }
   }
 
@@ -390,11 +403,6 @@ class SimContext final : public TaskContext {
   [[nodiscard]] int num_threads() const override { return rt_.nthreads; }
 
  private:
-  void hooks_create_end(Worker& w, const SimTask* rec) {
-    rt_.hooks->on_task_create_end(w.id, rec->id, rec->attrs.region,
-                                  rec->attrs.parameter);
-  }
-
   SimRuntime::Impl& rt_;
 };
 
@@ -499,6 +507,9 @@ void SimRuntime::Impl::run_fiber(Worker& w) {
 }
 
 void SimRuntime::Impl::serve_enqueue(Worker& w) {
+  // Seeded jitter before the lock request perturbs enqueue/enqueue and
+  // enqueue/dequeue ordering between workers (zero without a policy).
+  w.time += w.sched.jitter(config.costs.create_service);
   serve_lock(w, config.costs.create_service);
   SimTask* rec = w.enqueue_task;
   w.enqueue_task = nullptr;
@@ -563,6 +574,11 @@ void SimRuntime::Impl::resume_untied(Worker& w,
 }
 
 void SimRuntime::Impl::schedule(Worker& w) {
+  // Seeded virtual-time jitter: shifts which worker the discrete-event
+  // loop serves next, shuffling lock-service and dequeue order without
+  // breaking determinism (zero without a schedule policy).
+  w.time += w.sched.jitter(config.costs.poll_interval);
+
   // 1. Resume the top suspended tied task if its block resolved (this is
   //    the nested-execution discipline of tied tasks).
   if (!w.tied_stack.empty() && eligible(*w.tied_stack.back())) {
@@ -637,9 +653,24 @@ void SimRuntime::Impl::schedule(Worker& w) {
   }
 
   // 3. Unconstrained: resume any eligible untied task (may migrate here).
-  for (auto it = untied_suspended.begin(); it != untied_suspended.end();
-       ++it) {
-    if (eligible(**it)) {
+  //    A schedule policy picks uniformly among the eligible suspensions
+  //    instead of always taking the oldest.
+  {
+    std::size_t eligible_count = 0;
+    if (w.sched.attached()) {
+      for (const SimTask* task : untied_suspended) {
+        if (eligible(*task)) ++eligible_count;
+      }
+    }
+    std::uint64_t skip =
+        eligible_count > 0 ? w.sched.pick(eligible_count) : 0;
+    for (auto it = untied_suspended.begin(); it != untied_suspended.end();
+         ++it) {
+      if (!eligible(**it)) continue;
+      if (skip > 0) {
+        --skip;
+        continue;
+      }
       resume_untied(w, it);
       return;
     }
@@ -666,17 +697,34 @@ void SimRuntime::Impl::schedule(Worker& w) {
     serve_lock(w, config.costs.dequeue_service);
     SimTask* task = nullptr;
     if (config.lifo_dequeue) {
+      if (w.sched.attached()) {
+        // Seeded perturbation: pick uniformly among the newest few live
+        // entries — the legal reorderings a racy deque-top would exhibit.
+        constexpr std::size_t kPerturbWindow = 8;
+        std::size_t candidates[kPerturbWindow];
+        std::size_t found = 0;
+        for (std::size_t back_offset = 0;
+             back_offset < queue.size() && found < kPerturbWindow;
+             ++back_offset) {
+          const std::size_t index = queue.size() - 1 - back_offset;
+          if (queue[index]->in_queue) candidates[found++] = index;
+        }
+        TASKPROF_ASSERT(found > 0, "dequeue from stale-only queue");
+        const std::size_t index = candidates[w.sched.pick(found)];
+        task = queue[index];
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+      }
       // Prefer the newest task this worker created (bounded scan from the
       // back): models the own-deque-first policy of real runtimes, which
       // keeps execution depth-first along the worker's own branch.
       constexpr std::size_t kAffinityScan = 32;
       const std::size_t limit = std::min(queue.size(), kAffinityScan);
-      for (std::size_t back_offset = 0; back_offset < limit; ++back_offset) {
+      for (std::size_t back_offset = 0;
+           task == nullptr && back_offset < limit; ++back_offset) {
         const std::size_t index = queue.size() - 1 - back_offset;
         if (queue[index]->in_queue && queue[index]->creator == w.id) {
           task = queue[index];
           queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
-          break;
         }
       }
       if (task == nullptr) {
@@ -747,6 +795,10 @@ TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
   for (int i = 0; i < num_threads; ++i) {
     rt.workers[static_cast<std::size_t>(i)].id = static_cast<ThreadId>(i);
     rt.workers[static_cast<std::size_t>(i)].time = rt.base_time;
+    if (rt.config.policy != nullptr) {
+      rt.workers[static_cast<std::size_t>(i)].sched =
+          rt.config.policy->stream(static_cast<ThreadId>(i));
+    }
     rt.clocks.push_back(std::make_unique<WorkerClock>(
         &rt.workers[static_cast<std::size_t>(i)]));
   }

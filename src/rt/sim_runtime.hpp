@@ -27,6 +27,8 @@
 
 namespace taskprof::rt {
 
+class SchedulePolicy;  // rt/schedule_policy.hpp
+
 /// Virtual-time cost model (all values in ticks = nanoseconds).  Defaults
 /// are calibrated so the BOTS reproduction exhibits the paper's shapes;
 /// the ablation bench sweeps them.
@@ -67,6 +69,12 @@ struct SimConfig {
   /// task may run at a taskwait (LLVM-style), available for the ablation.
   bool strict_taskwait_scheduling = true;
   std::size_t fiber_stack_bytes = 256 * 1024;
+  /// Seeded schedule perturbation (dequeue choice, untied resume choice,
+  /// virtual-time jitter) for the fuzzing harness in src/check/.  Not
+  /// owned; must outlive the runtime.  Because the engine is
+  /// deterministic, the same policy seed reproduces the exact same
+  /// interleaving — this is the replay side of the seed protocol.
+  const SchedulePolicy* policy = nullptr;
 };
 
 class SimRuntime final : public Runtime {

@@ -1,59 +1,19 @@
 // Property-based tests: random task programs on the simulator must
-// satisfy the measurement-layer invariants for every seed.
+// satisfy the measurement-layer invariants for every seed.  The program
+// generators live in src/check/random_tree.hpp — the same generators the
+// schedule fuzzer (fuzz_schedules) sweeps — and the structural laws are
+// asserted both directly and through check::check_profile, so a new
+// invariant added to the checker is automatically enforced here too.
 #include <gtest/gtest.h>
 
-#include <functional>
-
-#include "common/rng.hpp"
+#include "check/invariants.hpp"
+#include "check/random_tree.hpp"
 #include "instrument/instrumentor.hpp"
 #include "rt/real_runtime.hpp"
 #include "rt/sim_runtime.hpp"
 
 namespace taskprof {
 namespace {
-
-/// Deterministic random task program: a tree of tasks with random
-/// branching, work, taskwait placement, tied/untied mix, and parameters.
-/// The RNG decisions are a pure function of the node's path seed, so the
-/// program shape is independent of scheduling.
-struct RandomProgram {
-  RegionHandle region_a;
-  RegionHandle region_b;
-  RegionHandle user_region;
-  int max_depth;
-
-  void spawn(rt::TaskContext& ctx, std::uint64_t path_seed, int depth) const {
-    Xoshiro256 rng(path_seed);
-    const int children =
-        depth >= max_depth ? 0 : static_cast<int>(rng.next_below(4));
-    const bool untied = rng.next_double() < 0.3;
-    const bool use_b = rng.next_double() < 0.4;
-    const bool parameterized = rng.next_double() < 0.3;
-    const Ticks work = 100 + static_cast<Ticks>(rng.next_below(5'000));
-    const bool enter_user = rng.next_double() < 0.5;
-
-    rt::TaskAttrs attrs;
-    attrs.region = use_b ? region_b : region_a;
-    attrs.parameter = parameterized ? depth : kNoParameter;
-    attrs.binding =
-        untied ? rt::TaskBinding::kUntied : rt::TaskBinding::kTied;
-
-    ctx.create_task(
-        [this, path_seed, depth, children, work, enter_user](
-            rt::TaskContext& c) {
-          if (enter_user) c.region_enter(user_region);
-          c.work(work);
-          for (int i = 0; i < children; ++i) {
-            spawn(c, path_seed * 31 + static_cast<std::uint64_t>(i) + 1,
-                  depth + 1);
-          }
-          if (children > 0) c.taskwait();
-          c.work(work / 2);
-          if (enter_user) c.region_exit(user_region);
-        },
-        attrs);
-  }
-};
 
 struct RunOutcome {
   rt::TeamStats stats;
@@ -63,31 +23,23 @@ struct RunOutcome {
   bool all_exclusive_nonnegative = true;
   Ticks implicit_inclusive = 0;
   std::size_t max_concurrent = 0;
+  check::InvariantReport report;
 };
 
-RunOutcome run_random_program(std::uint64_t seed, int threads) {
+RunOutcome run_random_program(rt::Runtime& runtime, std::uint64_t seed,
+                              int threads, check::TreeShape shape = {},
+                              int roots = 6) {
   RegionRegistry registry;
-  RandomProgram program{
-      registry.register_region("rand_task_a", RegionType::kTask),
-      registry.register_region("rand_task_b", RegionType::kTask),
-      registry.register_region("user_fn", RegionType::kFunction),
-      /*max_depth=*/4,
-  };
-  rt::SimRuntime sim;
+  const check::RandomTaskTree tree(registry, shape);
   Instrumentor instr(registry);
-  sim.set_hooks(&instr);
+  runtime.set_hooks(&instr);
   RunOutcome out;
-  out.stats = sim.parallel(threads, [&](rt::TaskContext& ctx) {
-    if (!ctx.single()) return;
-    for (int i = 0; i < 6; ++i) {
-      program.spawn(ctx, seed * 1000 + static_cast<std::uint64_t>(i), 0);
-    }
-    ctx.taskwait();
-  });
-  sim.set_hooks(nullptr);
+  out.stats = tree.run(runtime, seed, threads, roots);
+  runtime.set_hooks(nullptr);
   instr.finalize();
 
   const AggregateProfile agg = instr.aggregate();
+  out.report = check::check_profile(agg, registry, &out.stats);
   for_each_node(agg.implicit_root, [&](const CallNode& node, int) {
     if (node.is_stub) out.stub_total += node.inclusive;
     if (node.exclusive() < 0) out.all_exclusive_nonnegative = false;
@@ -109,10 +61,14 @@ class RandomProgramTest
 
 TEST_P(RandomProgramTest, MeasurementInvariantsHold) {
   const auto [seed, threads] = GetParam();
-  const RunOutcome out = run_random_program(seed, threads);
+  rt::SimRuntime sim;
+  const RunOutcome out = run_random_program(sim, seed, threads);
 
   // Some work actually happened.
   EXPECT_GT(out.stats.tasks_executed, 0u);
+
+  // The full structural checker agrees.
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
 
   // Conservation: every executed fragment is timed identically in the
   // implicit tree's stub and in the instance tree.
@@ -138,8 +94,10 @@ TEST_P(RandomProgramTest, MeasurementInvariantsHold) {
 
 TEST_P(RandomProgramTest, DeterministicAcrossRuns) {
   const auto [seed, threads] = GetParam();
-  const RunOutcome a = run_random_program(seed, threads);
-  const RunOutcome b = run_random_program(seed, threads);
+  rt::SimRuntime sim_a;
+  rt::SimRuntime sim_b;
+  const RunOutcome a = run_random_program(sim_a, seed, threads);
+  const RunOutcome b = run_random_program(sim_b, seed, threads);
   EXPECT_EQ(a.stats.parallel_ticks, b.stats.parallel_ticks);
   EXPECT_EQ(a.stats.tasks_executed, b.stats.tasks_executed);
   EXPECT_EQ(a.stub_total, b.stub_total);
@@ -157,58 +115,82 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(param_info.param));
     });
 
+// Sweep the generator's shape knobs: deep and narrow, flat and wide,
+// untied-heavy, undeferred mix, and fire-and-forget (no taskwait).  The
+// structural laws must hold for every shape the fuzzer can draw.
+struct ShapeCase {
+  const char* name;
+  check::TreeShape shape;
+};
+
+std::vector<ShapeCase> shape_cases() {
+  std::vector<ShapeCase> cases;
+  check::TreeShape deep;
+  deep.max_depth = 8;
+  deep.max_fanout = 2;
+  cases.push_back({"deep_narrow", deep});
+  check::TreeShape wide;
+  wide.max_depth = 2;
+  wide.max_fanout = 8;
+  cases.push_back({"flat_wide", wide});
+  check::TreeShape untied;
+  untied.untied_fraction = 0.9;
+  cases.push_back({"untied_heavy", untied});
+  check::TreeShape undeferred;
+  undeferred.undeferred_fraction = 0.5;
+  cases.push_back({"undeferred_mix", undeferred});
+  check::TreeShape no_wait;
+  no_wait.taskwait_fraction = 0.0;
+  cases.push_back({"fire_and_forget", no_wait});
+  return cases;
+}
+
+class ShapeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShapeSweep, InvariantsHoldForAnyShape) {
+  const ShapeCase shape_case = shape_cases()[GetParam()];
+  for (std::uint64_t seed : {3ull, 17ull}) {
+    SCOPED_TRACE(::testing::Message()
+                 << shape_case.name << " seed " << seed);
+    rt::SimRuntime sim;
+    const RunOutcome out =
+        run_random_program(sim, seed, 4, shape_case.shape);
+    EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+    EXPECT_EQ(out.stub_total, out.task_tree_total);
+    EXPECT_EQ(out.merged_instances, out.stats.tasks_executed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& p) {
+                           return shape_cases()[p.param].name;
+                         });
+
 // The same invariants on the real-thread engine (timing is wall clock,
-// but the structural laws are engine-independent).  Tied tasks only: the
-// real engine demotes untied anyway.
+// but the structural laws are engine-independent).
 class RealEngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RealEngineProperty, StructuralInvariantsHold) {
-  RegionRegistry registry;
-  RandomProgram program{
-      registry.register_region("rand_task_a", RegionType::kTask),
-      registry.register_region("rand_task_b", RegionType::kTask),
-      registry.register_region("user_fn", RegionType::kFunction),
-      /*max_depth=*/3,
-  };
+  check::TreeShape shape;
+  shape.max_depth = 3;
   rt::RealRuntime real;
-  Instrumentor instr(registry);
-  real.set_hooks(&instr);
-  const auto stats = real.parallel(2, [&](rt::TaskContext& ctx) {
-    if (!ctx.single()) return;
-    for (int i = 0; i < 4; ++i) {
-      program.spawn(ctx, GetParam() * 77 + static_cast<std::uint64_t>(i), 0);
-    }
-    ctx.taskwait();
-  });
-  real.set_hooks(nullptr);
-  instr.finalize();
-
-  const AggregateProfile agg = instr.aggregate();
-  Ticks stub_total = 0;
-  for_each_node(agg.implicit_root, [&](const CallNode& node, int) {
-    if (node.is_stub) stub_total += node.inclusive;
-    EXPECT_GE(node.exclusive(), 0);
-  });
-  Ticks task_total = 0;
-  std::uint64_t instances = 0;
-  for (const CallNode* root : agg.task_roots) {
-    task_total += root->inclusive;
-    instances += root->visits;
-    for_each_node(root, [](const CallNode& node, int) {
-      EXPECT_GE(node.exclusive(), 0);
-    });
-  }
+  const RunOutcome out =
+      run_random_program(real, GetParam(), 2, shape, /*roots=*/4);
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  EXPECT_TRUE(out.all_exclusive_nonnegative);
   // The conservation law holds tick-exactly on the real engine too: stub
   // and instance frames are stamped from the same clock reads.
-  EXPECT_EQ(stub_total, task_total);
-  EXPECT_EQ(instances, stats.tasks_executed);
+  EXPECT_EQ(out.stub_total, out.task_tree_total);
+  EXPECT_EQ(out.merged_instances, out.stats.tasks_executed);
 }
 
 INSTANTIATE_TEST_SUITE_P(RealSeeds, RealEngineProperty,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
 
 // The measurement invariants must hold for any cost-model configuration:
-// sweep the simulator's knobs.
+// sweep the simulator's knobs over a uniform binary tree (depth 6 -> 126
+// tasks).
 struct CostCase {
   const char* name;
   rt::SimCosts costs;
@@ -243,7 +225,7 @@ class CostModelSweep : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(CostModelSweep, InvariantsHoldForAnyCostModel) {
   const CostCase cost_case = cost_cases()[GetParam()];
   RegionRegistry registry;
-  const RegionHandle task = registry.register_region("t", RegionType::kTask);
+  const check::UniformTree tree(registry, /*work=*/400);
   rt::SimConfig config;
   config.costs = cost_case.costs;
   config.lifo_dequeue = cost_case.lifo;
@@ -251,26 +233,15 @@ TEST_P(CostModelSweep, InvariantsHoldForAnyCostModel) {
   rt::SimRuntime sim(config);
   Instrumentor instr(registry);
   sim.set_hooks(&instr);
-  std::function<void(rt::TaskContext&, int)> rec =
-      [&rec, task](rt::TaskContext& c, int depth) {
-        c.work(400);
-        if (depth == 0) return;
-        for (int i = 0; i < 2; ++i) {
-          rt::TaskAttrs attrs;
-          attrs.region = task;
-          c.create_task(
-              [&rec, depth](rt::TaskContext& cc) { rec(cc, depth - 1); },
-              attrs);
-        }
-        c.taskwait();
-      };
   const auto stats = sim.parallel(4, [&](rt::TaskContext& ctx) {
-    if (ctx.single()) rec(ctx, 6);
+    if (ctx.single()) tree.body(ctx, /*depth=*/6, /*fanout=*/2);
   });
   sim.set_hooks(nullptr);
   instr.finalize();
 
   const AggregateProfile agg = instr.aggregate();
+  EXPECT_EQ(stats.tasks_executed, check::UniformTree::task_count(6, 2))
+      << cost_case.name;
   EXPECT_EQ(stats.tasks_executed, 126u) << cost_case.name;
   Ticks stub_total = 0;
   for_each_node(agg.implicit_root, [&](const CallNode& node, int) {
@@ -283,6 +254,9 @@ TEST_P(CostModelSweep, InvariantsHoldForAnyCostModel) {
   // All declared work (126 tasks x 400 plus creators' shares) is inside
   // the task trees.
   EXPECT_GE(task_total, 126 * 400) << cost_case.name;
+  const check::InvariantReport report =
+      check::check_profile(agg, registry, &stats);
+  EXPECT_TRUE(report.ok()) << cost_case.name << "\n" << report.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, CostModelSweep,
@@ -293,26 +267,13 @@ TEST(SchedulingBound, StrictPolicyBoundsConcurrencyByDepth) {
   // instance count per thread stays within the chain depth (+1 for the
   // freshly started task), for every team size.
   RegionRegistry registry;
-  const RegionHandle task = registry.register_region("t", RegionType::kTask);
+  const check::UniformTree tree(registry, /*work=*/300);
   for (int threads : {1, 2, 4, 8, 16}) {
     rt::SimRuntime sim;
     Instrumentor instr(registry);
     sim.set_hooks(&instr);
-    std::function<void(rt::TaskContext&, int)> rec =
-        [&rec, task](rt::TaskContext& c, int depth) {
-          c.work(300);
-          if (depth == 0) return;
-          for (int i = 0; i < 2; ++i) {
-            rt::TaskAttrs attrs;
-            attrs.region = task;
-            c.create_task(
-                [&rec, depth](rt::TaskContext& cc) { rec(cc, depth - 1); },
-                attrs);
-          }
-          c.taskwait();
-        };
     sim.parallel(threads, [&](rt::TaskContext& ctx) {
-      if (ctx.single()) rec(ctx, 8);
+      if (ctx.single()) tree.body(ctx, /*depth=*/8, /*fanout=*/2);
     });
     sim.set_hooks(nullptr);
     instr.finalize();
@@ -337,32 +298,20 @@ TEST(RandomProgramEdge, ZeroTaskProgramStillProfiles) {
 }
 
 TEST(RandomProgramEdge, DeepChainOfSingleChildren) {
+  // A fanout-1 uniform tree is a 61-deep dependency chain: each task
+  // spawns one child and waits for it.
   RegionRegistry registry;
-  const RegionHandle region =
-      registry.register_region("chain", RegionType::kTask);
+  const check::UniformTree tree(registry, /*work=*/50);
   rt::SimRuntime sim;
   Instrumentor instr(registry);
   sim.set_hooks(&instr);
-  std::function<void(rt::TaskContext&, int)> chain =
-      [&](rt::TaskContext& ctx, int depth) {
-        rt::TaskAttrs attrs;
-        attrs.region = region;
-        ctx.create_task(
-            [&chain, depth](rt::TaskContext& c) {
-              c.work(50);
-              if (depth > 0) {
-                chain(c, depth - 1);
-                c.taskwait();
-              }
-            },
-            attrs);
-      };
   auto stats = sim.parallel(2, [&](rt::TaskContext& ctx) {
-    if (ctx.single()) chain(ctx, 60);
+    if (ctx.single()) tree.body(ctx, /*depth=*/61, /*fanout=*/1);
   });
   sim.set_hooks(nullptr);
   instr.finalize();
   const AggregateProfile agg = instr.aggregate();
+  EXPECT_EQ(stats.tasks_executed, check::UniformTree::task_count(61, 1));
   EXPECT_EQ(stats.tasks_executed, 61u);
   // The dependency chain forces ~chain-depth concurrent instances
   // (paper §V-B: "the longest dependency chain ... may serve as a good

@@ -1,0 +1,206 @@
+// Seeded schedule perturbation (rt/schedule_policy.hpp): stream
+// determinism, detached neutrality, and the end-to-end guarantees the
+// fuzzing harness rests on — perturbed engines still compute the right
+// answer, and the sim engine replays a seed tick-for-tick.
+#include "rt/schedule_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "profile/region.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace taskprof {
+namespace {
+
+TEST(ScheduleStream, DetachedStreamIsNeutral) {
+  rt::ScheduleStream stream;
+  EXPECT_FALSE(stream.attached());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(stream.yield_before(rt::SchedulePoint::kTaskCreate));
+    EXPECT_FALSE(stream.yield_before(rt::SchedulePoint::kBarrier));
+    EXPECT_FALSE(stream.steal_first());
+    EXPECT_EQ(stream.victim_rotation(8), 0u);
+    EXPECT_EQ(stream.pick(17), 0u);
+    EXPECT_EQ(stream.jitter(1000), 0);
+  }
+}
+
+TEST(ScheduleStream, SameSeedAndThreadGiveIdenticalDecisions) {
+  const rt::SchedulePolicy policy(0xfeedfaceULL);
+  for (ThreadId tid : {0u, 1u, 7u}) {
+    rt::ScheduleStream a = policy.stream(tid);
+    rt::ScheduleStream b = policy.stream(tid);
+    ASSERT_TRUE(a.attached());
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a.pick(1000), b.pick(1000)) << "tid " << tid << " draw " << i;
+    }
+  }
+}
+
+TEST(ScheduleStream, DistinctThreadsGetDistinctStreams) {
+  const rt::SchedulePolicy policy(42);
+  rt::ScheduleStream a = policy.stream(0);
+  rt::ScheduleStream b = policy.stream(1);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.pick(1u << 30) != b.pick(1u << 30)) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+TEST(ScheduleStream, VictimRotationStaysInRange) {
+  const rt::SchedulePolicy policy(7);
+  for (std::uint32_t nthreads = 1; nthreads <= 16; ++nthreads) {
+    rt::ScheduleStream stream = policy.stream(0);
+    for (int i = 0; i < 100; ++i) {
+      const std::uint32_t rotation = stream.victim_rotation(nthreads);
+      if (nthreads <= 2) {
+        EXPECT_EQ(rotation, 0u);
+      } else {
+        EXPECT_LT(rotation, nthreads - 1);
+      }
+    }
+  }
+}
+
+TEST(ScheduleStream, AttachedStreamActuallyPerturbs) {
+  const rt::SchedulePolicy policy(0xabcdef);
+  rt::ScheduleStream stream = policy.stream(0);
+  int yields = 0;
+  int steal_firsts = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (stream.yield_before(rt::SchedulePoint::kAcquire)) ++yields;
+    if (stream.steal_first()) ++steal_firsts;
+  }
+  // ~1/8 and ~1/4 rates; just assert they are neither never nor always.
+  EXPECT_GT(yields, 10);
+  EXPECT_LT(yields, 200);
+  EXPECT_GT(steal_firsts, 40);
+  EXPECT_LT(steal_firsts, 300);
+}
+
+// The real engine must stay *correct* under any seed: task counts and the
+// computed result are schedule-independent.
+class RealPerturbedTest : public ::testing::TestWithParam<rt::SchedulerKind> {
+};
+
+TEST_P(RealPerturbedTest, FibCountsExactUnderPerturbation) {
+  RegionRegistry registry;
+  const RegionHandle task =
+      registry.register_region("t", RegionType::kTask);
+  std::function<void(rt::TaskContext&, int, long*)> fib =
+      [&](rt::TaskContext& ctx, int n, long* out) {
+        if (n < 2) {
+          *out = n;
+          return;
+        }
+        long a = 0;
+        long b = 0;
+        rt::TaskAttrs attrs;
+        attrs.region = task;
+        ctx.create_task(
+            [&fib, n, &a](rt::TaskContext& c) { fib(c, n - 1, &a); }, attrs);
+        ctx.create_task(
+            [&fib, n, &b](rt::TaskContext& c) { fib(c, n - 2, &b); }, attrs);
+        ctx.taskwait();
+        *out = a + b;
+      };
+
+  for (std::uint64_t seed : {0x1ULL, 0xdeadbeefULL, 0x5eedc0deULL}) {
+    SCOPED_TRACE(::testing::Message() << "seed 0x" << std::hex << seed);
+    const rt::SchedulePolicy policy(seed);
+    rt::RealConfig config;
+    config.scheduler = GetParam();
+    config.policy = &policy;
+    rt::RealRuntime runtime(config);
+    long result = 0;
+    const auto stats = runtime.parallel(4, [&](rt::TaskContext& ctx) {
+      if (ctx.single()) fib(ctx, 14, &result);
+    });
+    EXPECT_EQ(result, 377);
+    EXPECT_EQ(stats.tasks_executed, 2u * 610 - 2);  // 2*fib(n+1) - 2
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, RealPerturbedTest,
+    ::testing::Values(rt::SchedulerKind::kMutexDeque,
+                      rt::SchedulerKind::kChaseLev),
+    [](const ::testing::TestParamInfo<rt::SchedulerKind>& param) {
+      return param.param == rt::SchedulerKind::kChaseLev ? "chase_lev"
+                                                         : "mutex_deque";
+    });
+
+namespace sim_replay {
+
+rt::TeamStats run_tree(const rt::SchedulePolicy* policy) {
+  RegionRegistry registry;
+  const RegionHandle task =
+      registry.register_region("t", RegionType::kTask);
+  rt::SimConfig config;
+  config.policy = policy;
+  rt::SimRuntime sim(config);
+  std::function<void(rt::TaskContext&, int)> rec = [&](rt::TaskContext& ctx,
+                                                       int depth) {
+    ctx.work(500);
+    if (depth <= 0) return;
+    rt::TaskAttrs attrs;
+    attrs.region = task;
+    attrs.binding =
+        depth % 3 == 0 ? rt::TaskBinding::kUntied : rt::TaskBinding::kTied;
+    for (int i = 0; i < 2; ++i) {
+      ctx.create_task([&rec, depth](rt::TaskContext& c) { rec(c, depth - 1); },
+                      attrs);
+    }
+    ctx.taskwait();
+  };
+  return sim.parallel(4, [&](rt::TaskContext& ctx) {
+    if (ctx.single()) rec(ctx, 6);
+  });
+}
+
+}  // namespace sim_replay
+
+TEST(SimSchedulePolicy, SameSeedReplaysIdenticalVirtualTime) {
+  for (std::uint64_t seed : {0x1ULL, 0xc0ffeeULL}) {
+    SCOPED_TRACE(::testing::Message() << "seed 0x" << std::hex << seed);
+    const rt::SchedulePolicy p1(seed);
+    const rt::SchedulePolicy p2(seed);
+    const rt::TeamStats a = sim_replay::run_tree(&p1);
+    const rt::TeamStats b = sim_replay::run_tree(&p2);
+    EXPECT_EQ(a.parallel_ticks, b.parallel_ticks);
+    EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.migrations, b.migrations);
+  }
+}
+
+TEST(SimSchedulePolicy, DifferentSeedsExploreDifferentInterleavings) {
+  std::set<Ticks> spans;
+  std::uint64_t tasks = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const rt::SchedulePolicy policy(seed * 0x9e3779b97f4a7c15ULL);
+    const rt::TeamStats stats = sim_replay::run_tree(&policy);
+    spans.insert(stats.parallel_ticks);
+    if (tasks == 0) tasks = stats.tasks_executed;
+    // Perturbation changes timing, never the amount of work.
+    EXPECT_EQ(stats.tasks_executed, tasks);
+  }
+  EXPECT_GE(spans.size(), 2u)
+      << "8 seeds all produced the same virtual span; the policy is not "
+         "reaching the sim scheduler";
+  // An unperturbed run is reproducible too, and unaffected by the policy
+  // code path existing.
+  const rt::TeamStats base1 = sim_replay::run_tree(nullptr);
+  const rt::TeamStats base2 = sim_replay::run_tree(nullptr);
+  EXPECT_EQ(base1.parallel_ticks, base2.parallel_ticks);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,170 @@
+// Golden-file coverage for the --telemetry-json output shape
+// (telemetry::snapshot_to_json): the exact rendering of a hand-built
+// snapshot, schema-key presence on a real run, and counter monotonicity
+// across successive snapshots of one registry.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "profile/region.hpp"
+#include "rt/real_runtime.hpp"
+
+namespace taskprof {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+
+telemetry::Snapshot golden_snapshot() {
+  telemetry::Snapshot snap;
+  snap.threads = 1;
+  auto set = [&snap](Counter c, std::uint64_t v) {
+    snap.counters[static_cast<std::size_t>(c)] = v;
+  };
+  set(Counter::kTasksCreated, 10);
+  set(Counter::kTasksExecuted, 10);
+  set(Counter::kTasksDeferred, 9);
+  set(Counter::kTasksUndeferred, 1);
+  set(Counter::kStealAttempts, 4);
+  set(Counter::kStealSuccesses, 2);
+  set(Counter::kStealAborts, 1);
+  set(Counter::kTaskwaitEntries, 5);
+  set(Counter::kBarrierEntries, 2);
+  set(Counter::kSingleWins, 1);
+  set(Counter::kSchedYields, 3);
+  set(Counter::kSlabAllocs, 10);
+  set(Counter::kSlabRecycles, 10);
+  set(Counter::kSlabRemoteRecycles, 2);
+  set(Counter::kMigrations, 0);
+  set(Counter::kHookEvents, 4);
+  set(Counter::kHookTicks, 10);
+  snap.gauges[static_cast<std::size_t>(Gauge::kDequeDepth)] = 3;
+  snap.gauges[static_cast<std::size_t>(Gauge::kSlabRecords)] = 7;
+  snap.gauges[static_cast<std::size_t>(Gauge::kTaskStackDepth)] = 2;
+  snap.gauges[static_cast<std::size_t>(Gauge::kRunQueueDepth)] = 0;
+  snap.per_thread.push_back(snap.counters);
+  return snap;
+}
+
+TEST(TelemetryJson, GoldenRendering) {
+  // Hand-computed: steal rate 2/4 = 0.5, hook mean 10/4 = 2.5 ns.
+  const std::string expected =
+      "{\n"
+      "  \"threads\": 1,\n"
+      "  \"counters\": {\n"
+      "    \"tasks_created\": 10,\n"
+      "    \"tasks_executed\": 10,\n"
+      "    \"tasks_deferred\": 9,\n"
+      "    \"tasks_undeferred\": 1,\n"
+      "    \"steal_attempts\": 4,\n"
+      "    \"steal_successes\": 2,\n"
+      "    \"steal_aborts\": 1,\n"
+      "    \"taskwait_entries\": 5,\n"
+      "    \"barrier_entries\": 2,\n"
+      "    \"single_wins\": 1,\n"
+      "    \"sched_yields\": 3,\n"
+      "    \"slab_allocs\": 10,\n"
+      "    \"slab_recycles\": 10,\n"
+      "    \"slab_remote_recycles\": 2,\n"
+      "    \"migrations\": 0,\n"
+      "    \"hook_events\": 4,\n"
+      "    \"hook_ticks\": 10\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"deque_depth_hwm\": 3,\n"
+      "    \"slab_records_hwm\": 7,\n"
+      "    \"task_stack_depth_hwm\": 2,\n"
+      "    \"run_queue_depth_hwm\": 0\n"
+      "  },\n"
+      "  \"derived\": {\n"
+      "    \"steal_success_rate\": 0.5,\n"
+      "    \"hook_mean_ns\": 2.5\n"
+      "  },\n"
+      "  \"per_thread\": [\n"
+      "    [10, 10, 9, 1, 4, 2, 1, 5, 2, 1, 3, 10, 10, 2, 0, 4, 10]\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(telemetry::snapshot_to_json(golden_snapshot()), expected);
+}
+
+TEST(TelemetryJson, SchemaKeysPresentOnRealRun) {
+  telemetry::Registry registry;
+  rt::RealRuntime runtime;
+  runtime.set_telemetry(&registry);
+  RegionRegistry regions;
+  const RegionHandle task = regions.register_region("t", RegionType::kTask);
+  runtime.parallel(2, [&](rt::TaskContext& ctx) {
+    if (!ctx.single()) return;
+    for (int i = 0; i < 100; ++i) {
+      rt::TaskAttrs attrs;
+      attrs.region = task;
+      ctx.create_task([](rt::TaskContext&) {}, attrs);
+    }
+    ctx.taskwait();
+  });
+  runtime.set_telemetry(nullptr);
+
+  const std::string json = telemetry::snapshot_to_json(registry.snapshot());
+  // Every counter/gauge name plus the fixed schema keys must appear.
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    const std::string key =
+        std::string(telemetry::counter_name(static_cast<Counter>(i)));
+    EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos) << key;
+  }
+  for (std::size_t i = 0; i < telemetry::kGaugeCount; ++i) {
+    const std::string key =
+        std::string(telemetry::gauge_name(static_cast<Gauge>(i)));
+    EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos) << key;
+  }
+  for (const char* key : {"\"threads\":", "\"counters\":", "\"gauges\":",
+                          "\"derived\":", "\"steal_success_rate\":",
+                          "\"hook_mean_ns\":", "\"per_thread\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(TelemetryJson, CountersMonotonicAcrossSnapshots) {
+  telemetry::Registry registry;
+  rt::RealRuntime runtime;
+  runtime.set_telemetry(&registry);
+  RegionRegistry regions;
+  const RegionHandle task = regions.register_region("t", RegionType::kTask);
+  const auto burst = [&] {
+    runtime.parallel(2, [&](rt::TaskContext& ctx) {
+      if (!ctx.single()) return;
+      for (int i = 0; i < 50; ++i) {
+        rt::TaskAttrs attrs;
+        attrs.region = task;
+        ctx.create_task([](rt::TaskContext&) {}, attrs);
+      }
+      ctx.taskwait();
+    });
+  };
+
+  burst();
+  const telemetry::Snapshot first = registry.snapshot();
+  burst();
+  const telemetry::Snapshot second = registry.snapshot();
+  runtime.set_telemetry(nullptr);
+
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    EXPECT_GE(second.counters[i], first.counters[i])
+        << telemetry::counter_name(static_cast<Counter>(i));
+  }
+  EXPECT_EQ(second.counter(Counter::kTasksCreated),
+            first.counter(Counter::kTasksCreated) + 50);
+  ASSERT_EQ(second.per_thread.size(), static_cast<std::size_t>(second.threads));
+  // The aggregate is exactly the per-thread sum once the region quiesces.
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    std::uint64_t sum = 0;
+    for (const auto& row : second.per_thread) sum += row[i];
+    EXPECT_EQ(sum, second.counters[i])
+        << telemetry::counter_name(static_cast<Counter>(i));
+  }
+}
+
+}  // namespace
+}  // namespace taskprof

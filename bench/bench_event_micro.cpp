@@ -53,6 +53,28 @@ void BM_EnterExitDeepPath(benchmark::State& state) {
 }
 BENCHMARK(BM_EnterExitDeepPath);
 
+// Wide fan-out: 256 parameter-distinguished children under one node, hit
+// round-robin so the hot_child cache misses and the lookup cost is what's
+// measured.  `accelerated=false` pins the engine to the plain sibling
+// scan for the A/B.
+void BM_EnterExitWideFanout(benchmark::State& state) {
+  Fixture f;
+  const bool accelerated = state.range(0) != 0;
+  MeasureOptions options;
+  options.child_lookup_acceleration = accelerated;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit, options);
+  constexpr std::int64_t kFanout = 256;
+  std::int64_t p = 0;
+  for (auto _ : state) {
+    prof.enter(f.foo, p);
+    prof.exit(f.foo);
+    p = (p + 1) % kFanout;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+  state.SetLabel(accelerated ? "indexed" : "linear-scan");
+}
+BENCHMARK(BM_EnterExitWideFanout)->Arg(1)->Arg(0);
+
 void BM_TaskBeginEnd(benchmark::State& state) {
   Fixture f;
   ThreadTaskProfiler prof(0, f.clock, f.implicit);
@@ -67,6 +89,25 @@ void BM_TaskBeginEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TaskBeginEnd);
+
+// Same leaf-task stream with the merge fast path disabled: the delta is
+// what the general merge walk costs per single-node instance tree.
+void BM_TaskBeginEndNoLeafFastPath(benchmark::State& state) {
+  Fixture f;
+  MeasureOptions options;
+  options.leaf_fast_path = false;
+  ThreadTaskProfiler prof(0, f.clock, f.implicit, options);
+  prof.enter(f.barrier);
+  TaskInstanceId id = 1;
+  for (auto _ : state) {
+    prof.task_begin(f.task, id);
+    prof.task_end(id);
+    ++id;
+  }
+  prof.exit(f.barrier);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaskBeginEndNoLeafFastPath);
 
 void BM_TaskBeginEndWithBody(benchmark::State& state) {
   Fixture f;
@@ -130,6 +171,33 @@ void BM_MergeSmallTree(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5);
 }
 BENCHMARK(BM_MergeSmallTree);
+
+// Merging a 64-way parameter fan-out into an existing same-shape tree:
+// every child lookup in the destination hits the promoted index (or, at
+// Arg(0), the linear scan).
+void BM_MergeWideTree(benchmark::State& state) {
+  const bool accelerated = state.range(0) != 0;
+  constexpr std::int64_t kFanout = 64;
+  NodePool src_pool;
+  CallNode* src = src_pool.allocate(0, kNoParameter, false, nullptr);
+  for (std::int64_t p = 0; p < kFanout; ++p) {
+    CallNode* child = src_pool.allocate(1, p, false, src);
+    child->inclusive = 10;
+    child->visits = 1;
+    child->visit_stats.add(10);
+  }
+  NodePool dst_pool;
+  dst_pool.set_lookup_acceleration(accelerated);
+  CallNode* dst = dst_pool.allocate(0, kNoParameter, false, nullptr);
+  merge_subtree(dst_pool, dst, src);  // pre-build the destination shape
+  for (auto _ : state) {
+    merge_subtree(dst_pool, dst, src);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (kFanout + 1));
+  state.SetLabel(accelerated ? "indexed" : "linear-scan");
+}
+BENCHMARK(BM_MergeWideTree)->Arg(1)->Arg(0);
 
 void BM_ClockRead(benchmark::State& state) {
   SteadyClock clock;

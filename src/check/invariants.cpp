@@ -73,12 +73,46 @@ void check_node(const CallNode& node, const RegionRegistry& registry,
   const RegionType type = registry.info(node.region).type;
 
   // Parent backlink integrity: merge must preserve the intrusive links.
+  // The same pass validates the maintained child metadata (counter, tail
+  // pointer) and the lookup accelerators (hot_child, child_index) against
+  // the sibling list, which stays the source of truth.
+  std::size_t counted_children = 0;
+  const CallNode* tail = nullptr;
+  bool hot_child_found = node.hot_child == nullptr;
   for (const CallNode* child = node.first_child; child != nullptr;
        child = child->next_sibling) {
     if (child->parent != &node) {
       out.fail("tree-links", "child '%s' of '%s' has a stale parent link",
                node_name(*child, registry), name);
     }
+    ++counted_children;
+    tail = child;
+    if (child == node.hot_child) hot_child_found = true;
+    if (node.child_index != nullptr &&
+        node.child_index->find(child->region, child->parameter,
+                               child->is_stub) != child) {
+      out.fail("child-index",
+               "node '%s': child '%s' missing from the promoted index", name,
+               node_name(*child, registry));
+    }
+  }
+  if (node.n_children != counted_children) {
+    out.fail("child-metadata",
+             "node '%s': n_children %u != %zu children in the sibling list",
+             name, node.n_children, counted_children);
+  }
+  if (node.last_child != tail) {
+    out.fail("child-metadata", "node '%s': last_child does not point at the "
+             "sibling-list tail", name);
+  }
+  if (!hot_child_found) {
+    out.fail("child-metadata",
+             "node '%s': hot_child points outside the child list", name);
+  }
+  if (node.child_index != nullptr &&
+      node.child_index->size() != counted_children) {
+    out.fail("child-index", "node '%s': index holds %zu entries for %zu "
+             "children", name, node.child_index->size(), counted_children);
   }
   // Sibling identity uniqueness: a correct merge folds same-identity
   // children together; duplicates mean instances were attached, not merged.

@@ -18,6 +18,7 @@ AggregateProfile aggregate_profiles(
     std::span<const ThreadProfileView> views) {
   AggregateProfile out;
   out.thread_count = views.size();
+  ChildIndex root_index;
   for (const ThreadProfileView& view : views) {
     out.total_task_switches += view.task_switches;
     out.total_folded_events += view.folded_events;
@@ -35,18 +36,16 @@ AggregateProfile aggregate_profiles(
       merge_subtree(out.pool, out.implicit_root, view.implicit_root);
     }
     for (const CallNode* src_root : view.task_roots) {
-      CallNode* dst_root = nullptr;
-      for (CallNode* existing : out.task_roots) {
-        if (existing->region == src_root->region &&
-            existing->parameter == src_root->parameter) {
-          dst_root = existing;
-          break;
-        }
-      }
+      // Indexed root lookup: with per-depth parameter profiling a view can
+      // carry hundreds of roots, and the old linear rescan per source root
+      // made aggregation O(R^2) in the root count.
+      CallNode* dst_root =
+          root_index.find(src_root->region, src_root->parameter, false);
       if (dst_root == nullptr) {
         dst_root = out.pool.allocate(src_root->region, src_root->parameter,
                                      false, nullptr);
         out.task_roots.push_back(dst_root);
+        root_index.insert(dst_root);
       }
       merge_subtree(out.pool, dst_root, src_root);
     }

@@ -11,6 +11,7 @@ ThreadTaskProfiler::ThreadTaskProfiler(ThreadId thread, const Clock& clock,
                                        RegionHandle implicit_region,
                                        MeasureOptions options)
     : thread_(thread), clock_(&clock), options_(options) {
+  pool_.set_lookup_acceleration(options_.child_lookup_acceleration);
   implicit_root_ =
       pool_.allocate(implicit_region, kNoParameter, false, nullptr);
   implicit_root_->visits = 1;
@@ -43,6 +44,17 @@ void ThreadTaskProfiler::enter(RegionHandle region, std::int64_t parameter) {
       return;
     }
     CallNode* parent = inst.stack.back().node;
+    if (parent == nullptr) {
+      // First enter inside a lazily-materialized instance: build the
+      // instance-tree root now (see task_begin).
+      TASKPROF_ASSERT(inst.stack.size() == 1 && inst.root == nullptr,
+                      "unmaterialized frame below the instance root");
+      inst.root = inst.home_pool->allocate(inst.task_region, inst.parameter,
+                                           false, nullptr);
+      ++inst.root->visits;
+      inst.stack.front().node = inst.root;
+      parent = inst.root;
+    }
     CallNode* node = find_or_create_child(*inst.home_pool, parent, region,
                                           parameter, false);
     ++node->visits;
@@ -108,11 +120,18 @@ void ThreadTaskProfiler::task_begin(RegionHandle task_region,
   state->parameter = parameter;
   state->home_pool = &pool_;
   state->home_thread = thread_;
-  state->root = pool_.allocate(task_region, parameter, false, nullptr);
-  if (options_.creation_site_attribution) {
-    if (auto it = creation_sites_.find(id); it != creation_sites_.end()) {
+  // Lazy instance-tree materialization: most instances of non-cut-off
+  // recursion never enter a region, so their tree would be the root node
+  // alone.  Defer allocating it until the first child enter; a leaf
+  // instance then folds straight into the merged node at task_end
+  // without ever touching the pool.
+  state->root = options_.leaf_fast_path
+                    ? nullptr
+                    : pool_.allocate(task_region, parameter, false, nullptr);
+  if (options_.creation_site_attribution && creation_sites_ != nullptr) {
+    if (auto it = creation_sites_->find(id); it != creation_sites_->end()) {
       state->creation_node = it->second;
-      creation_sites_.erase(it);
+      creation_sites_->erase(it);
     }
   }
 
@@ -122,7 +141,7 @@ void ThreadTaskProfiler::task_begin(RegionHandle task_region,
 
   // TaskSwitch(task instance) then Enter(task instance, task region).
   switch_to(inst, now);
-  ++inst->root->visits;
+  if (inst->root != nullptr) ++inst->root->visits;
   inst->stack.push_back(TaskInstanceState::Frame{inst->root, now, 0});
 }
 
@@ -141,15 +160,18 @@ void ThreadTaskProfiler::task_end(TaskInstanceId id) {
   if (options_.pause_on_suspend) {
     duration -= inst.suspended_total - frame.suspended_at_enter;
   }
-  frame.node->inclusive += duration;
-  frame.node->visit_stats.add(duration);
+  if (frame.node != nullptr) {
+    frame.node->inclusive += duration;
+    frame.node->visit_stats.add(duration);
+  }
   inst.stack.pop_back();
 
   // TaskSwitch(implicit task).
   switch_to(nullptr, now);
 
-  // "Merge task tree into global profile of thread."
-  merge_and_recycle(take_instance(id));
+  // "Merge task tree into global profile of thread."  A still-null root
+  // means the instance stayed a leaf; `duration` is its whole life.
+  merge_and_recycle(take_instance(id), duration);
 }
 
 void ThreadTaskProfiler::task_switch(TaskInstanceId id) {
@@ -168,7 +190,11 @@ void ThreadTaskProfiler::note_task_created(TaskInstanceId id) {
   // Only implicit-task creation sites are stable for the lifetime of the
   // created instance (instance trees are merged and recycled); see header.
   if (current_ != nullptr) return;
-  creation_sites_[id] = implicit_stack_.back().node;
+  if (creation_sites_ == nullptr) {
+    creation_sites_ =
+        std::make_unique<std::unordered_map<TaskInstanceId, CallNode*>>();
+  }
+  (*creation_sites_)[id] = implicit_stack_.back().node;
 }
 
 std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::detach_instance(
@@ -261,7 +287,7 @@ void ThreadTaskProfiler::switch_to(TaskInstanceState* target, Ticks now) {
 }
 
 void ThreadTaskProfiler::merge_and_recycle(
-    std::unique_ptr<TaskInstanceState> instance) {
+    std::unique_ptr<TaskInstanceState> instance, Ticks leaf_duration) {
   TASKPROF_ASSERT(instance != nullptr, "merge of null instance");
   CallNode* target = nullptr;
   if (options_.creation_site_attribution &&
@@ -272,8 +298,27 @@ void ThreadTaskProfiler::merge_and_recycle(
   } else {
     target = merged_root_for(instance->task_region, instance->parameter);
   }
-  merge_subtree(pool_, target, instance->root);
-  instance->home_pool->release_subtree(instance->root);
+  CallNode* root = instance->root;
+  if (root == nullptr) {
+    // Leaf fast path: the instance never entered a region, so its tree
+    // was never materialized (see task_begin) — the dominant case for
+    // non-cut-off BOTS recursion.  One visit of `leaf_duration` folds
+    // straight into the merged node; no tree walk, no pool traffic.
+    ++target->visits;
+    target->inclusive += leaf_duration;
+    target->visit_stats.add(leaf_duration);
+  } else {
+    if (options_.leaf_fast_path && root->first_child == nullptr) {
+      // Materialized but still a single node: one add + stats merge, no
+      // find-or-create descent.
+      target->visits += root->visits;
+      target->inclusive += root->inclusive;
+      target->visit_stats.merge(root->visit_stats);
+    } else {
+      merge_subtree(pool_, target, root);
+    }
+    instance->home_pool->release_subtree(root);
+  }
   instance->reset();
   instance_freelist_.push_back(std::move(instance));
 }
@@ -308,11 +353,38 @@ std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::take_instance(
 
 CallNode* ThreadTaskProfiler::merged_root_for(RegionHandle region,
                                               std::int64_t parameter) {
-  for (CallNode* root : task_roots_) {
-    if (root->region == region && root->parameter == parameter) return root;
+  // Last-hit first: completions of the same construct come in runs
+  // (LIFO scheduling drains one recursion's tasks together).
+  if (CallNode* last = last_merged_root_;
+      last != nullptr && last->region == region &&
+      last->parameter == parameter) {
+    return last;
   }
-  CallNode* root = pool_.allocate(region, parameter, false, nullptr);
-  task_roots_.push_back(root);
+  CallNode* root = nullptr;
+  if (merged_root_index_active_) {
+    root = merged_root_index_.find(region, parameter, false);
+  } else {
+    for (CallNode* existing : task_roots_) {
+      if (existing->region == region && existing->parameter == parameter) {
+        root = existing;
+        break;
+      }
+    }
+  }
+  if (root == nullptr) {
+    root = pool_.allocate(region, parameter, false, nullptr);
+    task_roots_.push_back(root);
+    if (merged_root_index_active_) {
+      merged_root_index_.insert(root);
+    } else if (options_.child_lookup_acceleration &&
+               task_roots_.size() >= kChildIndexFanout) {
+      for (CallNode* existing : task_roots_) {
+        merged_root_index_.insert(existing);
+      }
+      merged_root_index_active_ = true;
+    }
+  }
+  last_merged_root_ = root;
   return root;
 }
 

@@ -73,6 +73,22 @@ struct MeasureOptions {
   /// created — the paper's guard against profiles that "explode or the
   /// tree depth limits might kick in" (§IV-B3).
   std::size_t max_tree_depth = 0;
+
+  /// Hot-path switches.  Both default on and are profile-identical to
+  /// the general paths (tests/test_event_hotpath.cpp proves it); the off
+  /// positions exist so tests and bench_event_hotpath can A/B the
+  /// accelerated engine against the plain one.
+  ///
+  /// child_lookup_acceleration: hot_child last-hit cache plus the
+  /// promoted open-addressed child index on high-fan-out nodes (see
+  /// profile/calltree.hpp), and the merged-task-root index.
+  bool child_lookup_acceleration = true;
+  /// leaf_fast_path: materialize an instance's call tree lazily (on its
+  /// first region enter) and fold leaf instances — which never needed a
+  /// tree at all — straight into the merged per-construct node on
+  /// task_end (one add, no tree walk, no node-pool traffic).  The
+  /// dominant case for non-cut-off BOTS recursion.
+  bool leaf_fast_path = true;
 };
 
 /// State of one active explicit task instance (one row of the paper's
@@ -99,8 +115,23 @@ class TaskInstanceState {
   std::size_t folded = 0;         ///< open enters beyond max_tree_depth
   CallNode* creation_node = nullptr;  ///< only for creation-site ablation
 
+  /// Reset for reuse through the instance free list.  Field-by-field
+  /// rather than `*this = {}` so the open-frame stack keeps its vector
+  /// capacity: a recycled instance would otherwise pay one heap
+  /// allocation on its first frame push, on every task_begin.
   void reset() {
-    *this = TaskInstanceState{};
+    id = 0;
+    task_region = kInvalidRegion;
+    parameter = kNoParameter;
+    home_pool = nullptr;
+    home_thread = 0;
+    root = nullptr;
+    stack.clear();
+    suspended_total = 0;
+    suspend_start = 0;
+    suspended = false;
+    folded = 0;
+    creation_node = nullptr;
   }
 };
 
@@ -216,7 +247,10 @@ class ThreadTaskProfiler {
   /// Fig. 12 TaskSwitch: suspend the current explicit task (if any), make
   /// `target` current (nullptr = implicit task), resume its measurement.
   void switch_to(TaskInstanceState* target, Ticks now);
-  void merge_and_recycle(std::unique_ptr<TaskInstanceState> instance);
+  /// `leaf_duration` is the instance's measured lifetime, used when the
+  /// instance tree was never materialized (lazy leaf fast path).
+  void merge_and_recycle(std::unique_ptr<TaskInstanceState> instance,
+                         Ticks leaf_duration);
   TaskInstanceState* find_instance(TaskInstanceId id) noexcept;
   std::unique_ptr<TaskInstanceState> take_instance(TaskInstanceId id);
   CallNode* merged_root_for(RegionHandle region, std::int64_t parameter);
@@ -240,11 +274,21 @@ class ThreadTaskProfiler {
   std::vector<std::unique_ptr<TaskInstanceState>> instance_freelist_;
   TaskInstanceState* current_ = nullptr;  // nullptr = implicit task
 
-  // Merged per-construct trees, beside the main tree (§IV-B3).
+  // Merged per-construct trees, beside the main tree (§IV-B3).  Lookup
+  // on task_end keeps a last-hit pointer (completions of one construct
+  // come in runs) and promotes to an open-addressed index once the root
+  // count crosses kChildIndexFanout — parameter profiling (per-depth
+  // nqueens) produces one root per parameter value, and an O(roots) scan
+  // per completed instance dominated those runs.
   std::vector<CallNode*> task_roots_;
+  CallNode* last_merged_root_ = nullptr;
+  ChildIndex merged_root_index_;
+  bool merged_root_index_active_ = false;
 
-  // Creation-site ablation bookkeeping.
-  std::unordered_map<TaskInstanceId, CallNode*> creation_sites_;
+  // Creation-site ablation bookkeeping.  Lazily allocated: the default
+  // configuration never touches (or even constructs) the map.
+  std::unique_ptr<std::unordered_map<TaskInstanceId, CallNode*>>
+      creation_sites_;
 
   std::size_t max_active_ = 0;
   std::uint64_t task_switches_ = 0;

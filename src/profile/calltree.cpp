@@ -1,5 +1,7 @@
 #include "profile/calltree.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace taskprof {
@@ -12,11 +14,72 @@ Ticks CallNode::children_inclusive() const noexcept {
   return total;
 }
 
-std::size_t CallNode::child_count() const noexcept {
-  std::size_t n = 0;
-  for (const CallNode* c = first_child; c != nullptr; c = c->next_sibling) ++n;
-  return n;
+// --- ChildIndex -------------------------------------------------------------
+
+std::uint64_t ChildIndex::hash(RegionHandle region, std::int64_t parameter,
+                               bool is_stub) noexcept {
+  // SplitMix64 finalizer over the packed identity: parameters are often
+  // small consecutive integers (recursion depths), so the raw triple
+  // clusters badly without mixing.
+  std::uint64_t x = (static_cast<std::uint64_t>(region) << 1) |
+                    static_cast<std::uint64_t>(is_stub);
+  x ^= static_cast<std::uint64_t>(parameter) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
 }
+
+CallNode* ChildIndex::find(RegionHandle region, std::int64_t parameter,
+                           bool is_stub) const noexcept {
+  if (slots_.empty()) return nullptr;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash(region, parameter, is_stub)) &
+                  mask;
+  while (CallNode* node = slots_[i]) {
+    if (node->region == region && node->parameter == parameter &&
+        node->is_stub == is_stub) {
+      return node;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void ChildIndex::insert(CallNode* child) {
+  // Grow at 3/4 load to keep probe chains short.
+  if (slots_.empty() || (count_ + 1) * 4 > slots_.size() * 3) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(
+                      hash(child->region, child->parameter, child->is_stub)) &
+                  mask;
+  while (slots_[i] != nullptr) i = (i + 1) & mask;
+  slots_[i] = child;
+  ++count_;
+}
+
+void ChildIndex::clear() noexcept {
+  std::fill(slots_.begin(), slots_.end(), nullptr);
+  count_ = 0;
+}
+
+void ChildIndex::grow() {
+  std::vector<CallNode*> old = std::move(slots_);
+  slots_.assign(old.empty() ? 2 * kChildIndexFanout : old.size() * 2, nullptr);
+  const std::size_t mask = slots_.size() - 1;
+  for (CallNode* node : old) {
+    if (node == nullptr) continue;
+    std::size_t i = static_cast<std::size_t>(
+                        hash(node->region, node->parameter, node->is_stub)) &
+                    mask;
+    while (slots_[i] != nullptr) i = (i + 1) & mask;
+    slots_[i] = node;
+  }
+}
+
+// --- NodePool ---------------------------------------------------------------
 
 CallNode* NodePool::allocate(RegionHandle region, std::int64_t parameter,
                              bool is_stub, CallNode* parent) {
@@ -42,10 +105,13 @@ CallNode* NodePool::allocate(RegionHandle region, std::int64_t parameter,
     if (parent->first_child == nullptr) {
       parent->first_child = node;
     } else {
-      CallNode* tail = parent->first_child;
-      while (tail->next_sibling != nullptr) tail = tail->next_sibling;
-      tail->next_sibling = node;
+      parent->last_child->next_sibling = node;
     }
+    parent->last_child = node;
+    ++parent->n_children;
+    // A promoted parent's index must stay complete regardless of which
+    // code path adds the child.
+    if (parent->child_index != nullptr) parent->child_index->insert(node);
   }
   return node;
 }
@@ -56,6 +122,7 @@ void NodePool::release_subtree(CallNode* root) {
   if (CallNode* parent = root->parent; parent != nullptr) {
     if (parent->first_child == root) {
       parent->first_child = root->next_sibling;
+      if (parent->last_child == root) parent->last_child = nullptr;
     } else {
       CallNode* prev = parent->first_child;
       while (prev != nullptr && prev->next_sibling != root) {
@@ -63,30 +130,82 @@ void NodePool::release_subtree(CallNode* root) {
       }
       TASKPROF_ASSERT(prev != nullptr, "node not found in parent's children");
       prev->next_sibling = root->next_sibling;
+      if (parent->last_child == root) parent->last_child = prev;
     }
-    root->next_sibling = nullptr;
+    --parent->n_children;
+    if (parent->hot_child == root) parent->hot_child = nullptr;
+    if (parent->child_index != nullptr) {
+      // The open-addressed index has no erase (tombstones would pollute
+      // the hot probe chains for the benefit of this cold path); rebuild
+      // it from the surviving siblings, or drop it below the promotion
+      // threshold.
+      if (parent->n_children >= kChildIndexFanout) {
+        build_child_index(parent);
+      } else {
+        recycle_index(parent->child_index);
+        parent->child_index = nullptr;
+      }
+    }
     root->parent = nullptr;
   }
-  // Iterative postorder-free walk: detach children onto a work stack.
-  std::vector<CallNode*> stack{root};
-  while (!stack.empty()) {
-    CallNode* node = stack.back();
-    stack.pop_back();
-    for (CallNode* c = node->first_child; c != nullptr;) {
-      CallNode* next = c->next_sibling;
-      stack.push_back(c);
-      c = next;
+  root->next_sibling = nullptr;
+  // Iterative postorder-free walk in O(1) space: treat next_sibling as
+  // the work-list link and splice each node's child list in via its tail
+  // pointer.  No recursion, no heap-allocated stack (the previous
+  // std::vector stack contradicted the rationale documented on
+  // for_each_node and could still overflow the heap on huge trees).
+  CallNode* work = root;
+  while (work != nullptr) {
+    CallNode* node = work;
+    work = work->next_sibling;
+    if (node->first_child != nullptr) {
+      node->last_child->next_sibling = work;
+      work = node->first_child;
+      node->first_child = nullptr;
     }
-    node->first_child = nullptr;
+    if (node->child_index != nullptr) {
+      recycle_index(node->child_index);
+      node->child_index = nullptr;
+    }
     node->next_sibling = free_list_;
     free_list_ = node;
     ++free_count_;
   }
 }
 
-CallNode* find_child(CallNode* parent, RegionHandle region,
+void NodePool::build_child_index(CallNode* parent) {
+  ChildIndex* index =
+      parent->child_index != nullptr ? parent->child_index : acquire_index();
+  index->clear();
+  for (CallNode* c = parent->first_child; c != nullptr; c = c->next_sibling) {
+    index->insert(c);
+  }
+  parent->child_index = index;
+}
+
+ChildIndex* NodePool::acquire_index() {
+  if (!index_free_.empty()) {
+    ChildIndex* index = index_free_.back();
+    index_free_.pop_back();
+    return index;
+  }
+  index_storage_.push_back(std::make_unique<ChildIndex>());
+  return index_storage_.back().get();
+}
+
+void NodePool::recycle_index(ChildIndex* index) {
+  index->clear();
+  index_free_.push_back(index);
+}
+
+// --- Lookup -----------------------------------------------------------------
+
+CallNode* find_child(const CallNode* parent, RegionHandle region,
                      std::int64_t parameter, bool is_stub) noexcept {
   if (parent == nullptr) return nullptr;
+  if (parent->child_index != nullptr) {
+    return parent->child_index->find(region, parameter, is_stub);
+  }
   for (CallNode* c = parent->first_child; c != nullptr; c = c->next_sibling) {
     if (c->region == region && c->parameter == parameter &&
         c->is_stub == is_stub) {
@@ -100,22 +219,56 @@ CallNode* find_or_create_child(NodePool& pool, CallNode* parent,
                                RegionHandle region, std::int64_t parameter,
                                bool is_stub) {
   TASKPROF_ASSERT(parent != nullptr, "parent required");
+  const bool accelerate = pool.lookup_acceleration();
+  if (accelerate) {
+    // Last-hit cache: loops re-entering the same callee and the stub
+    // enter/exit ping-pong hit here without touching the sibling list.
+    CallNode* hot = parent->hot_child;
+    if (hot != nullptr && hot->region == region &&
+        hot->parameter == parameter && hot->is_stub == is_stub) {
+      return hot;
+    }
+  }
   if (CallNode* existing = find_child(parent, region, parameter, is_stub)) {
+    if (accelerate) parent->hot_child = existing;
     return existing;
   }
-  return pool.allocate(region, parameter, is_stub, parent);
+  CallNode* node = pool.allocate(region, parameter, is_stub, parent);
+  if (accelerate) {
+    parent->hot_child = node;
+    if (parent->child_index == nullptr &&
+        parent->n_children >= kChildIndexFanout) {
+      pool.build_child_index(parent);
+    }
+  }
+  return node;
 }
 
 void merge_subtree(NodePool& pool, CallNode* dst, const CallNode* src) {
   TASKPROF_ASSERT(dst != nullptr && src != nullptr, "merge needs both trees");
-  dst->visits += src->visits;
-  dst->inclusive += src->inclusive;
-  dst->visit_stats.merge(src->visit_stats);
-  for (const CallNode* c = src->first_child; c != nullptr;
-       c = c->next_sibling) {
-    CallNode* dst_child =
-        find_or_create_child(pool, dst, c->region, c->parameter, c->is_stub);
-    merge_subtree(pool, dst_child, c);
+  // Parallel preorder walk over the intrusive links: `d` always mirrors
+  // `s` in the destination tree.  O(1) space — the recursive version
+  // overflowed the C++ stack on the cut-off-free recursion depths this
+  // profiler exists to measure.
+  const CallNode* s = src;
+  CallNode* d = dst;
+  for (;;) {
+    d->visits += s->visits;
+    d->inclusive += s->inclusive;
+    d->visit_stats.merge(s->visit_stats);
+    if (s->first_child != nullptr) {
+      s = s->first_child;
+      d = find_or_create_child(pool, d, s->region, s->parameter, s->is_stub);
+      continue;
+    }
+    while (s != src && s->next_sibling == nullptr) {
+      s = s->parent;
+      d = d->parent;
+    }
+    if (s == src) return;
+    s = s->next_sibling;
+    d = find_or_create_child(pool, d->parent, s->region, s->parameter,
+                             s->is_stub);
   }
 }
 

@@ -10,8 +10,21 @@
 // executing, merged into the per-construct tree when it completes, then
 // recycled through the pool's free list (paper §V-B: "released
 // task-instance tree nodes are reused").
+//
+// Child lookup is accelerated two ways (the per-enter cost used to be an
+// O(siblings) scan, which dominates for parameter-profiled nodes with
+// hundreds of siblings — e.g. per-depth nqueens, paper Table IV):
+//
+//  * every node carries a `hot_child` pointer to the child most recently
+//    found under it — loops that re-enter the same callee hit in O(1);
+//  * once a node's fan-out reaches kChildIndexFanout, find-or-create
+//    promotes it to an open-addressed ChildIndex mapping (region,
+//    parameter, is_stub) identity to the child node.  The sibling list
+//    stays the source of truth (first-visit order is preserved); the
+//    index is a pure accelerator and is recycled with the node.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -22,21 +35,40 @@
 
 namespace taskprof {
 
+class ChildIndex;
+
+/// Fan-out at which find_or_create_child promotes a node's child list to
+/// an open-addressed ChildIndex (below it, the linear scan is cheaper
+/// than hashing).  Exposed for tests.
+inline constexpr std::size_t kChildIndexFanout = 8;
+
 /// One node of a call tree.  Identity within its parent is the triple
 /// (region, parameter, is_stub); metrics accumulate over all visits of the
 /// call path ending at this node.
+///
+/// Field order is deliberate: everything an enter/exit event touches —
+/// the identity triple read while scanning a sibling list, the child
+/// links followed to find the callee, and the visit/inclusive
+/// accumulators — shares the first cache line.  Cold bookkeeping
+/// (per-visit min/mean/max, parent backlink, list tail, child index)
+/// lives behind it.
 struct CallNode {
+  // --- hot: read/written by every enter/exit ------------------------------
   RegionHandle region = kInvalidRegion;
+  std::uint32_t n_children = 0;  ///< maintained child count (O(1) fan-out)
   std::int64_t parameter = kNoParameter;  ///< kNoParameter unless under a parameter region
+  CallNode* next_sibling = nullptr;
+  CallNode* first_child = nullptr;
+  CallNode* hot_child = nullptr;  ///< child most recently found under this node
+  std::uint64_t visits = 0;       ///< number of enter events
+  Ticks inclusive = 0;            ///< total inclusive time over all visits
   bool is_stub = false;  ///< task-execution stub under a scheduling point
 
-  CallNode* parent = nullptr;
-  CallNode* first_child = nullptr;
-  CallNode* next_sibling = nullptr;
-
-  std::uint64_t visits = 0;   ///< number of enter events
-  Ticks inclusive = 0;        ///< total inclusive time over all visits
+  // --- cold: traversal/merge bookkeeping and per-visit statistics ---------
   DurationStats visit_stats;  ///< per-visit inclusive durations (min/mean/max)
+  CallNode* parent = nullptr;
+  CallNode* last_child = nullptr;   ///< tail of the child list (O(1) append)
+  ChildIndex* child_index = nullptr;  ///< non-null once fan-out was promoted
 
   /// Sum of the children's inclusive times.
   [[nodiscard]] Ticks children_inclusive() const noexcept;
@@ -48,15 +80,50 @@ struct CallNode {
     return inclusive - children_inclusive();
   }
 
-  /// Number of direct children.
-  [[nodiscard]] std::size_t child_count() const noexcept;
+  /// Number of direct children (maintained counter, O(1)).
+  [[nodiscard]] std::size_t child_count() const noexcept { return n_children; }
+};
+
+static_assert(offsetof(CallNode, is_stub) < 64 &&
+                  offsetof(CallNode, inclusive) < 64 &&
+                  offsetof(CallNode, hot_child) < 64,
+              "enter/exit-touched fields must share the first cache line");
+
+/// Open-addressed (linear-probe) map from child identity to the child
+/// node.  Slots hold bare CallNode pointers; the identity triple is read
+/// from the node itself, so the table is one pointer per slot and needs
+/// no separate key storage.  No erase: a promoted node's index is
+/// rebuilt from the sibling list on the (cold) unlink path and recycled
+/// wholesale with the subtree.
+class ChildIndex {
+ public:
+  [[nodiscard]] CallNode* find(RegionHandle region, std::int64_t parameter,
+                               bool is_stub) const noexcept;
+
+  /// Insert a child; the caller guarantees the identity is not present.
+  void insert(CallNode* child);
+
+  /// Drop all entries, keeping the slot capacity for reuse.
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  void grow();
+  [[nodiscard]] static std::uint64_t hash(RegionHandle region,
+                                          std::int64_t parameter,
+                                          bool is_stub) noexcept;
+
+  std::vector<CallNode*> slots_;  ///< power-of-two capacity, nullptr = empty
+  std::size_t count_ = 0;
 };
 
 /// Chunked allocator with a free list for CallNode.
 ///
 /// Not thread-safe by design (one pool per thread).  release_subtree()
 /// recycles a whole tree in one walk; nodes come back from the free list in
-/// subsequent allocate() calls.
+/// subsequent allocate() calls.  The pool also owns the ChildIndex objects
+/// promoted onto its nodes, recycling them alongside the nodes.
 class NodePool {
  public:
   NodePool() = default;
@@ -67,13 +134,31 @@ class NodePool {
   NodePool& operator=(NodePool&&) = default;
 
   /// Allocate a zeroed node and link it as the last child of `parent`
-  /// (pass nullptr for a root).
+  /// (pass nullptr for a root).  O(1): the parent keeps a tail pointer.
   CallNode* allocate(RegionHandle region, std::int64_t parameter, bool is_stub,
                      CallNode* parent);
 
   /// Return `root` and its whole subtree to the free list.  `root` is
-  /// unlinked from its parent first (if any).
+  /// unlinked from its parent first (if any).  The walk is iterative over
+  /// the intrusive links in O(1) space — each node's child list is
+  /// spliced onto the work list through its tail pointer — so releasing
+  /// the arbitrarily deep trees of cut-off-free task recursion cannot
+  /// overflow the stack (and allocates nothing).
   void release_subtree(CallNode* root);
+
+  /// Build (or rebuild) `parent`'s child index from its sibling list.
+  void build_child_index(CallNode* parent);
+
+  /// Toggle the hot_child / ChildIndex acceleration used by
+  /// find_or_create_child on this pool's nodes (default on).  Off, the
+  /// lookup is the plain first-visit-ordered sibling scan — kept for the
+  /// fast-path-vs-general A/B in tests and bench_event_hotpath.
+  void set_lookup_acceleration(bool on) noexcept {
+    lookup_acceleration_ = on;
+  }
+  [[nodiscard]] bool lookup_acceleration() const noexcept {
+    return lookup_acceleration_;
+  }
 
   /// Total nodes ever carved from chunks (high-water mark of live nodes).
   [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
@@ -84,20 +169,33 @@ class NodePool {
  private:
   static constexpr std::size_t kChunkSize = 256;
 
+  ChildIndex* acquire_index();
+  void recycle_index(ChildIndex* index);
+
   std::vector<std::unique_ptr<CallNode[]>> chunks_;
   std::size_t next_in_chunk_ = kChunkSize;  // forces first chunk allocation
   CallNode* free_list_ = nullptr;           // linked through next_sibling
   std::size_t allocated_ = 0;
   std::size_t free_count_ = 0;
+  bool lookup_acceleration_ = true;
+
+  std::vector<std::unique_ptr<ChildIndex>> index_storage_;
+  std::vector<ChildIndex*> index_free_;
 };
 
 /// Find the direct child of `parent` with the given identity, or nullptr.
-[[nodiscard]] CallNode* find_child(CallNode* parent, RegionHandle region,
+/// Uses the promoted child index when present, else scans the sibling
+/// list; never allocates and never mutates the tree.
+[[nodiscard]] CallNode* find_child(const CallNode* parent, RegionHandle region,
                                    std::int64_t parameter = kNoParameter,
                                    bool is_stub = false) noexcept;
 
 /// Find-or-create the child with the given identity (allocating from
-/// `pool`), preserving first-visit order among siblings.
+/// `pool`), preserving first-visit order among siblings.  This is the
+/// per-enter hot path: it consults `parent`'s hot_child cache first,
+/// then the child index (when promoted), and promotes the index once the
+/// fan-out reaches kChildIndexFanout — all skipped when the pool's
+/// lookup acceleration is off.
 CallNode* find_or_create_child(NodePool& pool, CallNode* parent,
                                RegionHandle region,
                                std::int64_t parameter = kNoParameter,
@@ -105,6 +203,8 @@ CallNode* find_or_create_child(NodePool& pool, CallNode* parent,
 
 /// Merge `src`'s metrics and subtree into `dst` (same identity assumed for
 /// the roots).  Missing nodes are created in `pool`; `src` is left intact.
+/// Iterative over the intrusive links (O(1) space): deep instance trees
+/// from cut-off-free recursion must not overflow the C++ stack.
 void merge_subtree(NodePool& pool, CallNode* dst, const CallNode* src);
 
 /// Preorder traversal.  `fn` is called as fn(node, depth).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 
 #include "common/format.hpp"
 
@@ -32,7 +34,31 @@ TypeTotals totals_for_type(const CallNode* root,
   return totals;
 }
 
-TaskConstructStats stats_for_root(const AggregateProfile& profile,
+/// Creation totals for every "create <name>" region, keyed by the region
+/// name, built in ONE pass over all trees.  stats_for_root used to rescan
+/// every tree per construct, making report generation O(constructs x
+/// nodes); per-depth parameter profiling has hundreds of constructs.
+using CreateTotalsMap = std::unordered_map<std::string, TypeTotals>;
+
+CreateTotalsMap collect_create_totals(const AggregateProfile& profile,
+                                      const RegionRegistry& registry) {
+  CreateTotalsMap totals;
+  const auto scan = [&](const CallNode* root) {
+    for_each_node(root, [&](const CallNode& node, int) {
+      const RegionInfo& info = registry.info(node.region);
+      if (info.type != RegionType::kTaskCreate) return;
+      TypeTotals& entry = totals[info.name];
+      entry.exclusive += node.exclusive();
+      entry.inclusive += node.inclusive;
+      entry.visits += node.visits;
+    });
+  };
+  scan(profile.implicit_root);
+  for (const CallNode* root : profile.task_roots) scan(root);
+  return totals;
+}
+
+TaskConstructStats stats_for_root(const CreateTotalsMap& create_totals,
                                   const RegionRegistry& registry,
                                   const CallNode* root) {
   TaskConstructStats stats;
@@ -51,16 +77,12 @@ TaskConstructStats stats_for_root(const AggregateProfile& profile,
   stats.taskwait_total = waits.exclusive;
   stats.taskwaits = waits.visits;
 
-  // Creation happens wherever the construct is encountered: scan every
-  // tree for the paired "create <name>" region.
-  const std::string create_name = "create " + stats.name;
-  TypeTotals creates = totals_for_type(profile.implicit_root, registry,
-                                       RegionType::kTaskCreate, create_name);
-  for (const CallNode* other : profile.task_roots) {
-    const TypeTotals inner = totals_for_type(
-        other, registry, RegionType::kTaskCreate, create_name);
-    creates.exclusive += inner.exclusive;
-    creates.visits += inner.visits;
+  // Creation happens wherever the construct is encountered; look up the
+  // paired "create <name>" region in the pre-collected totals.
+  TypeTotals creates;
+  if (const auto it = create_totals.find("create " + stats.name);
+      it != create_totals.end()) {
+    creates = it->second;
   }
   stats.creations = creates.visits;
   stats.create_total = creates.exclusive;
@@ -78,8 +100,9 @@ std::vector<TaskConstructStats> task_construct_stats(
     const AggregateProfile& profile, const RegionRegistry& registry) {
   std::vector<TaskConstructStats> out;
   out.reserve(profile.task_roots.size());
+  const CreateTotalsMap create_totals = collect_create_totals(profile, registry);
   for (const CallNode* root : profile.task_roots) {
-    out.push_back(stats_for_root(profile, registry, root));
+    out.push_back(stats_for_root(create_totals, registry, root));
   }
   return out;
 }
@@ -88,11 +111,12 @@ std::vector<TaskConstructStats> parameter_breakdown(
     const AggregateProfile& profile, const RegionRegistry& registry,
     RegionHandle task_region) {
   std::vector<TaskConstructStats> rows;
+  const CreateTotalsMap create_totals = collect_create_totals(profile, registry);
   for (const CallNode* root : profile.task_roots) {
     if (root->region != task_region || root->parameter == kNoParameter) {
       continue;
     }
-    rows.push_back(stats_for_root(profile, registry, root));
+    rows.push_back(stats_for_root(create_totals, registry, root));
   }
   std::sort(rows.begin(), rows.end(),
             [](const TaskConstructStats& a, const TaskConstructStats& b) {
@@ -104,33 +128,43 @@ std::vector<TaskConstructStats> parameter_breakdown(
 SchedulingPointSummary scheduling_point_summary(
     const AggregateProfile& profile, const RegionRegistry& registry) {
   SchedulingPointSummary out;
-  const CallNode* main = profile.implicit_root;
 
-  for_each_node(main, [&](const CallNode& node, int) {
-    const RegionInfo& info = registry.info(node.region);
-    if (info.type == RegionType::kBarrier ||
-        info.type == RegionType::kImplicitBarrier) {
-      out.barrier_inclusive += node.inclusive;
-      out.barrier_exclusive += node.exclusive();
-      out.barrier_visits += node.visits;
-      for (const CallNode* child = node.first_child; child != nullptr;
-           child = child->next_sibling) {
-        if (child->is_stub) out.barrier_stub_time += child->inclusive;
+  // One pass per tree: barrier/parallel classification and the
+  // taskwait/create exclusives accumulate in the same walk (this used to
+  // be five separate whole-tree traversals of the implicit tree plus two
+  // per task root).
+  const auto scan = [&](const CallNode* root, bool classify_sync) {
+    for_each_node(root, [&](const CallNode& node, int) {
+      const RegionInfo& info = registry.info(node.region);
+      switch (info.type) {
+        case RegionType::kBarrier:
+        case RegionType::kImplicitBarrier:
+          if (!classify_sync) break;
+          out.barrier_inclusive += node.inclusive;
+          out.barrier_exclusive += node.exclusive();
+          out.barrier_visits += node.visits;
+          for (const CallNode* child = node.first_child; child != nullptr;
+               child = child->next_sibling) {
+            if (child->is_stub) out.barrier_stub_time += child->inclusive;
+          }
+          break;
+        case RegionType::kParallel:
+          if (classify_sync) out.parallel_inclusive += node.inclusive;
+          break;
+        case RegionType::kTaskwait:
+          out.taskwait_exclusive += node.exclusive();
+          break;
+        case RegionType::kTaskCreate:
+          out.create_exclusive += node.exclusive();
+          break;
+        default:
+          break;
       }
-    } else if (info.type == RegionType::kParallel) {
-      out.parallel_inclusive += node.inclusive;
-    }
-  });
-
-  out.taskwait_exclusive =
-      totals_for_type(main, registry, RegionType::kTaskwait).exclusive;
-  out.create_exclusive =
-      totals_for_type(main, registry, RegionType::kTaskCreate).exclusive;
+    });
+  };
+  scan(profile.implicit_root, /*classify_sync=*/true);
   for (const CallNode* root : profile.task_roots) {
-    out.taskwait_exclusive +=
-        totals_for_type(root, registry, RegionType::kTaskwait).exclusive;
-    out.create_exclusive +=
-        totals_for_type(root, registry, RegionType::kTaskCreate).exclusive;
+    scan(root, /*classify_sync=*/false);
   }
   return out;
 }

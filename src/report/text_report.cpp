@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "common/format.hpp"
 
@@ -34,10 +35,6 @@ void render_node(std::ostringstream& os, const CallNode& node,
        << "  max=" << format_ticks(node.visit_stats.max);
   }
   os << '\n';
-  for (const CallNode* child = node.first_child; child != nullptr;
-       child = child->next_sibling) {
-    render_node(os, *child, registry, options, depth + 1);
-  }
 }
 
 void csv_escape_into(std::string& out, const std::string& field) {
@@ -55,13 +52,8 @@ void csv_escape_into(std::string& out, const std::string& field) {
   out += '"';
 }
 
-void render_csv_node(std::string& out, const CallNode& node,
-                     const RegionRegistry& registry, const std::string& tree,
-                     const std::string& parent_path) {
-  std::string path = parent_path;
-  if (!path.empty()) path += '/';
-  path += registry.info(node.region).name;
-
+void render_csv_row(std::string& out, const CallNode& node,
+                    const std::string& tree, const std::string& path) {
   csv_escape_into(out, tree);
   out += ',';
   csv_escape_into(out, path);
@@ -83,10 +75,24 @@ void render_csv_node(std::string& out, const CallNode& node,
   out += ',';
   out += std::to_string(node.visit_stats.count == 0 ? 0 : node.visit_stats.max);
   out += '\n';
-  for (const CallNode* child = node.first_child; child != nullptr;
-       child = child->next_sibling) {
-    render_csv_node(out, *child, registry, tree, path);
-  }
+}
+
+/// Iterative CSV rendering of a whole tree: one reused path buffer plus a
+/// per-depth length stack (recursing per node kept a std::string frame per
+/// level and overflowed the C++ stack on deep cut-off-free recursion trees).
+void render_csv_tree(std::string& out, const CallNode& root,
+                     const RegionRegistry& registry, const std::string& tree) {
+  std::string path;
+  std::vector<std::size_t> full_len;  // full_len[d] = path length at depth d
+  for_each_node(&root, [&](const CallNode& node, int depth) {
+    const auto d = static_cast<std::size_t>(depth);
+    if (full_len.size() <= d) full_len.resize(d + 1);
+    path.resize(d == 0 ? 0 : full_len[d - 1]);
+    if (d > 0) path += '/';
+    path += registry.info(node.region).name;
+    full_len[d] = path.size();
+    render_csv_row(out, node, tree, path);
+  });
 }
 
 }  // namespace
@@ -95,7 +101,11 @@ std::string render_tree(const CallNode* root, const RegionRegistry& registry,
                         const ReportOptions& options) {
   if (root == nullptr) return "(empty tree)\n";
   std::ostringstream os;
-  render_node(os, *root, registry, options, 0);
+  // Iterative via for_each_node: rendering is one place deep trees from
+  // cut-off-free recursion used to re-introduce unbounded call recursion.
+  for_each_node(root, [&](const CallNode& node, int depth) {
+    render_node(os, node, registry, options, depth);
+  });
   return os.str();
 }
 
@@ -180,14 +190,14 @@ std::string render_csv(const AggregateProfile& profile,
       "tree,path,stub,parameter,visits,inclusive_ns,exclusive_ns,min_ns,"
       "mean_ns,max_ns\n";
   if (profile.implicit_root != nullptr) {
-    render_csv_node(out, *profile.implicit_root, registry, "main", "");
+    render_csv_tree(out, *profile.implicit_root, registry, "main");
   }
   for (const CallNode* root : profile.task_roots) {
     std::string tree = "task:" + registry.info(root->region).name;
     if (root->parameter != kNoParameter) {
       tree += "[" + std::to_string(root->parameter) + "]";
     }
-    render_csv_node(out, *root, registry, tree, "");
+    render_csv_tree(out, *root, registry, tree);
   }
   return out;
 }

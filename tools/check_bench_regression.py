@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate BENCH_event_hotpath.json against the committed reference.
+
+The trajectory bench records every shape twice (mode=baseline, the plain
+engine, and mode=fastpath, the accelerated one).  Raw events/sec numbers
+are machine-dependent, so CI runs on shared runners cannot gate on them
+directly.  The per-shape speedup fastpath/baseline, however, is a
+same-binary, same-machine A/B: if a change erodes the fast path, the
+ratio drops on any machine.  This script fails when a candidate run's
+speedup falls below --min-ratio (default 0.85, i.e. a >15% regression)
+of the committed speedup for any shape.
+
+With --absolute, the fastpath events/sec themselves are compared too --
+only meaningful when the candidate was produced on the same machine as
+the committed reference (e.g. a local before/after check).
+
+Usage:
+  python3 tools/check_bench_regression.py \
+      --committed BENCH_event_hotpath.json \
+      --candidate build/BENCH_event_hotpath.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path):
+    """Return {shape: (baseline_eps, fastpath_eps)} from a bench JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "event_hotpath":
+        raise SystemExit(f"{path}: not an event_hotpath bench file")
+    shapes = {}
+    for entry in doc.get("results", []):
+        shape = entry["shape"]
+        eps = float(entry["events_per_sec"])
+        if eps <= 0:
+            raise SystemExit(f"{path}: non-positive events/sec for {shape}")
+        base, fast = shapes.get(shape, (None, None))
+        if entry["mode"] == "baseline":
+            base = eps
+        elif entry["mode"] == "fastpath":
+            fast = eps
+        else:
+            raise SystemExit(f"{path}: unknown mode {entry['mode']!r}")
+        shapes[shape] = (base, fast)
+    for shape, (base, fast) in shapes.items():
+        if base is None or fast is None:
+            raise SystemExit(f"{path}: shape {shape} missing a mode entry")
+    return shapes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--committed", required=True,
+                        help="reference BENCH_event_hotpath.json (committed)")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly produced BENCH_event_hotpath.json")
+    parser.add_argument("--min-ratio", type=float, default=0.85,
+                        help="minimum candidate/committed speedup ratio "
+                             "before failing (default: 0.85)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate fastpath events/sec (same-machine "
+                             "runs only)")
+    args = parser.parse_args()
+
+    committed = load_speedups(args.committed)
+    candidate = load_speedups(args.candidate)
+
+    failures = []
+    print(f"{'shape':<22} {'committed':>10} {'candidate':>10} {'ratio':>7}")
+    for shape, (ref_base, ref_fast) in sorted(committed.items()):
+        if shape not in candidate:
+            failures.append(f"{shape}: missing from candidate run")
+            continue
+        cand_base, cand_fast = candidate[shape]
+        ref_speedup = ref_fast / ref_base
+        cand_speedup = cand_fast / cand_base
+        ratio = cand_speedup / ref_speedup
+        flag = ""
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{shape}: speedup {cand_speedup:.2f}x is below "
+                f"{args.min_ratio:.2f}x of committed {ref_speedup:.2f}x")
+            flag = "  << FAIL"
+        print(f"{shape:<22} {ref_speedup:>9.2f}x {cand_speedup:>9.2f}x "
+              f"{ratio:>6.2f}{flag}")
+        if args.absolute and cand_fast < args.min_ratio * ref_fast:
+            failures.append(
+                f"{shape}: fastpath {cand_fast:.3e} events/sec is below "
+                f"{args.min_ratio:.2f}x of committed {ref_fast:.3e}")
+
+    extra = sorted(set(candidate) - set(committed))
+    if extra:
+        print(f"note: candidate has uncommitted shapes: {', '.join(extra)}")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed "
+          f"({len(committed)} shapes, min ratio {args.min_ratio:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

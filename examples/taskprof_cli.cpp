@@ -6,13 +6,18 @@
 //   taskprof_cli --kernel=nqueens --threads=4 --report=summary
 //   taskprof_cli --kernel=fib --engine=real --size=test --report=tree
 //   taskprof_cli --kernel=sort --report=csv > profile.csv
+//   taskprof_cli --kernel=fib --snapshot-every=50       # crash-safe flushes
+//   taskprof_cli load fib.tpsnap --report=tree --check
+//   taskprof_cli merge --out=all.tpsnap a.tpsnap b.tpsnap
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bots/kernel.hpp"
+#include "check/invariants.hpp"
 #include "common/format.hpp"
 #include "instrument/instrumentor.hpp"
 #include "report/analysis.hpp"
@@ -20,6 +25,9 @@
 #include "report/text_report.hpp"
 #include "rt/real_runtime.hpp"
 #include "rt/sim_runtime.hpp"
+#include "snapshot/flusher.hpp"
+#include "snapshot/merge.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/analysis.hpp"
 #include "trace/chrome_export.hpp"
@@ -33,10 +41,14 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s --kernel=NAME [options]\n"
+      "       %s load FILE.tpsnap [--report=tree|cube|csv] [--check]\n"
+      "       %s merge --out=OUT.tpsnap FILE.tpsnap [FILE.tpsnap ...]\n"
       "\n"
       "kernels: alignment fft fib floorplan health nqueens sort sparselu\n"
       "         strassen\n"
-      "options:\n"
+      "options:\n",
+      argv0, argv0, argv0);
+  std::printf(
       "  --engine=sim|real     virtual-time simulator (default) or real\n"
       "                        threads\n"
       "  --threads=N           team size (default 4)\n"
@@ -59,8 +71,13 @@ void usage(const char* argv0) {
       "  --telemetry-json=FILE write the telemetry snapshot as JSON\n"
       "  --chrome-trace=FILE   write a chrome://tracing / Perfetto timeline\n"
       "                        (implies --trace)\n"
-      "  --uninstrumented      run without measurement (timing baseline)\n",
-      argv0);
+      "  --snapshot-out=FILE   write a crash-safe .tpsnap profile snapshot\n"
+      "                        (default <kernel>.tpsnap with\n"
+      "                        --snapshot-every)\n"
+      "  --snapshot-every=MS   flush a partial snapshot every MS\n"
+      "                        milliseconds during the run; the final flush\n"
+      "                        replaces it with the complete profile\n"
+      "  --uninstrumented      run without measurement (timing baseline)\n");
 }
 
 struct CliOptions {
@@ -75,6 +92,8 @@ struct CliOptions {
   std::string analyze_trace;
   std::string telemetry_json;
   std::string chrome_trace;
+  std::string snapshot_out;
+  std::uint64_t snapshot_every_ms = 0;
 };
 
 bool parse(int argc, char** argv, CliOptions& cli) {
@@ -123,6 +142,10 @@ bool parse(int argc, char** argv, CliOptions& cli) {
     } else if (arg.rfind("--chrome-trace=", 0) == 0) {
       cli.trace = true;
       cli.chrome_trace = value_of("--chrome-trace=");
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      cli.snapshot_out = value_of("--snapshot-out=");
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      cli.snapshot_every_ms = std::stoull(value_of("--snapshot-every="));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -134,6 +157,9 @@ bool parse(int argc, char** argv, CliOptions& cli) {
   if (cli.kernel.empty() && cli.analyze_trace.empty()) {
     std::fprintf(stderr, "--kernel (or --analyze-trace) is required\n");
     return false;
+  }
+  if (cli.snapshot_every_ms > 0 && cli.snapshot_out.empty()) {
+    cli.snapshot_out = cli.kernel + ".tpsnap";
   }
   return true;
 }
@@ -174,9 +200,122 @@ void print_summary(const bots::KernelResult& result,
               profile.max_concurrent_any_thread);
 }
 
+/// `taskprof_cli load FILE [--report=tree|cube|csv] [--check]`:
+/// deserialize a .tpsnap and render it exactly like a live profile.
+int cmd_load(int argc, char** argv) {
+  std::string path;
+  std::string report = "tree";
+  bool check = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) {
+      report = arg.substr(std::strlen("--report="));
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "load takes exactly one file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: taskprof_cli load FILE.tpsnap "
+                 "[--report=tree|cube|csv] [--check]\n");
+    return 2;
+  }
+  try {
+    const snapshot::SnapshotData data = snapshot::read_snapshot_file(path);
+    std::fprintf(stderr,
+                 "loaded %s: flush %llu of process %llu, %zu regions, "
+                 "%zu threads%s%s\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(data.meta.flush_seq),
+                 static_cast<unsigned long long>(data.meta.process_id),
+                 data.registry->size(), data.profile.thread_count,
+                 data.profile.partial_capture ? ", partial capture" : "",
+                 data.has_telemetry ? ", telemetry" : "");
+    if (check) {
+      const check::InvariantReport verdict = check::check_profile(
+          data.profile, *data.registry, nullptr,
+          data.has_telemetry ? &data.telemetry : nullptr);
+      if (!verdict.ok()) {
+        std::fprintf(stderr, "check_profile FAILED:\n%s\n",
+                     verdict.to_string().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "check_profile passed (%zu nodes)\n",
+                   verdict.nodes_checked);
+    }
+    if (report == "tree") {
+      std::fputs(render_profile(data.profile, *data.registry).c_str(),
+                 stdout);
+    } else if (report == "cube") {
+      std::fputs(render_cube_xml(data.profile, *data.registry).c_str(),
+                 stdout);
+    } else if (report == "csv") {
+      std::fputs(render_csv(data.profile, *data.registry).c_str(), stdout);
+    } else {
+      std::fprintf(stderr, "unknown report: %s\n", report.c_str());
+      return 2;
+    }
+    if (data.has_telemetry) {
+      std::fputs(render_telemetry(data.telemetry).c_str(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+}
+
+/// `taskprof_cli merge --out=OUT a.tpsnap b.tpsnap ...`: collate
+/// per-process snapshots into one (registries unified, trees merged).
+int cmd_merge(int argc, char** argv) {
+  std::string out;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (out.empty() || paths.empty()) {
+    std::fprintf(stderr, "usage: taskprof_cli merge --out=OUT.tpsnap "
+                 "FILE.tpsnap [FILE.tpsnap ...]\n");
+    return 2;
+  }
+  try {
+    const snapshot::SnapshotData merged = snapshot::merge_snapshot_files(paths);
+    snapshot::write_snapshot_file(out, merged);
+    std::printf("merged %zu snapshots into %s (%zu regions, %zu threads%s)\n",
+                paths.size(), out.c_str(), merged.registry->size(),
+                merged.profile.thread_count,
+                merged.profile.partial_capture ? ", partial capture" : "");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "load") == 0) {
+    return cmd_load(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "merge") == 0) {
+    return cmd_merge(argc, argv);
+  }
   CliOptions cli;
   if (!parse(argc, argv, cli)) {
     usage(argv[0]);
@@ -235,7 +374,14 @@ int main(int argc, char** argv) {
   std::unique_ptr<telemetry::TimedHooks> timed;
   rt::FanoutHooks fanout;
   if (cli.instrumented) {
-    instrumentor = std::make_unique<Instrumentor>(registry);
+    MeasureOptions measure;
+    if (!cli.snapshot_out.empty()) {
+      // Non-zero arms the capture handshake in every profiler's event
+      // path; the actual cadence lives in the flusher.
+      measure.snapshot_every = static_cast<Ticks>(
+          cli.snapshot_every_ms > 0 ? cli.snapshot_every_ms * 1'000'000 : 1);
+    }
+    instrumentor = std::make_unique<Instrumentor>(registry, measure);
     fanout.add(instrumentor.get());
   }
   if (cli.trace) {
@@ -254,10 +400,23 @@ int main(int argc, char** argv) {
     }
   }
   if (telem != nullptr) runtime->set_telemetry(telem.get());
+  std::unique_ptr<snapshot::SnapshotFlusher> flusher;
+  if (instrumentor != nullptr && !cli.snapshot_out.empty()) {
+    snapshot::FlusherOptions flush_options;
+    flush_options.path = cli.snapshot_out;
+    flush_options.interval =
+        static_cast<Ticks>(cli.snapshot_every_ms) * 1'000'000;
+    flush_options.telemetry = telem.get();
+    flusher = std::make_unique<snapshot::SnapshotFlusher>(
+        *instrumentor, registry, std::move(flush_options));
+    snapshot::install_crash_flush(flusher.get());
+    flusher->start();
+  }
   const bots::KernelResult result = kernel->run(*runtime, registry,
                                                 cli.config);
   runtime->set_hooks(nullptr);
   runtime->set_telemetry(nullptr);
+  if (flusher != nullptr) flusher->stop();
 
   telemetry::Snapshot telemetry_snapshot;
   if (telem != nullptr) telemetry_snapshot = telem->snapshot();
@@ -317,6 +476,17 @@ int main(int argc, char** argv) {
   }
   instrumentor->finalize();
   const AggregateProfile profile = instrumentor->aggregate();
+  if (flusher != nullptr) {
+    if (flusher->flush_final()) {
+      std::printf("snapshot written to %s (%llu flushes)\n",
+                  cli.snapshot_out.c_str(),
+                  static_cast<unsigned long long>(flusher->flush_count()));
+    } else {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   flusher->last_error().c_str());
+    }
+    snapshot::install_crash_flush(nullptr);
+  }
 
   if (cli.report == "summary" || cli.report == "all") {
     print_summary(result, profile, registry);

@@ -293,9 +293,13 @@ InvariantReport check_profile(const AggregateProfile& profile,
 
   // Time conservation between the two views of task execution: every tick
   // a task ran is bracketed by a stub visit in the implicit tree and by
-  // the task's own instance tree, from the same clock reads.
+  // the task's own instance tree, from the same clock reads.  A partial
+  // capture breaks exactly this pairing — in-flight instances are absent
+  // from the merged task trees while their stub frames were closed at the
+  // capture instant — so the cross-tree comparison is skipped for it (the
+  // per-node checks above still hold).
   if (options.stub_nodes && options.pause_on_suspend &&
-      !options.creation_site_attribution) {
+      !options.creation_site_attribution && !profile.partial_capture) {
     if (totals.stub_inclusive != task_tree_inclusive) {
       out.fail("conservation",
                "stub time %" PRId64 " != merged task-tree time %" PRId64,
@@ -303,7 +307,11 @@ InvariantReport check_profile(const AggregateProfile& profile,
     }
   }
 
-  if (stats != nullptr) {
+  // Engine stats and telemetry describe the run up to *now*, the profile
+  // describes the run up to its capture instant; for a mid-run partial
+  // capture those two points differ, so the cross-checks against them are
+  // meaningful only for a finalized profile.
+  if (stats != nullptr && !profile.partial_capture) {
     // Visits conserved across merge: every executed instance contributes
     // exactly one visit to its construct's merged root.
     if (task_root_visits != stats->tasks_executed) {
@@ -340,7 +348,7 @@ InvariantReport check_profile(const AggregateProfile& profile,
     }
   }
 
-  if (telemetry != nullptr) {
+  if (telemetry != nullptr && !profile.partial_capture) {
     const auto counter = [&](telemetry::Counter c) {
       return telemetry->counter(c);
     };

@@ -44,6 +44,11 @@ struct InvariantReport {
 /// and `telemetry` are optional; when given, cross-layer consistency
 /// (engine counters vs. call tree vs. telemetry) is verified too.  The
 /// telemetry snapshot must cover exactly the measured run(s).
+///
+/// Profiles flagged partial_capture (mid-run crash-safe snapshots) keep
+/// every per-node structural check but skip the whole-run cross-checks
+/// that a capture instant cannot satisfy: stub-vs-task-tree time
+/// conservation and the engine-stats / telemetry comparisons.
 [[nodiscard]] InvariantReport check_profile(
     const AggregateProfile& profile, const RegionRegistry& registry,
     const rt::TeamStats* stats = nullptr,

@@ -19,6 +19,7 @@ Instrumentor::~Instrumentor() = default;
 
 void Instrumentor::on_parallel_begin(int num_threads) {
   if (profilers_.size() < static_cast<std::size_t>(num_threads)) {
+    std::scoped_lock lock(profilers_mutex_);
     profilers_.resize(static_cast<std::size_t>(num_threads));
   }
 }
@@ -148,6 +149,35 @@ AggregateProfile Instrumentor::aggregate() const {
   return aggregate_profiles(all);
 }
 
+Instrumentor::CaptureResult Instrumentor::capture_snapshot() const {
+  std::scoped_lock lock(profilers_mutex_);
+  CaptureResult result;
+  NodePool scratch;
+  std::vector<ThreadTaskProfiler::CaptureView> captured;
+  for (const auto& prof : profilers_) {
+    if (prof == nullptr) continue;
+    ++result.profilers_live;
+    ThreadTaskProfiler::CaptureView view;
+    if (prof->capture(scratch, view)) captured.push_back(std::move(view));
+  }
+  result.profilers_captured = captured.size();
+  std::vector<ThreadProfileView> views;
+  views.reserve(captured.size());
+  for (const ThreadTaskProfiler::CaptureView& c : captured) {
+    ThreadProfileView view;
+    view.thread = c.thread;
+    view.implicit_root = c.implicit_root;
+    view.task_roots.assign(c.task_roots.begin(), c.task_roots.end());
+    view.max_concurrent_instances = c.max_concurrent_instances;
+    view.task_switches = c.task_switches;
+    view.folded_events = c.folded_events;
+    views.push_back(std::move(view));
+  }
+  result.profile = aggregate_profiles(views);
+  result.profile.partial_capture = true;
+  return result;
+}
+
 Instrumentor::MemoryStats Instrumentor::memory_stats() const {
   MemoryStats stats;
   for (const auto& prof : profilers_) {
@@ -189,6 +219,9 @@ ThreadTaskProfiler& Instrumentor::profiler_for(ThreadId thread,
                   "thread id outside the announced team size");
   auto& slot = profilers_[thread];
   if (slot == nullptr) {
+    // Lock held across construction so capture_snapshot never observes
+    // a half-built profiler; only the owning thread creates its slot.
+    std::scoped_lock lock(profilers_mutex_);
     slot = std::make_unique<ThreadTaskProfiler>(thread, clock, implicit_task_,
                                                 options_);
   } else {

@@ -85,6 +85,19 @@ class Instrumentor final : public rt::SchedulerHooks {
   /// Merged whole-program profile.
   [[nodiscard]] AggregateProfile aggregate() const;
 
+  /// Mid-run crash-safe capture (src/snapshot): pause each live profiler
+  /// at an event boundary (ThreadTaskProfiler::capture), copy its trees,
+  /// and aggregate the copies into a partial profile.  Requires
+  /// MeasureOptions::snapshot_every > 0 (profilers refuse to capture
+  /// otherwise) and must be called from a thread that drives no
+  /// profiler's events — the snapshot flusher's background thread.
+  struct CaptureResult {
+    AggregateProfile profile;            ///< partial_capture == true
+    std::size_t profilers_live = 0;      ///< profilers that exist
+    std::size_t profilers_captured = 0;  ///< profilers copied successfully
+  };
+  [[nodiscard]] CaptureResult capture_snapshot() const;
+
   /// Reset the per-thread concurrency high-water marks (the paper records
   /// the maximum per parallel region).
   void reset_concurrency_marks();
@@ -138,7 +151,12 @@ class Instrumentor final : public rt::SchedulerHooks {
 
   // Indexed by ThreadId; slots are pre-sized single-threadedly in
   // on_parallel_begin, then each worker touches only its own slot.
+  // profilers_mutex_ serializes the points where the table itself
+  // changes (resize, slot creation) against capture_snapshot()'s
+  // iteration from the flusher thread; per-event accesses read an
+  // already-created slot and take no lock.
   std::vector<std::unique_ptr<ThreadTaskProfiler>> profilers_;
+  mutable std::mutex profilers_mutex_;
 
   mutable std::mutex create_map_mutex_;
   std::unordered_map<RegionHandle, RegionHandle> create_regions_;

@@ -27,6 +27,15 @@ struct AggregateProfile {
   std::size_t max_concurrent_any_thread = 0;  ///< Table II value
   std::vector<std::size_t> max_concurrent_per_thread;
 
+  /// True when this profile is a mid-run crash-safe capture
+  /// (Instrumentor::capture_snapshot / the snapshot flusher): in-flight
+  /// task instances are absent from the merged task trees and open
+  /// frames were closed at the capture instant, so the cross-tree
+  /// conservation and engine/telemetry cross-checks do not hold —
+  /// check_profile relaxes exactly those, and the text report prints a
+  /// partial-capture banner.  Survives serialization (src/snapshot).
+  bool partial_capture = false;
+
   AggregateProfile() = default;
   AggregateProfile(AggregateProfile&&) = default;
   AggregateProfile& operator=(AggregateProfile&&) = default;

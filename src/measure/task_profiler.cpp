@@ -1,27 +1,102 @@
 #include "measure/task_profiler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace taskprof {
 
+// Worker side of the crash-safe capture handshake.  Guards the body of
+// every mutating event method.  The event-open declaration (odd
+// sequence number) happens *before* the pause-flag check: the flusher
+// stores the flag and then waits for an even sequence, both seq_cst, so
+// in the single total order either the flusher's even-read precedes our
+// increment — then our flag-load must observe the flag and we retract
+// and spin — or our increment precedes it and the flusher keeps
+// waiting.  Either way no event body overlaps the flusher's copy, with
+// no lock on the worker side and nothing at all when disarmed.
+class ThreadTaskProfiler::EventScope {
+ public:
+  explicit EventScope(const ThreadTaskProfiler& profiler) noexcept
+      : profiler_(profiler) {
+    if (!profiler_.capture_enabled_) return;
+    for (;;) {
+      profiler_.event_seq_.fetch_add(1, std::memory_order_seq_cst);
+      if (!profiler_.capture_pause_.load(std::memory_order_seq_cst)) return;
+      profiler_.event_seq_.fetch_add(1, std::memory_order_seq_cst);
+      while (profiler_.capture_pause_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  ~EventScope() {
+    if (!profiler_.capture_enabled_) return;
+    profiler_.event_seq_.fetch_add(1, std::memory_order_release);
+  }
+  EventScope(const EventScope&) = delete;
+  EventScope& operator=(const EventScope&) = delete;
+
+ private:
+  const ThreadTaskProfiler& profiler_;
+};
+
+namespace {
+
+/// Deep copy of a subtree into `pool` (metrics included, accelerator
+/// state not).  Same iterative parallel-preorder walk as merge_subtree.
+CallNode* copy_subtree(NodePool& pool, const CallNode* src) {
+  const auto copy_metrics = [](CallNode* dst, const CallNode* from) {
+    dst->visits = from->visits;
+    dst->inclusive = from->inclusive;
+    dst->visit_stats = from->visit_stats;
+  };
+  CallNode* root =
+      pool.allocate(src->region, src->parameter, src->is_stub, nullptr);
+  copy_metrics(root, src);
+  const CallNode* s = src;
+  CallNode* d = root;
+  for (;;) {
+    if (s->first_child != nullptr) {
+      s = s->first_child;
+      d = pool.allocate(s->region, s->parameter, s->is_stub, d);
+      copy_metrics(d, s);
+      continue;
+    }
+    while (s != src && s->next_sibling == nullptr) {
+      s = s->parent;
+      d = d->parent;
+    }
+    if (s == src) return root;
+    s = s->next_sibling;
+    d = pool.allocate(s->region, s->parameter, s->is_stub, d->parent);
+    copy_metrics(d, s);
+  }
+}
+
+}  // namespace
+
 ThreadTaskProfiler::ThreadTaskProfiler(ThreadId thread, const Clock& clock,
                                        RegionHandle implicit_region,
                                        MeasureOptions options)
     : thread_(thread), clock_(&clock), options_(options) {
   pool_.set_lookup_acceleration(options_.child_lookup_acceleration);
+  capture_enabled_ = options_.snapshot_every > 0;
   implicit_root_ =
       pool_.allocate(implicit_region, kNoParameter, false, nullptr);
   implicit_root_->visits = 1;
-  implicit_stack_.push_back(ImplicitFrame{implicit_root_, clock_->now()});
+  last_event_ticks_ = clock_->now();
+  implicit_stack_.push_back(ImplicitFrame{implicit_root_, last_event_ticks_});
 }
 
 ThreadTaskProfiler::~ThreadTaskProfiler() = default;
 
 void ThreadTaskProfiler::enter(RegionHandle region, std::int64_t parameter) {
+  EventScope guard(*this);
   const Ticks now = clock_->now();
+  last_event_ticks_ = now;
   const std::size_t limit = options_.max_tree_depth;
   if (current_ == nullptr) {
     if (limit != 0 &&
@@ -64,7 +139,9 @@ void ThreadTaskProfiler::enter(RegionHandle region, std::int64_t parameter) {
 }
 
 void ThreadTaskProfiler::exit(RegionHandle region) {
+  EventScope guard(*this);
   const Ticks now = clock_->now();
+  last_event_ticks_ = now;
   if (current_ == nullptr) {
     if (implicit_folded_ > 0) {
       --implicit_folded_;
@@ -103,9 +180,11 @@ void ThreadTaskProfiler::exit(RegionHandle region) {
 void ThreadTaskProfiler::task_begin(RegionHandle task_region,
                                     TaskInstanceId id,
                                     std::int64_t parameter) {
+  EventScope guard(*this);
   TASKPROF_ASSERT(id != kImplicitTaskId, "instance id 0 is the implicit task");
   TASKPROF_ASSERT(find_instance(id) == nullptr, "instance id already active");
   const Ticks now = clock_->now();
+  last_event_ticks_ = now;
 
   // "Create task instance specific data" (Fig. 12, TaskBegin).
   std::unique_ptr<TaskInstanceState> state;
@@ -146,7 +225,9 @@ void ThreadTaskProfiler::task_begin(RegionHandle task_region,
 }
 
 void ThreadTaskProfiler::task_end(TaskInstanceId id) {
+  EventScope guard(*this);
   const Ticks now = clock_->now();
+  last_event_ticks_ = now;
   TASKPROF_ASSERT(current_ != nullptr && current_->id == id,
                   "task_end requires the ending task to be current");
   TaskInstanceState& inst = *current_;
@@ -175,7 +256,9 @@ void ThreadTaskProfiler::task_end(TaskInstanceId id) {
 }
 
 void ThreadTaskProfiler::task_switch(TaskInstanceId id) {
+  EventScope guard(*this);
   const Ticks now = clock_->now();
+  last_event_ticks_ = now;
   if (id == kImplicitTaskId) {
     switch_to(nullptr, now);
     return;
@@ -186,6 +269,7 @@ void ThreadTaskProfiler::task_switch(TaskInstanceId id) {
 }
 
 void ThreadTaskProfiler::note_task_created(TaskInstanceId id) {
+  EventScope guard(*this);
   if (!options_.creation_site_attribution) return;
   // Only implicit-task creation sites are stable for the lifetime of the
   // created instance (instance trees are merged and recycled); see header.
@@ -199,6 +283,7 @@ void ThreadTaskProfiler::note_task_created(TaskInstanceId id) {
 
 std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::detach_instance(
     TaskInstanceId id) {
+  EventScope guard(*this);
   TASKPROF_ASSERT(current_ == nullptr || current_->id != id,
                   "cannot detach the running instance");
   auto state = take_instance(id);
@@ -208,6 +293,7 @@ std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::detach_instance(
 
 void ThreadTaskProfiler::adopt_instance(
     std::unique_ptr<TaskInstanceState> state) {
+  EventScope guard(*this);
   TASKPROF_ASSERT(state != nullptr, "adopt requires an instance");
   TASKPROF_ASSERT(find_instance(state->id) == nullptr,
                   "instance id already active on this thread");
@@ -216,10 +302,12 @@ void ThreadTaskProfiler::adopt_instance(
 }
 
 void ThreadTaskProfiler::finalize() {
+  EventScope guard(*this);
   TASKPROF_ASSERT(current_ == nullptr,
                   "finalize while an explicit task is current");
   TASKPROF_ASSERT(instances_.empty(), "finalize with active task instances");
   const Ticks now = clock_->now();
+  last_event_ticks_ = now;
   while (!implicit_stack_.empty()) {
     ImplicitFrame frame = implicit_stack_.back();
     const Ticks duration = now - frame.enter_time;
@@ -242,6 +330,82 @@ ThreadProfileView ThreadTaskProfiler::view() const {
 
 TaskInstanceId ThreadTaskProfiler::current_task() const noexcept {
   return current_ == nullptr ? kImplicitTaskId : current_->id;
+}
+
+bool ThreadTaskProfiler::capture(NodePool& into, CaptureView& out) const {
+  if (!capture_enabled_) return false;
+  capture_pause_.store(true, std::memory_order_seq_cst);
+  // Wait for the worker to leave its current event body (even sequence
+  // number).  Once we observe an even value, any event that starts
+  // afterwards must see the pause flag (its seq_cst increment follows
+  // our seq_cst read in the total order, so its flag load follows our
+  // flag store) and spins — the copy below runs in mutual exclusion.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  bool quiesced = false;
+  for (;;) {
+    if ((event_seq_.load(std::memory_order_seq_cst) & 1) == 0) {
+      quiesced = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::yield();
+  }
+  if (!quiesced) {
+    // Worker wedged inside an event (should not happen; events are
+    // bounded) — skip this flush rather than stall the flusher.
+    capture_pause_.store(false, std::memory_order_release);
+    return false;
+  }
+
+  CallNode* implicit_copy = copy_subtree(into, implicit_root_);
+  std::vector<CallNode*> root_copies;
+  root_copies.reserve(task_roots_.size());
+  for (const CallNode* root : task_roots_) {
+    root_copies.push_back(copy_subtree(into, root));
+  }
+
+  // Close the open implicit frames in the *copy* at the last event
+  // timestamp: each open node gets its in-progress fragment, so the
+  // copy satisfies the fragment-count/-sum invariants without touching
+  // the live tree (the live frames close normally at exit/finalize).
+  bool closed = true;
+  const Ticks now = last_event_ticks_;
+  CallNode* cursor = implicit_copy;
+  for (std::size_t i = 0; i < implicit_stack_.size(); ++i) {
+    const ImplicitFrame& frame = implicit_stack_[i];
+    if (i > 0) {
+      cursor = find_child(cursor, frame.node->region, frame.node->parameter,
+                          frame.node->is_stub);
+      if (cursor == nullptr) {
+        closed = false;
+        break;
+      }
+    }
+    const Ticks elapsed = now - frame.enter_time;
+    cursor->inclusive += elapsed;
+    cursor->visit_stats.add(elapsed);
+  }
+
+  // Read the scalar counters before releasing the pause: the instant
+  // the flag drops, workers resume mutating them.
+  const auto max_active = max_active_;
+  const auto task_switches = task_switches_;
+  const auto total_folds = total_folds_;
+  capture_pause_.store(false, std::memory_order_release);
+
+  if (!closed) {
+    into.release_subtree(implicit_copy);
+    for (CallNode* root : root_copies) into.release_subtree(root);
+    return false;
+  }
+  out.thread = thread_;
+  out.implicit_root = implicit_copy;
+  out.task_roots = std::move(root_copies);
+  out.max_concurrent_instances = max_active;
+  out.task_switches = task_switches;
+  out.folded_events = total_folds;
+  return true;
 }
 
 void ThreadTaskProfiler::enter_stub(const TaskInstanceState& instance,

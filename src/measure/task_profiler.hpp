@@ -36,6 +36,7 @@
 //    this (single OS thread), so no synchronization is needed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -89,6 +90,15 @@ struct MeasureOptions {
   /// task_end (one add, no tree walk, no node-pool traffic).  The
   /// dominant case for non-cut-off BOTS recursion.
   bool leaf_fast_path = true;
+
+  /// Period (ns) between crash-safe snapshot flushes (src/snapshot).
+  /// Non-zero arms the capture handshake on every profiler: event
+  /// methods then pay two sequentially-consistent counter bumps so a
+  /// background flusher can pause the profiler at an event boundary and
+  /// copy its trees (ThreadTaskProfiler::capture).  0 (the default)
+  /// disarms it completely — events pay one predictable branch, which
+  /// keeps the bench_event_hotpath speedup gate honest.
+  Ticks snapshot_every = 0;
 };
 
 /// State of one active explicit task instance (one row of the paper's
@@ -203,6 +213,34 @@ class ThreadTaskProfiler {
   /// Adopt a migrated instance (it stays suspended until task_switch).
   void adopt_instance(std::unique_ptr<TaskInstanceState> state);
 
+  // --- Crash-safe capture (src/snapshot) ----------------------------------
+
+  /// A self-consistent mid-run copy of this profiler's trees, owned by
+  /// the pool passed to capture().
+  struct CaptureView {
+    ThreadId thread = 0;
+    CallNode* implicit_root = nullptr;
+    std::vector<CallNode*> task_roots;
+    std::size_t max_concurrent_instances = 0;
+    std::uint64_t task_switches = 0;
+    std::uint64_t folded_events = 0;
+  };
+
+  /// Copy the implicit tree and the merged per-construct trees into
+  /// `into` without stopping the run for longer than one event boundary.
+  /// Protocol (DESIGN.md "crash-safe snapshots"): set the pause flag,
+  /// wait for the event sequence number to be even (no event body open),
+  /// copy, clear the flag; an event that starts meanwhile observes the
+  /// flag and spins at its boundary.  Open implicit frames are closed in
+  /// the *copy* at the profiler's last event timestamp, so the copy
+  /// satisfies the per-node fragment invariants; in-flight task
+  /// instances are not merged (the caller marks the aggregate
+  /// partial_capture).  Returns false — capturing nothing — when the
+  /// handshake is disarmed (options.snapshot_every == 0) or the worker
+  /// failed to quiesce within the timeout.  Must be called from a thread
+  /// that does not drive this profiler's events.
+  [[nodiscard]] bool capture(NodePool& into, CaptureView& out) const;
+
   // --- Results ------------------------------------------------------------
 
   /// Close the remaining open implicit frames (normally just the implicit
@@ -294,6 +332,20 @@ class ThreadTaskProfiler {
   std::uint64_t task_switches_ = 0;
   std::size_t implicit_folded_ = 0;
   std::uint64_t total_folds_ = 0;
+
+  // --- Crash-safe capture coordination (see capture()) --------------------
+  // Armed only when options_.snapshot_every > 0; disarmed, every event
+  // pays a single predictable branch and never touches the atomics.
+  // event_seq_ is odd while an event body runs (EventScope, .cpp);
+  // capture_pause_ asks workers to hold at their next event boundary.
+  class EventScope;
+  bool capture_enabled_ = false;
+  mutable std::atomic<bool> capture_pause_{false};
+  mutable std::atomic<std::uint64_t> event_seq_{0};
+  /// Timestamp of the most recent event, used to close open frames in a
+  /// captured copy — the engine's clock may live on a worker's stack and
+  /// must not be dereferenced from the flusher thread.
+  Ticks last_event_ticks_ = 0;
 };
 
 }  // namespace taskprof

@@ -113,6 +113,10 @@ std::string render_profile(const AggregateProfile& profile,
                            const RegionRegistry& registry,
                            const ReportOptions& options) {
   std::ostringstream os;
+  if (profile.partial_capture) {
+    os << "=== PARTIAL CAPTURE: mid-run snapshot; in-flight tasks are not "
+          "included ===\n";
+  }
   os << "=== main tree (implicit tasks, " << profile.thread_count
      << " threads merged; '*' marks task-execution stub nodes) ===\n";
   os << render_tree(profile.implicit_root, registry, options);

@@ -1,0 +1,165 @@
+#include "snapshot/flusher.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+
+namespace taskprof::snapshot {
+
+namespace {
+
+std::atomic<SnapshotFlusher*> g_crash_flusher{nullptr};
+std::atomic<bool> g_hooks_installed{false};
+
+void crash_flush_handler(int sig) {
+  // Exchange, not load: a second signal during the flush must not
+  // re-enter it.  flush_now itself try_locks, so a signal landing while
+  // the background thread writes degrades to "keep what is on disk".
+  if (SnapshotFlusher* flusher = g_crash_flusher.exchange(nullptr)) {
+    flusher->flush_now();
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void atexit_flush() {
+  if (SnapshotFlusher* flusher =
+          g_crash_flusher.load(std::memory_order_acquire)) {
+    flusher->flush_now();  // no-op once flush_final has run
+  }
+}
+
+}  // namespace
+
+SnapshotFlusher::SnapshotFlusher(const Instrumentor& instrumentor,
+                                 const RegionRegistry& registry,
+                                 FlusherOptions options)
+    : instrumentor_(&instrumentor),
+      registry_(&registry),
+      options_(std::move(options)) {
+  if (options_.process_id == 0) {
+    options_.process_id = static_cast<std::uint64_t>(::getpid());
+  }
+}
+
+SnapshotFlusher::~SnapshotFlusher() {
+  stop();
+  // Disarm the crash hooks if they still point here: atexit runs after
+  // this object's storage is gone.
+  SnapshotFlusher* self = this;
+  g_crash_flusher.compare_exchange_strong(self, nullptr);
+}
+
+void SnapshotFlusher::start() {
+  if (thread_.joinable()) return;
+  {
+    std::scoped_lock lock(cv_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&SnapshotFlusher::run, this);
+}
+
+void SnapshotFlusher::stop() noexcept {
+  {
+    std::scoped_lock lock(cv_mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SnapshotFlusher::run() {
+  flush_now();  // a run that dies inside its first interval leaves a file
+  std::unique_lock lock(cv_mutex_);
+  for (;;) {
+    if (options_.interval > 0) {
+      if (cv_.wait_for(lock, std::chrono::nanoseconds(options_.interval),
+                       [this] { return stop_requested_; })) {
+        return;
+      }
+    } else {
+      cv_.wait(lock, [this] { return stop_requested_; });
+      return;
+    }
+    lock.unlock();
+    flush_now();
+    lock.lock();
+  }
+}
+
+bool SnapshotFlusher::flush_now() noexcept {
+  std::unique_lock lock(flush_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (final_written_.load(std::memory_order_acquire)) return false;
+  try {
+    Instrumentor::CaptureResult captured = instrumentor_->capture_snapshot();
+    if (captured.profile.implicit_root == nullptr) {
+      // Nothing measured yet: an empty profile is worth less than no
+      // file, and strictly less than whatever is already on disk.
+      return false;
+    }
+    if (captured.profilers_captured == 0 && captured.profilers_live > 0 &&
+        flushes_.load(std::memory_order_relaxed) > 0) {
+      // Every live profiler refused to quiesce: keep the data-bearing
+      // snapshot already on disk instead of overwriting it with less.
+      return false;
+    }
+    return write_locked(captured.profile);
+  } catch (const std::exception& error) {
+    last_error_ = error.what();
+    return false;
+  }
+}
+
+bool SnapshotFlusher::flush_final() noexcept {
+  std::scoped_lock lock(flush_mutex_);
+  try {
+    const AggregateProfile profile = instrumentor_->aggregate();
+    const bool written = write_locked(profile);
+    if (written) final_written_.store(true, std::memory_order_release);
+    return written;
+  } catch (const std::exception& error) {
+    last_error_ = error.what();
+    return false;
+  }
+}
+
+bool SnapshotFlusher::write_locked(const AggregateProfile& profile) {
+  SnapshotMeta meta;
+  meta.flush_seq = flushes_.load(std::memory_order_relaxed) + 1;
+  meta.process_id = options_.process_id;
+  telemetry::Snapshot telemetry_snapshot;
+  const telemetry::Snapshot* telemetry_ptr = nullptr;
+  if (options_.telemetry != nullptr) {
+    telemetry_snapshot = options_.telemetry->snapshot();
+    telemetry_ptr = &telemetry_snapshot;
+  }
+  try {
+    write_snapshot_file(options_.path, profile, *registry_, meta,
+                        telemetry_ptr);
+  } catch (const std::exception& error) {
+    last_error_ = error.what();
+    return false;
+  }
+  last_error_.clear();
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::string SnapshotFlusher::last_error() const {
+  std::scoped_lock lock(flush_mutex_);
+  return last_error_;
+}
+
+void install_crash_flush(SnapshotFlusher* flusher) {
+  g_crash_flusher.store(flusher, std::memory_order_release);
+  if (flusher != nullptr && !g_hooks_installed.exchange(true)) {
+    std::signal(SIGINT, crash_flush_handler);
+    std::signal(SIGTERM, crash_flush_handler);
+    std::atexit(atexit_flush);
+  }
+}
+
+}  // namespace taskprof::snapshot

@@ -1,0 +1,163 @@
+#include "snapshot/format.hpp"
+
+#include <array>
+
+namespace taskprof::snapshot {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::string_view errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::kIo: return "io";
+    case Errc::kBadMagic: return "bad-magic";
+    case Errc::kFutureVersion: return "future-version";
+    case Errc::kTruncated: return "truncated";
+    case Errc::kBadCrc: return "bad-crc";
+    case Errc::kMalformed: return "malformed";
+    case Errc::kDuplicateSection: return "duplicate-section";
+    case Errc::kMissingSection: return "missing-section";
+    case Errc::kTrailingData: return "trailing-data";
+    case Errc::kLimit: return "limit";
+  }
+  return "unknown";
+}
+
+SnapshotError::SnapshotError(Errc code, const std::string& origin,
+                             const std::string& detail)
+    : std::runtime_error(origin + ": " + std::string(errc_name(code)) + ": " +
+                         detail),
+      code_(code) {}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : bytes) {
+    crc = kCrcTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Encoder::u8(std::uint8_t value) { buffer_.push_back(value); }
+
+void Encoder::u32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void Encoder::u64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void Encoder::varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void Encoder::svarint(std::int64_t value) {
+  const std::uint64_t u = static_cast<std::uint64_t>(value);
+  varint((u << 1) ^ static_cast<std::uint64_t>(value >> 63));
+}
+
+void Encoder::str(std::string_view value) {
+  varint(value.size());
+  bytes(value.data(), value.size());
+}
+
+void Encoder::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+Decoder::Decoder(std::span<const std::uint8_t> bytes, std::string origin,
+                 Errc overrun)
+    : bytes_(bytes), origin_(std::move(origin)), overrun_(overrun) {}
+
+void Decoder::fail(Errc code, const std::string& detail) const {
+  throw SnapshotError(code, origin_,
+                      detail + " (at byte " + std::to_string(offset_) + ")");
+}
+
+std::uint8_t Decoder::u8() {
+  if (remaining() < 1) fail(overrun_, "unexpected end of data");
+  return bytes_[offset_++];
+}
+
+std::uint32_t Decoder::u32() {
+  if (remaining() < 4) fail(overrun_, "unexpected end of data");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return value;
+}
+
+std::uint64_t Decoder::u64() {
+  if (remaining() < 8) fail(overrun_, "unexpected end of data");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return value;
+}
+
+std::uint64_t Decoder::varint() {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    const std::uint64_t payload = byte & 0x7Fu;
+    if (shift == 63 && payload > 1) fail(Errc::kMalformed, "varint overflow");
+    value |= payload << shift;
+    if ((byte & 0x80u) == 0) {
+      // Canonical form only: a zero continuation byte re-encodes shorter.
+      if (payload == 0 && shift != 0) {
+        fail(Errc::kMalformed, "non-minimal varint");
+      }
+      return value;
+    }
+  }
+  fail(Errc::kMalformed, "varint longer than 10 bytes");
+}
+
+std::int64_t Decoder::svarint() {
+  const std::uint64_t u = varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+std::string Decoder::str(std::size_t max_size) {
+  const std::uint64_t size = varint();
+  if (size > max_size) fail(Errc::kLimit, "string length exceeds limit");
+  const auto span = bytes(static_cast<std::size_t>(size));
+  return std::string(reinterpret_cast<const char*>(span.data()), span.size());
+}
+
+std::span<const std::uint8_t> Decoder::bytes(std::size_t size) {
+  if (remaining() < size) fail(overrun_, "unexpected end of data");
+  const auto out = bytes_.subspan(offset_, size);
+  offset_ += size;
+  return out;
+}
+
+}  // namespace taskprof::snapshot

@@ -1,0 +1,148 @@
+// Wire-format primitives for crash-safe profile snapshots (.tpsnap).
+//
+// A snapshot file is the on-disk form of an AggregateProfile plus the
+// RegionRegistry it refers to (and, optionally, a telemetry snapshot):
+//
+//   magic[8] "TPSNAP\n\0"
+//   u32      format version (little-endian; readers reject newer files)
+//   u32      section count
+//   repeated { u32 id, u64 payload size, u32 CRC-32 of payload, payload }
+//
+// Every byte after the 16-byte header is covered by a section CRC, so a
+// torn write or a flipped bit is detected before any payload is parsed.
+// Payloads use LEB128 varints (zigzag for signed values); encoders emit
+// exactly one canonical form and decoders reject everything else, which
+// is what makes write -> read -> re-write byte-identical (the round-trip
+// golden tests rely on it).
+//
+// All failures are typed: the reader never asserts, never reads out of
+// bounds, and never returns a half-built object — it throws
+// SnapshotError carrying an Errc that tests (and the fuzz corpus) match
+// on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taskprof::snapshot {
+
+/// File magic ("TPSNAP\n\0"): the newline catches ASCII-mode mangling,
+/// the NUL catches C-string truncation.
+inline constexpr std::size_t kMagicSize = 8;
+inline constexpr char kMagic[kMagicSize] = {'T', 'P', 'S', 'N',
+                                            'A', 'P', '\n', '\0'};
+
+/// Current format version.  Readers accept any version <= this one;
+/// newer files are rejected with Errc::kFutureVersion (see DESIGN.md for
+/// the compatibility policy).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Section identifiers.  Unknown ids are skipped (their CRC is still
+/// verified), so future versions can add sections without breaking old
+/// readers.
+enum class SectionId : std::uint32_t {
+  kMeta = 1,       ///< profile-wide scalars (thread count, flags, ...)
+  kRegions = 2,    ///< region registry (handle order preserved)
+  kTrees = 3,      ///< implicit tree + merged task trees, preorder
+  kTelemetry = 4,  ///< optional telemetry counters/gauges
+};
+
+/// Why a snapshot was rejected.
+enum class Errc {
+  kIo,               ///< open/read/write/rename failed
+  kBadMagic,         ///< first 8 bytes are not a snapshot header
+  kFutureVersion,    ///< written by a newer format revision
+  kTruncated,        ///< file ends inside the header or a section
+  kBadCrc,           ///< section payload does not match its checksum
+  kMalformed,        ///< CRC-valid payload violates the format grammar
+  kDuplicateSection, ///< the same section id appears twice
+  kMissingSection,   ///< a mandatory section is absent
+  kTrailingData,     ///< bytes remain after the last declared section
+  kLimit,            ///< a declared count exceeds the sanity limits
+};
+
+/// Stable lowercase name of an error class, e.g. "bad-crc".
+[[nodiscard]] std::string_view errc_name(Errc code) noexcept;
+
+/// Typed rejection.  what() is "<origin>: <errc-name>: <detail>".
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(Errc code, const std::string& origin,
+                const std::string& detail);
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Append-only little-endian encoder.
+class Encoder {
+ public:
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  /// LEB128 (7 bits per byte, high bit = continue).
+  void varint(std::uint64_t value);
+  /// Zigzag-mapped varint for signed values.
+  void svarint(std::int64_t value);
+  /// varint length prefix + raw bytes.
+  void str(std::string_view value);
+  void bytes(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span.
+///
+/// Every read throws SnapshotError on overrun; `overrun` distinguishes
+/// the file-level cursor (overruns mean the file was cut short:
+/// kTruncated) from section payloads (the payload passed its CRC, so an
+/// overrun means the grammar lied about a length: kMalformed).
+class Decoder {
+ public:
+  Decoder(std::span<const std::uint8_t> bytes, std::string origin,
+          Errc overrun);
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  /// Rejects non-minimal encodings and values beyond 64 bits
+  /// (kMalformed): the canonical-form guarantee cuts both ways.
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t svarint();
+  /// Length-prefixed string; `max_size` guards against absurd lengths
+  /// (Errc::kLimit).
+  [[nodiscard]] std::string str(std::size_t max_size);
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t size);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+
+  /// Throw a SnapshotError at the current position.
+  [[noreturn]] void fail(Errc code, const std::string& detail) const;
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+  std::string origin_;
+  Errc overrun_;
+};
+
+}  // namespace taskprof::snapshot

@@ -98,6 +98,18 @@ std::string snapshot_to_json(const Snapshot& snapshot) {
   return out;
 }
 
+void merge_into(Snapshot& dst, const Snapshot& src) {
+  dst.threads += src.threads;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    dst.counters[i] += src.counters[i];
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    if (src.gauges[i] > dst.gauges[i]) dst.gauges[i] = src.gauges[i];
+  }
+  dst.per_thread.insert(dst.per_thread.end(), src.per_thread.begin(),
+                        src.per_thread.end());
+}
+
 Registry::Registry() = default;
 Registry::~Registry() = default;
 

@@ -99,6 +99,12 @@ struct Snapshot {
 /// gauges, derived rates, and a per-thread counter matrix).
 [[nodiscard]] std::string snapshot_to_json(const Snapshot& snapshot);
 
+/// Fold `src` into `dst`, matching how the registry aggregates blocks:
+/// counters sum, gauges take the maximum, and the per-thread matrices
+/// concatenate (each source process keeps its own rows).  Used by the
+/// snapshot merge tool to collate per-process telemetry sections.
+void merge_into(Snapshot& dst, const Snapshot& src);
+
 /// The telemetry sink.  Attach to an engine with Runtime::set_telemetry;
 /// one registry may accumulate across several parallel regions.
 class Registry {

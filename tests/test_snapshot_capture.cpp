@@ -1,0 +1,140 @@
+// Live mid-run capture (the seq_cst pause handshake): a background
+// thread snapshots the instrumentor while the real engine races through
+// fib, and every capture must be a structurally valid partial profile.
+// Runs under the tsan label — the handshake has to be provably
+// data-race-free, not just "usually fine".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "bots/kernel.hpp"
+#include "check/invariants.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/real_runtime.hpp"
+#include "snapshot/flusher.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace taskprof {
+namespace {
+
+bots::KernelConfig test_config() {
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+  return config;
+}
+
+TEST(SnapshotCapture, ConcurrentCapturesAreValidPartialProfiles) {
+  RegionRegistry registry;
+  MeasureOptions options;
+  options.snapshot_every = 1;
+  Instrumentor instr(registry, options);
+  rt::RealRuntime runtime;
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+
+  std::atomic<bool> running{true};
+  std::size_t captures = 0;
+  std::size_t nonempty = 0;
+  std::string first_failure;
+  std::thread capturer([&] {
+    while (running.load(std::memory_order_acquire)) {
+      const Instrumentor::CaptureResult result = instr.capture_snapshot();
+      ++captures;
+      if (result.profilers_captured == 0 ||
+          result.profile.implicit_root == nullptr) {
+        continue;
+      }
+      ++nonempty;
+      EXPECT_TRUE(result.profile.partial_capture);
+      const check::InvariantReport verdict =
+          check::check_profile(result.profile, registry);
+      if (!verdict.ok() && first_failure.empty()) {
+        first_failure = verdict.to_string();
+      }
+    }
+  });
+
+  auto kernel = bots::make_kernel("fib");
+  for (int i = 0; i < 20; ++i) {
+    const bots::KernelResult result =
+        kernel->run(runtime, registry, test_config());
+    ASSERT_TRUE(result.ok);
+  }
+  running.store(false, std::memory_order_release);
+  capturer.join();
+  runtime.set_hooks(nullptr);
+
+  EXPECT_TRUE(first_failure.empty()) << first_failure;
+  EXPECT_GT(captures, 0u);
+  // The workload runs long enough that at least one capture must have
+  // caught live profilers.
+  EXPECT_GT(nonempty, 0u);
+
+  // The run itself is undamaged by the captures.
+  instr.finalize();
+  const AggregateProfile profile = instr.aggregate();
+  const check::InvariantReport verdict = check::check_profile(
+      profile, registry);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+TEST(SnapshotCapture, DisarmedProfilerRefusesToCapture) {
+  RegionRegistry registry;
+  Instrumentor instr(registry);  // snapshot_every == 0: handshake off
+  rt::RealRuntime runtime;
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+  auto kernel = bots::make_kernel("fib");
+  ASSERT_TRUE(kernel->run(runtime, registry, test_config()).ok);
+  runtime.set_hooks(nullptr);
+
+  const Instrumentor::CaptureResult result = instr.capture_snapshot();
+  EXPECT_GT(result.profilers_live, 0u);
+  EXPECT_EQ(result.profilers_captured, 0u);
+}
+
+TEST(SnapshotCapture, FlusherWritesLoadableFileDuringRun) {
+  const std::string path = testing::TempDir() + "capture_flusher.tpsnap";
+  std::remove(path.c_str());
+
+  RegionRegistry registry;
+  MeasureOptions options;
+  options.snapshot_every = 1;
+  Instrumentor instr(registry, options);
+  rt::RealRuntime runtime;
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+
+  snapshot::FlusherOptions flush_options;
+  flush_options.path = path;
+  flush_options.interval = 1'000'000;  // 1 ms
+  snapshot::SnapshotFlusher flusher(instr, registry, flush_options);
+  flusher.start();
+
+  auto kernel = bots::make_kernel("fib");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kernel->run(runtime, registry, test_config()).ok);
+  }
+  runtime.set_hooks(nullptr);
+  flusher.stop();
+  EXPECT_GE(flusher.flush_count(), 1u) << flusher.last_error();
+
+  instr.finalize();
+  ASSERT_TRUE(flusher.flush_final()) << flusher.last_error();
+
+  // The final flush replaced the partial snapshot with the clean full
+  // profile; a later flush_now must not overwrite it.
+  EXPECT_FALSE(flusher.flush_now());
+  const snapshot::SnapshotData data = snapshot::read_snapshot_file(path);
+  EXPECT_FALSE(data.profile.partial_capture);
+  const check::InvariantReport verdict =
+      check::check_profile(data.profile, *data.registry);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace taskprof

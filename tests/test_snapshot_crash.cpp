@@ -1,0 +1,137 @@
+// Crash injection for the snapshot flusher: a forked child profiles fib
+// with periodic flushing, the parent SIGKILLs it at seeded random
+// points, and whatever .tpsnap survived must load, validate under
+// check_profile, and carry visit counts bounded by the clean run — the
+// acceptance scenario for "crash-safe".
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bots/kernel.hpp"
+#include "check/invariants.hpp"
+#include "common/rng.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/real_runtime.hpp"
+#include "snapshot/flusher.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace taskprof {
+namespace {
+
+constexpr int kChildIterations = 400;  ///< clean-run bound, never reached
+
+bots::KernelConfig child_config() {
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+  return config;
+}
+
+/// One clean fib iteration: how many fib_task instances a single run
+/// executes (deterministic — fib's task structure does not depend on the
+/// schedule).
+std::uint64_t tasks_per_clean_run() {
+  RegionRegistry registry;
+  rt::RealRuntime runtime;
+  Instrumentor instr(registry);
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+  auto kernel = bots::make_kernel("fib");
+  const bots::KernelResult result =
+      kernel->run(runtime, registry, child_config());
+  runtime.set_hooks(nullptr);
+  return result.stats.tasks_executed;
+}
+
+/// Child body: profile fib in a loop with 2 ms periodic flushing until
+/// SIGKILLed.  Never returns normally within the test's kill window.
+[[noreturn]] void child_run(const std::string& path) {
+  RegionRegistry registry;
+  MeasureOptions options;
+  options.snapshot_every = 1;  // arm the capture handshake
+  Instrumentor instr(registry, options);
+  rt::RealRuntime runtime;
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+
+  snapshot::FlusherOptions flush_options;
+  flush_options.path = path;
+  flush_options.interval = 2'000'000;  // 2 ms
+  snapshot::SnapshotFlusher flusher(instr, registry, flush_options);
+  flusher.start();
+
+  auto kernel = bots::make_kernel("fib");
+  const bots::KernelConfig config = child_config();
+  for (int i = 0; i < kChildIterations; ++i) {
+    (void)kernel->run(runtime, registry, config);
+  }
+  _exit(0);
+}
+
+std::uint64_t visits_by_name(const snapshot::SnapshotData& data,
+                             const std::string& name) {
+  std::uint64_t visits = 0;
+  for (const CallNode* root : data.profile.task_roots) {
+    if (data.registry->info(root->region).name == name) {
+      visits += root->visits;
+    }
+  }
+  return visits;
+}
+
+TEST(SnapshotCrash, SigkilledRunLeavesLoadableValidSnapshot) {
+  const std::uint64_t per_run = tasks_per_clean_run();
+  ASSERT_GT(per_run, 0u);
+
+  Xoshiro256 rng(0xC4A5'11ED'5EEDull);
+  int loadable = 0;
+  constexpr int kSeeds = 5;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string path = testing::TempDir() + "crash_" +
+                             std::to_string(seed) + ".tpsnap";
+    std::remove(path.c_str());
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) child_run(path);  // never returns
+
+    // Kill between 4 ms and 124 ms in: late enough that the immediate
+    // first flush usually lands, early enough to interrupt the loop.
+    const std::uint64_t delay_us = 4000 + rng.next_below(120'000);
+    ::usleep(static_cast<useconds_t>(delay_us));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    if (!std::filesystem::exists(path)) continue;  // killed before flush 1
+    ++loadable;
+
+    // Atomic rename means the surviving file is a complete snapshot: it
+    // must decode and pass every structural check.
+    const snapshot::SnapshotData data = snapshot::read_snapshot_file(path);
+    const check::InvariantReport verdict =
+        check::check_profile(data.profile, *data.registry);
+    EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+    EXPECT_GE(data.meta.flush_seq, 1u);
+
+    // A crashed run can only ever have recorded a prefix of the work.
+    EXPECT_LE(visits_by_name(data, "fib_task"),
+              per_run * kChildIterations);
+    std::remove(path.c_str());
+  }
+  // The first flush fires immediately on start(), so at least one seeded
+  // kill point must have left a file.
+  EXPECT_GE(loadable, 1);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,166 @@
+// Wire-format primitives (src/snapshot/format): varint/zigzag canonical
+// round trips, the CRC-32 check vector, the typed error taxonomy at the
+// file level, and the atomicity of the file writer.
+#include "snapshot/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace taskprof::snapshot {
+namespace {
+
+Decoder decoder_over(const Encoder& enc) {
+  return Decoder(enc.buffer(), "<test>", Errc::kMalformed);
+}
+
+TEST(SnapshotFormat, VarintRoundTripsCanonically) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    Encoder enc;
+    enc.varint(v);
+    Decoder dec = decoder_over(enc);
+    EXPECT_EQ(dec.varint(), v);
+    EXPECT_EQ(dec.remaining(), 0u);
+    // Canonical length: ceil(bits/7), at least one byte.
+    std::size_t expect = 1;
+    for (std::uint64_t rest = v >> 7; rest != 0; rest >>= 7) ++expect;
+    EXPECT_EQ(enc.size(), expect) << v;
+  }
+}
+
+TEST(SnapshotFormat, SvarintRoundTripsExtremes) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t v : values) {
+    Encoder enc;
+    enc.svarint(v);
+    Decoder dec = decoder_over(enc);
+    EXPECT_EQ(dec.svarint(), v);
+  }
+}
+
+TEST(SnapshotFormat, NonMinimalVarintIsRejected) {
+  // 0x80 0x00 decodes to 0 but is not the canonical single-byte form.
+  const std::vector<std::uint8_t> padded = {0x80, 0x00};
+  Decoder dec(padded, "<test>", Errc::kMalformed);
+  try {
+    (void)dec.varint();
+    FAIL() << "non-minimal varint accepted";
+  } catch (const SnapshotError& error) {
+    EXPECT_EQ(error.code(), Errc::kMalformed);
+  }
+}
+
+TEST(SnapshotFormat, OverlongVarintIsRejected) {
+  // Eleven continuation bytes: more than 64 bits of payload.
+  const std::vector<std::uint8_t> overlong(11, 0xFF);
+  Decoder dec(overlong, "<test>", Errc::kMalformed);
+  EXPECT_THROW((void)dec.varint(), SnapshotError);
+}
+
+TEST(SnapshotFormat, Crc32MatchesCheckVector) {
+  const char* vector = "123456789";
+  const auto* data = reinterpret_cast<const std::uint8_t*>(vector);
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(data, 9)), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(SnapshotFormat, DecoderOverrunUsesConfiguredErrc) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  Decoder truncated(three, "<test>", Errc::kTruncated);
+  try {
+    (void)truncated.u32();
+    FAIL() << "overrun not detected";
+  } catch (const SnapshotError& error) {
+    EXPECT_EQ(error.code(), Errc::kTruncated);
+  }
+  Decoder malformed(three, "<test>", Errc::kMalformed);
+  EXPECT_THROW((void)malformed.u64(), SnapshotError);
+}
+
+TEST(SnapshotFormat, StringLimitIsTyped) {
+  Encoder enc;
+  enc.str("hello world");
+  Decoder dec = decoder_over(enc);
+  try {
+    (void)dec.str(/*max_size=*/4);
+    FAIL() << "limit not enforced";
+  } catch (const SnapshotError& error) {
+    EXPECT_EQ(error.code(), Errc::kLimit);
+  }
+}
+
+TEST(SnapshotFormat, ErrcNamesAreStable) {
+  EXPECT_EQ(errc_name(Errc::kBadMagic), "bad-magic");
+  EXPECT_EQ(errc_name(Errc::kBadCrc), "bad-crc");
+  EXPECT_EQ(errc_name(Errc::kFutureVersion), "future-version");
+}
+
+TEST(SnapshotFormat, ErrorMessageCarriesOriginAndClass) {
+  const SnapshotError error(Errc::kTruncated, "a.tpsnap", "ends early");
+  const std::string what = error.what();
+  EXPECT_NE(what.find("a.tpsnap"), std::string::npos);
+  EXPECT_NE(what.find("truncated"), std::string::npos);
+  EXPECT_NE(what.find("ends early"), std::string::npos);
+}
+
+TEST(SnapshotFormat, AtomicWriteLeavesNoTempFile) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "taskprof_format_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "out.bin").string();
+  const std::vector<std::uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  atomic_write_file(path, payload);
+  // Overwrite through the same path: the reader can only ever see a
+  // complete file.
+  const std::vector<std::uint8_t> second = {1, 2, 3};
+  atomic_write_file(path, second);
+  EXPECT_EQ(std::filesystem::file_size(path), second.size());
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "temp file left behind";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotFormat, AtomicWriteFailureIsTypedIo) {
+  try {
+    atomic_write_file("/nonexistent-dir/x/y.tpsnap", {{1}});
+    FAIL() << "write into a missing directory succeeded";
+  } catch (const SnapshotError& error) {
+    EXPECT_EQ(error.code(), Errc::kIo);
+  }
+}
+
+TEST(SnapshotFormat, ReadMissingFileIsTypedIo) {
+  try {
+    (void)read_snapshot_file("/nonexistent.tpsnap");
+    FAIL() << "missing file read succeeded";
+  } catch (const SnapshotError& error) {
+    EXPECT_EQ(error.code(), Errc::kIo);
+  }
+}
+
+}  // namespace
+}  // namespace taskprof::snapshot

@@ -1,0 +1,199 @@
+// Loader robustness: the .tpsnap reader must reject every truncation,
+// seeded bit flip, and version bump with a typed SnapshotError — never
+// crash, never assert, never return a half-built profile.  Also replays
+// the committed corpus under tests/corpus/snapshot/ ("ok_" files must
+// decode and re-encode byte-identically, "bad_" files must be rejected),
+// so a format change that breaks old files fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bots/kernel.hpp"
+#include "common/rng.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/sim_runtime.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace taskprof {
+namespace {
+
+/// A valid snapshot exercising all four sections (meta, regions, trees,
+/// telemetry).
+std::vector<std::uint8_t> valid_snapshot_bytes() {
+  RegionRegistry registry;
+  rt::SimRuntime runtime;
+  Instrumentor instr(registry);
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+  auto kernel = bots::make_kernel("fib");
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+  (void)kernel->run(runtime, registry, config);
+  runtime.set_hooks(nullptr);
+  instr.finalize();
+  const AggregateProfile profile = instr.aggregate();
+
+  telemetry::Registry telem;
+  telem.prepare(2);
+  telem.add(0, telemetry::Counter::kTasksCreated, 5);
+  telem.gauge_max(1, telemetry::Gauge::kDequeDepth, 3);
+  const telemetry::Snapshot snap = telem.snapshot();
+
+  snapshot::SnapshotMeta meta;
+  meta.flush_seq = 1;
+  meta.process_id = 1234;
+  return snapshot::encode_snapshot(profile, registry, meta, &snap);
+}
+
+/// Decode that may legally succeed (a flip can land in a skippable
+/// place); anything but success or SnapshotError fails the test.
+bool decodes(const std::vector<std::uint8_t>& bytes) {
+  try {
+    const snapshot::SnapshotData data =
+        snapshot::decode_snapshot(bytes, "<fuzz>");
+    // A successful decode must still be re-encodable without incident.
+    (void)snapshot::encode_snapshot(data);
+    return true;
+  } catch (const snapshot::SnapshotError&) {
+    return false;
+  }
+}
+
+snapshot::Errc reject_code(const std::vector<std::uint8_t>& bytes) {
+  try {
+    (void)snapshot::decode_snapshot(bytes, "<fuzz>");
+  } catch (const snapshot::SnapshotError& error) {
+    return error.code();
+  }
+  ADD_FAILURE() << "decode unexpectedly succeeded";
+  return snapshot::Errc::kIo;
+}
+
+TEST(SnapshotFuzz, EveryTruncationIsRejectedTyped) {
+  const std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  ASSERT_GT(bytes.size(), 32u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(len));
+    try {
+      (void)snapshot::decode_snapshot(cut, "<truncated>");
+      FAIL() << "prefix of " << len << " bytes accepted";
+    } catch (const snapshot::SnapshotError& error) {
+      // Short prefixes die on the magic or the header; longer ones on a
+      // section length.  All are typed; none may be kIo (that class is
+      // reserved for the filesystem).
+      EXPECT_NE(error.code(), snapshot::Errc::kIo) << "len " << len;
+    }
+  }
+}
+
+TEST(SnapshotFuzz, SeededBitFlipsNeverCrashTheLoader) {
+  const std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  Xoshiro256 rng(0xF1A5'F1A5'F1A5ull);
+  std::size_t rejected = 0;
+  constexpr int kFlips = 4000;
+  for (int i = 0; i < kFlips; ++i) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t byte = rng.next_below(mutated.size());
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    if (!decodes(mutated)) ++rejected;
+  }
+  // Every payload byte is CRC-covered; almost all flips must be caught
+  // (the rare survivor flips a skippable section id or the section
+  // count's redundant encoding).
+  EXPECT_GT(rejected, kFlips * 9 / 10);
+}
+
+TEST(SnapshotFuzz, MultiBitFlipsNeverCrashTheLoader) {
+  const std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  Xoshiro256 rng(0xBADC'0FFE'E000ull);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t flips = 2 + rng.next_below(16);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t byte = rng.next_below(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    (void)decodes(mutated);  // must not crash either way
+  }
+}
+
+TEST(SnapshotFuzz, VersionBumpIsFutureVersion) {
+  std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  // The u32 version sits right after the 8-byte magic, little-endian.
+  bytes[8] = static_cast<std::uint8_t>(snapshot::kFormatVersion + 1);
+  EXPECT_EQ(reject_code(bytes), snapshot::Errc::kFutureVersion);
+  bytes[8] = 0xFF;
+  bytes[9] = 0xFF;
+  EXPECT_EQ(reject_code(bytes), snapshot::Errc::kFutureVersion);
+  // Version 0 was never issued: grammar violation, not a future file.
+  bytes[8] = 0;
+  bytes[9] = 0;
+  EXPECT_EQ(reject_code(bytes), snapshot::Errc::kMalformed);
+}
+
+TEST(SnapshotFuzz, BadMagicIsTyped) {
+  std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  bytes[0] = 'X';
+  EXPECT_EQ(reject_code(bytes), snapshot::Errc::kBadMagic);
+}
+
+TEST(SnapshotFuzz, PayloadCorruptionIsBadCrc) {
+  std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  // First section payload starts after the 16-byte file header and the
+  // 16-byte section header.
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[33] ^= 0x40;
+  EXPECT_EQ(reject_code(bytes), snapshot::Errc::kBadCrc);
+}
+
+TEST(SnapshotFuzz, TrailingDataIsTyped) {
+  std::vector<std::uint8_t> bytes = valid_snapshot_bytes();
+  bytes.push_back(0);
+  EXPECT_EQ(reject_code(bytes), snapshot::Errc::kTrailingData);
+}
+
+TEST(SnapshotFuzz, CommittedCorpusReplays) {
+  const std::filesystem::path dir = TASKPROF_SNAPSHOT_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  std::size_t ok_files = 0;
+  std::size_t bad_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".tpsnap") continue;
+    const std::string name = entry.path().filename().string();
+    SCOPED_TRACE(name);
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << name;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (name.rfind("ok_", 0) == 0) {
+      ++ok_files;
+      const snapshot::SnapshotData data =
+          snapshot::decode_snapshot(bytes, name);
+      // Format-stability golden: today's encoder must reproduce the
+      // committed bytes exactly; an encoding change requires a version
+      // bump and fresh goldens.
+      EXPECT_EQ(snapshot::encode_snapshot(data), bytes);
+    } else if (name.rfind("bad_", 0) == 0) {
+      ++bad_files;
+      EXPECT_THROW((void)snapshot::decode_snapshot(bytes, name),
+                   snapshot::SnapshotError);
+    } else {
+      ADD_FAILURE() << "corpus file " << name
+                    << " must start with ok_ or bad_";
+    }
+  }
+  EXPECT_GE(ok_files, 1u);
+  EXPECT_GE(bad_files, 3u);
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,169 @@
+// Round-trip goldens for the .tpsnap serializer: write -> read ->
+// re-write is byte-identical for every BOTS kernel shape, the loaded
+// profile passes check_profile, projects equal to the live profile via
+// src/check's differ, and the text and CUBE reports render a loaded
+// snapshot identically to the live profile it came from.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bots/kernel.hpp"
+#include "check/differential.hpp"
+#include "check/invariants.hpp"
+#include "instrument/instrumentor.hpp"
+#include "report/cube_export.hpp"
+#include "report/text_report.hpp"
+#include "rt/sim_runtime.hpp"
+#include "snapshot/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace taskprof {
+namespace {
+
+struct Measured {
+  RegionRegistry registry;
+  bots::KernelResult result;
+  AggregateProfile profile;
+};
+
+void run_kernel(Measured& out, const std::string& name) {
+  rt::SimRuntime runtime;
+  Instrumentor instr(out.registry);
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+  auto kernel = bots::make_kernel(name);
+  ASSERT_NE(kernel, nullptr) << name;
+  bots::KernelConfig config;
+  config.threads = 2;
+  config.size = bots::SizeClass::kTest;
+  out.result = kernel->run(runtime, out.registry, config);
+  runtime.set_hooks(nullptr);
+  instr.finalize();
+  out.profile = instr.aggregate();
+  ASSERT_TRUE(out.result.ok) << name << ": " << out.result.check;
+}
+
+snapshot::SnapshotMeta test_meta() {
+  snapshot::SnapshotMeta meta;
+  meta.flush_seq = 7;
+  meta.process_id = 42;
+  return meta;
+}
+
+TEST(SnapshotRoundTrip, EveryBotsKernelShapeIsByteIdentical) {
+  for (const auto& kernel : bots::make_all_kernels()) {
+    const std::string name(kernel->name());
+    SCOPED_TRACE(name);
+    Measured m;
+    run_kernel(m, name);
+
+    const std::vector<std::uint8_t> first =
+        snapshot::encode_snapshot(m.profile, m.registry, test_meta());
+    const snapshot::SnapshotData loaded =
+        snapshot::decode_snapshot(first, name);
+    const std::vector<std::uint8_t> second =
+        snapshot::encode_snapshot(loaded);
+    ASSERT_EQ(first, second) << "re-encode of " << name
+                             << " is not byte-identical";
+
+    // The loaded profile is a first-class profile: every structural
+    // invariant the live one satisfies, it satisfies.
+    const check::InvariantReport verdict = check::check_profile(
+        loaded.profile, *loaded.registry, &m.result.stats);
+    EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+
+    // Loaded and live agree under the sim/real differential projection.
+    check::ProfileProjection live =
+        check::project_profile(m.profile, m.registry, m.result.stats);
+    live.engine = "live";
+    check::ProfileProjection reread = check::project_profile(
+        loaded.profile, *loaded.registry, m.result.stats);
+    reread.engine = "loaded";
+    std::string joined;
+    for (const std::string& d : check::diff_projections(live, reread)) {
+      joined += d + "\n";
+    }
+    EXPECT_TRUE(joined.empty()) << joined;
+
+    // Reports cannot tell a loaded snapshot from the live profile.
+    EXPECT_EQ(render_profile(m.profile, m.registry),
+              render_profile(loaded.profile, *loaded.registry));
+    EXPECT_EQ(render_cube_xml(m.profile, m.registry),
+              render_cube_xml(loaded.profile, *loaded.registry));
+    EXPECT_EQ(render_csv(m.profile, m.registry),
+              render_csv(loaded.profile, *loaded.registry));
+  }
+}
+
+TEST(SnapshotRoundTrip, MetaScalarsSurvive) {
+  Measured m;
+  run_kernel(m, "fib");
+  const auto bytes =
+      snapshot::encode_snapshot(m.profile, m.registry, test_meta());
+  const snapshot::SnapshotData loaded = snapshot::decode_snapshot(bytes);
+  EXPECT_EQ(loaded.meta.flush_seq, 7u);
+  EXPECT_EQ(loaded.meta.process_id, 42u);
+  EXPECT_EQ(loaded.profile.thread_count, m.profile.thread_count);
+  EXPECT_EQ(loaded.profile.total_task_switches,
+            m.profile.total_task_switches);
+  EXPECT_EQ(loaded.profile.total_folded_events,
+            m.profile.total_folded_events);
+  EXPECT_EQ(loaded.profile.max_concurrent_any_thread,
+            m.profile.max_concurrent_any_thread);
+  EXPECT_EQ(loaded.profile.max_concurrent_per_thread,
+            m.profile.max_concurrent_per_thread);
+  EXPECT_FALSE(loaded.profile.partial_capture);
+  EXPECT_FALSE(loaded.has_telemetry);
+}
+
+TEST(SnapshotRoundTrip, PartialFlagSurvives) {
+  Measured m;
+  run_kernel(m, "fib");
+  m.profile.partial_capture = true;
+  const auto bytes =
+      snapshot::encode_snapshot(m.profile, m.registry, test_meta());
+  const snapshot::SnapshotData loaded = snapshot::decode_snapshot(bytes);
+  EXPECT_TRUE(loaded.profile.partial_capture);
+  // Round trip stays canonical with the flag set.
+  EXPECT_EQ(bytes, snapshot::encode_snapshot(loaded));
+}
+
+TEST(SnapshotRoundTrip, TelemetrySectionSurvivesExactly) {
+  Measured m;
+  run_kernel(m, "fib");
+  telemetry::Registry telem;
+  telem.prepare(2);
+  telem.add(0, telemetry::Counter::kTasksCreated, 10);
+  telem.add(1, telemetry::Counter::kTasksExecuted, 10);
+  telem.add(1, telemetry::Counter::kStealAttempts, 3);
+  telem.gauge_max(0, telemetry::Gauge::kDequeDepth, 5);
+  const telemetry::Snapshot snap = telem.snapshot();
+
+  const auto bytes =
+      snapshot::encode_snapshot(m.profile, m.registry, test_meta(), &snap);
+  const snapshot::SnapshotData loaded = snapshot::decode_snapshot(bytes);
+  ASSERT_TRUE(loaded.has_telemetry);
+  EXPECT_EQ(loaded.telemetry.threads, snap.threads);
+  EXPECT_EQ(loaded.telemetry.counters, snap.counters);
+  EXPECT_EQ(loaded.telemetry.gauges, snap.gauges);
+  EXPECT_EQ(loaded.telemetry.per_thread, snap.per_thread);
+  // The canonical JSON export agrees byte for byte.
+  EXPECT_EQ(telemetry::snapshot_to_json(loaded.telemetry),
+            telemetry::snapshot_to_json(snap));
+  EXPECT_EQ(bytes, snapshot::encode_snapshot(loaded));
+}
+
+TEST(SnapshotRoundTrip, FileRoundTripThroughDisk) {
+  Measured m;
+  run_kernel(m, "nqueens");
+  const std::string path = testing::TempDir() + "roundtrip.tpsnap";
+  snapshot::write_snapshot_file(path, m.profile, m.registry, test_meta());
+  const snapshot::SnapshotData loaded = snapshot::read_snapshot_file(path);
+  EXPECT_EQ(snapshot::encode_snapshot(m.profile, m.registry, test_meta()),
+            snapshot::encode_snapshot(loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace taskprof

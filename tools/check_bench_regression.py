@@ -51,25 +51,12 @@ def load_speedups(path):
     return shapes
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--committed", required=True,
-                        help="reference BENCH_event_hotpath.json (committed)")
-    parser.add_argument("--candidate", required=True,
-                        help="freshly produced BENCH_event_hotpath.json")
-    parser.add_argument("--min-ratio", type=float, default=0.85,
-                        help="minimum candidate/committed speedup ratio "
-                             "before failing (default: 0.85)")
-    parser.add_argument("--absolute", action="store_true",
-                        help="also gate fastpath events/sec (same-machine "
-                             "runs only)")
-    args = parser.parse_args()
-
-    committed = load_speedups(args.committed)
-    candidate = load_speedups(args.candidate)
-
+def compare(committed, candidate, min_ratio, absolute=False, quiet=False):
+    """Return the list of gate failures between two load_speedups() maps."""
     failures = []
-    print(f"{'shape':<22} {'committed':>10} {'candidate':>10} {'ratio':>7}")
+    if not quiet:
+        print(f"{'shape':<22} {'committed':>10} {'candidate':>10} "
+              f"{'ratio':>7}")
     for shape, (ref_base, ref_fast) in sorted(committed.items()):
         if shape not in candidate:
             failures.append(f"{shape}: missing from candidate run")
@@ -79,21 +66,109 @@ def main():
         cand_speedup = cand_fast / cand_base
         ratio = cand_speedup / ref_speedup
         flag = ""
-        if ratio < args.min_ratio:
+        if ratio < min_ratio:
             failures.append(
                 f"{shape}: speedup {cand_speedup:.2f}x is below "
-                f"{args.min_ratio:.2f}x of committed {ref_speedup:.2f}x")
+                f"{min_ratio:.2f}x of committed {ref_speedup:.2f}x")
             flag = "  << FAIL"
-        print(f"{shape:<22} {ref_speedup:>9.2f}x {cand_speedup:>9.2f}x "
-              f"{ratio:>6.2f}{flag}")
-        if args.absolute and cand_fast < args.min_ratio * ref_fast:
+        if not quiet:
+            print(f"{shape:<22} {ref_speedup:>9.2f}x {cand_speedup:>9.2f}x "
+                  f"{ratio:>6.2f}{flag}")
+        if absolute and cand_fast < min_ratio * ref_fast:
             failures.append(
                 f"{shape}: fastpath {cand_fast:.3e} events/sec is below "
-                f"{args.min_ratio:.2f}x of committed {ref_fast:.3e}")
+                f"{min_ratio:.2f}x of committed {ref_fast:.3e}")
 
     extra = sorted(set(candidate) - set(committed))
-    if extra:
+    if extra and not quiet:
         print(f"note: candidate has uncommitted shapes: {', '.join(extra)}")
+    return failures
+
+
+def self_test():
+    """Exercise the loader and the gate on synthetic data; 0 on success."""
+    import os
+    import tempfile
+
+    ref = {"fib": (1.0e6, 3.0e6), "nqueens": (2.0e6, 4.0e6)}
+
+    # Identical run: clean pass.
+    assert compare(ref, dict(ref), 0.85, quiet=True) == []
+    # Small jitter above the floor: still a pass.
+    ok = {"fib": (1.0e6, 2.8e6), "nqueens": (2.1e6, 4.0e6)}
+    assert compare(ref, ok, 0.85, quiet=True) == []
+    # Eroded fast path: caught.
+    slow = {"fib": (1.0e6, 1.5e6), "nqueens": (2.0e6, 4.0e6)}
+    fails = compare(ref, slow, 0.85, quiet=True)
+    assert len(fails) == 1 and fails[0].startswith("fib:"), fails
+    # Missing shape: caught.
+    fails = compare(ref, {"fib": ref["fib"]}, 0.85, quiet=True)
+    assert fails == ["nqueens: missing from candidate run"], fails
+    # Absolute mode: same ratio but slower hardware numbers are caught.
+    halved = {s: (b / 2, f / 2) for s, (b, f) in ref.items()}
+    assert compare(ref, halved, 0.85, quiet=True) == []
+    fails = compare(ref, halved, 0.85, absolute=True, quiet=True)
+    assert len(fails) == 2, fails
+
+    # load_speedups round trip through a real file, plus its rejects.
+    doc = {"bench": "event_hotpath", "results": [
+        {"shape": "fib", "mode": "baseline", "events_per_sec": 1.0e6},
+        {"shape": "fib", "mode": "fastpath", "events_per_sec": 3.0e6},
+    ]}
+    fd, path = tempfile.mkstemp(suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(doc, f)
+        assert load_speedups(path) == {"fib": (1.0e6, 3.0e6)}
+        bad = dict(doc, bench="other")
+        with open(path, "w") as f:
+            json.dump(bad, f)
+        try:
+            load_speedups(path)
+            raise AssertionError("wrong bench id accepted")
+        except SystemExit:
+            pass
+        missing = dict(doc, results=doc["results"][:1])
+        with open(path, "w") as f:
+            json.dump(missing, f)
+        try:
+            load_speedups(path)
+            raise AssertionError("missing mode accepted")
+        except SystemExit:
+            pass
+    finally:
+        os.remove(path)
+
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--committed",
+                        help="reference BENCH_event_hotpath.json (committed)")
+    parser.add_argument("--candidate",
+                        help="freshly produced BENCH_event_hotpath.json")
+    parser.add_argument("--min-ratio", type=float, default=0.85,
+                        help="minimum candidate/committed speedup ratio "
+                             "before failing (default: 0.85)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate fastpath events/sec (same-machine "
+                             "runs only)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in checks on synthetic data "
+                             "and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.committed or not args.candidate:
+        parser.error("--committed and --candidate are required "
+                     "(or use --self-test)")
+
+    committed = load_speedups(args.committed)
+    candidate = load_speedups(args.candidate)
+    failures = compare(committed, candidate, args.min_ratio, args.absolute)
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

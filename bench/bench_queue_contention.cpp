@@ -1,6 +1,6 @@
 // Scheduler contention benchmark: spawn/steal throughput and taskwait
-// latency of the real engine's two queue implementations
-// (RealConfig::scheduler), swept over 1–16 threads on four workload
+// latency of the real engine's three scheduler modes
+// (RealConfig::scheduler), swept over 1–8 threads on five workload
 // shapes:
 //
 //   spawn_drain   one producer, everyone else stealing at the barrier —
@@ -11,14 +11,24 @@
 //                 taskwait nesting
 //   taskwait_ping one child + taskwait per round on every thread —
 //                 taskwait round-trip latency
+//   sweep         the recurring-iteration workload (sparselu/stencil
+//                 style): one producer spawns a task per grid block,
+//                 every iteration repeats the identical graph.  The
+//                 first iteration is warmup — and, for the taskgraph
+//                 scheduler, the recording pass — and is excluded from
+//                 the measurement, so the A/B/C comparison is dynamic
+//                 steady state vs. dynamic steady state vs. replay.
 //
-// Every (workload, threads) cell runs both schedulers and verifies they
-// executed the *identical* number of tasks; results go to stdout and to
+// Every (workload, threads) cell runs all three schedulers
+// (mutex_deque / chase_lev / taskgraph) and verifies they executed the
+// *identical* number of tasks; results go to stdout and to
 // BENCH_queue_contention.json (the machine-readable trajectory file —
 // schema per bench/common.hpp).
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <string>
@@ -37,25 +47,36 @@ struct Sizes {
   int fib_n;
   int nqueens_n;
   std::uint64_t ping_rounds;
+  std::uint64_t sweep_blocks;
 };
 
 Sizes sizes_for(bots::SizeClass size) {
   switch (size) {
-    case bots::SizeClass::kTest: return {20000, 16, 6, 2000};
-    case bots::SizeClass::kSmall: return {50000, 20, 8, 5000};
-    case bots::SizeClass::kMedium: return {200000, 25, 10, 20000};
+    case bots::SizeClass::kTest: return {20000, 16, 6, 2000, 8000};
+    case bots::SizeClass::kSmall: return {50000, 20, 8, 5000, 40000};
+    case bots::SizeClass::kMedium: return {200000, 25, 10, 20000, 100000};
   }
-  return {50000, 20, 8, 5000};
+  return {50000, 20, 8, 5000, 40000};
 }
 
+/// Iterations of the recurring sweep: 1 warmup/record + the measured
+/// steady state.
+constexpr int kSweepMeasuredIters = 8;
+
 const char* scheduler_name(rt::SchedulerKind kind) {
-  return kind == rt::SchedulerKind::kChaseLev ? "chase_lev" : "mutex_deque";
+  switch (kind) {
+    case rt::SchedulerKind::kMutexDeque: return "mutex_deque";
+    case rt::SchedulerKind::kChaseLev: return "chase_lev";
+    case rt::SchedulerKind::kTaskGraph: return "taskgraph";
+  }
+  return "?";
 }
 
 struct RunResult {
   rt::TeamStats stats;
   std::uint64_t checksum = 0;   ///< workload self-check value
   std::uint64_t rounds = 0;     ///< taskwait_ping: taskwait round-trips
+  int measured_iters = 1;       ///< regions aggregated into stats
 };
 
 struct Workload {
@@ -64,6 +85,15 @@ struct Workload {
   std::function<RunResult(rt::RealRuntime&, int threads, RegionHandle task)>
       run;
 };
+
+void accumulate(rt::TeamStats& into, const rt::TeamStats& stats) {
+  into.parallel_ticks += stats.parallel_ticks;
+  into.tasks_executed += stats.tasks_executed;
+  into.tasks_created += stats.tasks_created;
+  into.steals += stats.steals;
+  into.steal_attempts += stats.steal_attempts;
+  into.migrations += stats.migrations;
+}
 
 RunResult run_spawn_drain(rt::RealRuntime& runtime, int threads,
                           RegionHandle task, std::uint64_t num_tasks) {
@@ -130,6 +160,55 @@ RunResult run_taskwait_ping(rt::RealRuntime& runtime, int threads,
   return out;
 }
 
+/// The recurring workload: every iteration is one parallel region whose
+/// producer spawns `blocks` leaf tasks, task b updating its own disjoint
+/// 8-lane block of a persistent grid.  Per-task work is deliberately
+/// tiny (8 FMAs) so the cell measures scheduling overhead, which is what
+/// the taskgraph replay removes.  Iteration 0 (warmup / recording) is
+/// excluded from the aggregated stats for every scheduler.
+RunResult run_sweep(rt::RealRuntime& runtime, int threads, RegionHandle task,
+                    std::uint64_t blocks) {
+  constexpr std::uint64_t kLanes = 8;
+  std::vector<double> grid(blocks * kLanes);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = 1.0 + static_cast<double>(i % 7);
+  }
+  double* data = grid.data();
+  RunResult out;
+  out.measured_iters = kSweepMeasuredIters;
+  for (int iter = 0; iter <= kSweepMeasuredIters; ++iter) {
+    const rt::TeamStats stats =
+        runtime.parallel(threads, [&](rt::TaskContext& ctx) {
+          if (!ctx.single()) return;
+          rt::TaskAttrs attrs;
+          attrs.region = task;
+          for (std::uint64_t b = 0; b < blocks; ++b) {
+            attrs.parameter = static_cast<std::int64_t>(b);
+            ctx.create_task(
+                [data, b](rt::TaskContext&) {
+                  double* cell = data + b * kLanes;
+                  for (std::uint64_t k = 0; k < kLanes; ++k) {
+                    cell[k] = cell[k] * 1.0000001 + static_cast<double>(k);
+                  }
+                },
+                attrs);
+          }
+        });
+    if (iter == 0) continue;
+    accumulate(out.stats, stats);
+  }
+  // Blocks are disjoint and each sees the same FP sequence regardless of
+  // scheduling, so the folded bit pattern is identical across schedulers.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double d : grid) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  out.checksum = h;
+  return out;
+}
+
 struct CellResult {
   RunResult run;
   double span_ms = 0.0;
@@ -159,31 +238,49 @@ CellResult measure_once(const Workload& workload, rt::SchedulerKind scheduler,
   return cell;
 }
 
-/// Median-of-`reps` measurement (by span).  On an oversubscribed host a
-/// single run is noisy — preemption can land anywhere — but min-of-N
-/// would filter out exactly the lock-holder-preemption convoys that ARE
-/// the contention being measured, so the median is the right stable
-/// estimator.  Task counts must agree across reps — they are
-/// deterministic per workload.
-CellResult measure(const Workload& workload, rt::SchedulerKind scheduler,
-                   int threads, RegionHandle task, int reps) {
-  std::vector<CellResult> cells;
-  cells.reserve(static_cast<std::size_t>(reps));
+/// Median-of-`reps` measurement for every scheduler of one
+/// (workload, threads) cell, with reps interleaved across schedulers
+/// (A,B,C, A,B,C, ...).  Two estimator choices, both deliberate:
+///
+///  * median by span, not min-of-N: min would filter out exactly the
+///    lock-holder-preemption convoys that ARE the contention being
+///    measured;
+///  * interleaved rounds, not per-scheduler batches: the host can stall
+///    for whole seconds (VM steal, background churn), longer than one
+///    scheduler's entire batch.  Interleaving makes a burst degrade the
+///    same rep round of every scheduler instead of one scheduler's whole
+///    sample, so the cross-scheduler *ratios* stay honest even when the
+///    absolute spans are inflated.
+///
+/// Task counts must agree across reps — they are deterministic per
+/// workload.
+void measure_cell(const Workload& workload, const rt::SchedulerKind* scheds,
+                  int nscheds, int threads, RegionHandle task, int reps,
+                  CellResult* out) {
+  std::vector<std::vector<CellResult>> cells(
+      static_cast<std::size_t>(nscheds));
   for (int r = 0; r < reps; ++r) {
-    cells.push_back(measure_once(workload, scheduler, threads, task));
-    if (cells.back().run.stats.tasks_executed !=
-        cells.front().run.stats.tasks_executed) {
-      std::fprintf(stderr,
-                   "FATAL: %s x%d (%s) task count varies across reps\n",
-                   workload.name.c_str(), threads, scheduler_name(scheduler));
-      std::exit(1);
+    for (int s = 0; s < nscheds; ++s) {
+      auto& sample = cells[static_cast<std::size_t>(s)];
+      sample.push_back(measure_once(workload, scheds[s], threads, task));
+      if (sample.back().run.stats.tasks_executed !=
+          sample.front().run.stats.tasks_executed) {
+        std::fprintf(stderr,
+                     "FATAL: %s x%d (%s) task count varies across reps\n",
+                     workload.name.c_str(), threads,
+                     scheduler_name(scheds[s]));
+        std::exit(1);
+      }
     }
   }
-  std::sort(cells.begin(), cells.end(),
-            [](const CellResult& a, const CellResult& b) {
-              return a.span_ms < b.span_ms;
-            });
-  return cells[cells.size() / 2];
+  for (int s = 0; s < nscheds; ++s) {
+    auto& sample = cells[static_cast<std::size_t>(s)];
+    std::sort(sample.begin(), sample.end(),
+              [](const CellResult& a, const CellResult& b) {
+                return a.span_ms < b.span_ms;
+              });
+    out[s] = sample[sample.size() / 2];
+  }
 }
 
 }  // namespace
@@ -197,7 +294,9 @@ int main(int argc, char** argv) {
   const std::string& out_path = options.out_path;
 
   const Sizes sz = sizes_for(size);
-  std::printf("=== Scheduler contention: mutex deque vs. Chase-Lev ===\n");
+  std::printf(
+      "=== Scheduler contention: mutex deque vs. Chase-Lev vs. "
+      "taskgraph replay ===\n");
   std::printf(
       "engine: real threads | size class: %s | host threads: %u | "
       "median of %d reps\n\n",
@@ -223,10 +322,16 @@ int main(int argc, char** argv) {
        [&sz](rt::RealRuntime& r, int t, RegionHandle h) {
          return run_taskwait_ping(r, t, h, sz.ping_rounds);
        }},
+      {"sweep", static_cast<std::int64_t>(sz.sweep_blocks),
+       [&sz](rt::RealRuntime& r, int t, RegionHandle h) {
+         return run_sweep(r, t, h, sz.sweep_blocks);
+       }},
   };
-  const int thread_counts[] = {1, 2, 4, 8, 16};
+  const int thread_counts[] = {1, 2, 4, 8};
   const rt::SchedulerKind schedulers[] = {rt::SchedulerKind::kMutexDeque,
-                                          rt::SchedulerKind::kChaseLev};
+                                          rt::SchedulerKind::kChaseLev,
+                                          rt::SchedulerKind::kTaskGraph};
+  constexpr int kSchedulerCount = 3;
 
   bench::JsonWriter json;
   json.begin_object();
@@ -236,37 +341,47 @@ int main(int argc, char** argv) {
   json.field("host_threads",
              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.field("reps", reps);
+  json.field("sweep_measured_iters",
+             static_cast<std::uint64_t>(kSweepMeasuredIters));
   json.begin_array("results");
 
   bool counts_match = true;
   double ratio_fib_8 = 0.0;
   double ratio_spawn_8 = 0.0;
-  double ratio_spawn_16 = 0.0;
+  double ratio_sweep_4 = 0.0;
+  double ratio_sweep_8 = 0.0;
+
+  // Profiling escape hatch: TASKPROF_BENCH_WORKLOAD=sweep runs a single
+  // workload (summary ratios for the others read 0 — don't commit such a
+  // JSON as the tracked baseline).
+  const char* only = std::getenv("TASKPROF_BENCH_WORKLOAD");
 
   for (const Workload& workload : workloads) {
+    if (only != nullptr && workload.name != std::string(only)) continue;
     TextTable table({"workload", "threads", "scheduler", "tasks", "steals",
                      "span ms", "tasks/s", "tw ns"});
     for (int threads : thread_counts) {
-      std::uint64_t tasks_mutex = 0;
-      double throughput[2] = {0.0, 0.0};
-      for (const rt::SchedulerKind scheduler : schedulers) {
-        const CellResult cell =
-            measure(workload, scheduler, threads, task, reps);
+      std::uint64_t tasks_first = 0;
+      double throughput[kSchedulerCount] = {0.0, 0.0, 0.0};
+      CellResult measured[kSchedulerCount];
+      measure_cell(workload, schedulers, kSchedulerCount, threads, task,
+                   reps, measured);
+      for (int s = 0; s < kSchedulerCount; ++s) {
+        const rt::SchedulerKind scheduler = schedulers[s];
+        const CellResult& cell = measured[s];
         const rt::TeamStats& stats = cell.run.stats;
-        if (scheduler == rt::SchedulerKind::kMutexDeque) {
-          tasks_mutex = stats.tasks_executed;
-          throughput[0] = cell.tasks_per_sec;
-        } else {
-          throughput[1] = cell.tasks_per_sec;
-          if (stats.tasks_executed != tasks_mutex) {
-            std::fprintf(stderr,
-                         "FATAL: task-count mismatch on %s x%d: "
-                         "mutex=%llu chase=%llu\n",
-                         workload.name.c_str(), threads,
-                         static_cast<unsigned long long>(tasks_mutex),
-                         static_cast<unsigned long long>(stats.tasks_executed));
-            counts_match = false;
-          }
+        throughput[s] = cell.tasks_per_sec;
+        if (s == 0) {
+          tasks_first = stats.tasks_executed;
+        } else if (stats.tasks_executed != tasks_first) {
+          std::fprintf(
+              stderr,
+              "FATAL: task-count mismatch on %s x%d: mutex=%llu %s=%llu\n",
+              workload.name.c_str(), threads,
+              static_cast<unsigned long long>(tasks_first),
+              scheduler_name(scheduler),
+              static_cast<unsigned long long>(stats.tasks_executed));
+          counts_match = false;
         }
         table.add_row(
             {workload.name, std::to_string(threads),
@@ -287,6 +402,10 @@ int main(int argc, char** argv) {
         json.field("steals", stats.steals);
         json.field("span_ns", static_cast<std::int64_t>(stats.parallel_ticks));
         json.field("tasks_per_sec", cell.tasks_per_sec);
+        if (cell.run.measured_iters > 1) {
+          json.field("measured_iters",
+                     static_cast<std::uint64_t>(cell.run.measured_iters));
+        }
         if (cell.run.rounds > 0) {
           json.field("taskwait_ns_per_round", cell.ns_per_round);
         }
@@ -294,14 +413,16 @@ int main(int argc, char** argv) {
         json.end_object();
       }
       if (throughput[0] > 0) {
-        const double ratio = throughput[1] / throughput[0];
-        if (workload.name == "fib" && threads == 8) ratio_fib_8 = ratio;
+        const double chase_ratio = throughput[1] / throughput[0];
+        if (workload.name == "fib" && threads == 8) ratio_fib_8 = chase_ratio;
         if (workload.name == "spawn_drain" && threads == 8) {
-          ratio_spawn_8 = ratio;
+          ratio_spawn_8 = chase_ratio;
         }
-        if (workload.name == "spawn_drain" && threads == 16) {
-          ratio_spawn_16 = ratio;
-        }
+      }
+      if (throughput[1] > 0 && workload.name == "sweep") {
+        const double replay_ratio = throughput[2] / throughput[1];
+        if (threads == 4) ratio_sweep_4 = replay_ratio;
+        if (threads == 8) ratio_sweep_8 = replay_ratio;
       }
     }
     std::fputs(table.str().c_str(), stdout);
@@ -312,7 +433,8 @@ int main(int argc, char** argv) {
   json.field("task_counts_identical", counts_match);
   json.field("chase_lev_speedup_fib_8t", ratio_fib_8);
   json.field("chase_lev_speedup_spawn_drain_8t", ratio_spawn_8);
-  json.field("chase_lev_speedup_spawn_drain_16t", ratio_spawn_16);
+  json.field("taskgraph_speedup_sweep_4t", ratio_sweep_4);
+  json.field("taskgraph_speedup_sweep_8t", ratio_sweep_8);
   json.end_object();
   const bool wrote = json.write_file(out_path);
 
@@ -320,14 +442,17 @@ int main(int argc, char** argv) {
               ratio_fib_8);
   std::printf("chase_lev / mutex_deque throughput, spawn_drain x8:  %.2fx\n",
               ratio_spawn_8);
-  std::printf("chase_lev / mutex_deque throughput, spawn_drain x16: %.2fx\n",
-              ratio_spawn_16);
+  std::printf("taskgraph / chase_lev throughput, sweep x4:          %.2fx\n",
+              ratio_sweep_4);
+  std::printf("taskgraph / chase_lev throughput, sweep x8:          %.2fx\n",
+              ratio_sweep_8);
   if (std::thread::hardware_concurrency() <= 2) {
     std::printf(
         "note: single-core host — the mutex is only contended across\n"
         "preemption boundaries, so the fib gap here is the per-task lock\n"
         "overhead; the steal-contention gap shows in spawn_drain and\n"
-        "widens with real cores.\n");
+        "widens with real cores.  The taskgraph sweep ratio is the\n"
+        "honest per-task cost of replay vs. dynamic scheduling.\n");
   }
   std::printf("task counts identical across schedulers: %s\n",
               counts_match ? "yes" : "NO");

@@ -52,6 +52,14 @@ void usage(const char* argv0) {
       "  --engine=sim|real     virtual-time simulator (default) or real\n"
       "                        threads\n"
       "  --threads=N           team size (default 4)\n"
+      "  --scheduler=chase_lev|mutex_deque|taskgraph   real-engine task\n"
+      "                        scheduler (default chase_lev); taskgraph\n"
+      "                        records the first run's task graph and\n"
+      "                        replays later runs through a static\n"
+      "                        schedule (use with --repeat)\n"
+      "  --repeat=N            run the kernel N times on one runtime\n"
+      "                        (default 1); with --scheduler=taskgraph\n"
+      "                        run 1 records and runs 2..N replay\n"
       "  --size=test|small|medium   problem size (default small)\n"
       "  --cutoff              run the cut-off version (where available)\n"
       "  --untied              create tasks untied (simulator migrates them)\n"
@@ -83,7 +91,9 @@ void usage(const char* argv0) {
 struct CliOptions {
   std::string kernel;
   std::string engine = "sim";
+  std::string scheduler = "chase_lev";
   std::string report = "summary";
+  int repeat = 1;
   bots::KernelConfig config;
   bool instrumented = true;
   bool trace = false;
@@ -107,6 +117,10 @@ bool parse(int argc, char** argv, CliOptions& cli) {
       cli.kernel = value_of("--kernel=");
     } else if (arg.rfind("--engine=", 0) == 0) {
       cli.engine = value_of("--engine=");
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      cli.scheduler = value_of("--scheduler=");
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      cli.repeat = std::stoi(value_of("--repeat="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       cli.config.threads = std::stoi(value_of("--threads="));
     } else if (arg == "--size=test") {
@@ -160,6 +174,10 @@ bool parse(int argc, char** argv, CliOptions& cli) {
   }
   if (cli.snapshot_every_ms > 0 && cli.snapshot_out.empty()) {
     cli.snapshot_out = cli.kernel + ".tpsnap";
+  }
+  if (cli.repeat < 1) {
+    std::fprintf(stderr, "--repeat must be >= 1\n");
+    return false;
   }
   return true;
 }
@@ -358,10 +376,28 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<rt::Runtime> runtime;
+  rt::RealRuntime* real_runtime = nullptr;
   if (cli.engine == "sim") {
+    if (cli.scheduler != "chase_lev") {
+      std::fprintf(stderr, "--scheduler applies to --engine=real only\n");
+      return 2;
+    }
     runtime = std::make_unique<rt::SimRuntime>();
   } else if (cli.engine == "real") {
-    runtime = std::make_unique<rt::RealRuntime>();
+    rt::RealConfig config;
+    if (cli.scheduler == "chase_lev") {
+      config.scheduler = rt::SchedulerKind::kChaseLev;
+    } else if (cli.scheduler == "mutex_deque") {
+      config.scheduler = rt::SchedulerKind::kMutexDeque;
+    } else if (cli.scheduler == "taskgraph") {
+      config.scheduler = rt::SchedulerKind::kTaskGraph;
+    } else {
+      std::fprintf(stderr, "unknown scheduler: %s\n", cli.scheduler.c_str());
+      return 2;
+    }
+    auto real = std::make_unique<rt::RealRuntime>(config);
+    real_runtime = real.get();
+    runtime = std::move(real);
   } else {
     std::fprintf(stderr, "unknown engine: %s\n", cli.engine.c_str());
     return 2;
@@ -412,10 +448,25 @@ int main(int argc, char** argv) {
     snapshot::install_crash_flush(flusher.get());
     flusher->start();
   }
-  const bots::KernelResult result = kernel->run(*runtime, registry,
-                                                cli.config);
+  // --repeat runs the kernel on one runtime/registry/instrumentor: the
+  // profile aggregates across runs (RegionRegistry dedupes identical
+  // re-registrations), and with --scheduler=taskgraph run 1 records the
+  // task graph while runs 2..N replay it through the static schedule.
+  bots::KernelResult result;
+  for (int run = 0; run < cli.repeat; ++run) {
+    result = kernel->run(*runtime, registry, cli.config);
+    if (!result.ok) break;
+  }
   runtime->set_hooks(nullptr);
   runtime->set_telemetry(nullptr);
+  if (real_runtime != nullptr && cli.scheduler == "taskgraph") {
+    std::printf("taskgraph: %zu nodes recorded, %d replay run(s), %s\n",
+                real_runtime->taskgraph_size(),
+                cli.repeat > 1 ? cli.repeat - 1 : 0,
+                real_runtime->taskgraph_stale()
+                    ? "diverged (fell back to chase_lev)"
+                    : "shape stable");
+  }
   if (flusher != nullptr) flusher->stop();
 
   telemetry::Snapshot telemetry_snapshot;

@@ -489,6 +489,14 @@ void ThreadTaskProfiler::merge_and_recycle(
 
 TaskInstanceState* ThreadTaskProfiler::find_instance(
     TaskInstanceId id) noexcept {
+  // The running instance first: task_switch events overwhelmingly target
+  // either the current task or the one just touched.  On the taskgraph
+  // replay static path (run-to-completion in run-list order) this plus
+  // the last-hit slot below answer every lookup without scanning, which
+  // keeps the profiler O(1) per event while replaying.
+  if (current_ != nullptr && current_->id == id) {
+    return current_;
+  }
   if (last_hit_ < instances_.size() && instances_[last_hit_]->id == id) {
     return instances_[last_hit_].get();
   }
@@ -505,7 +513,18 @@ TaskInstanceState* ThreadTaskProfiler::find_instance(
 
 std::unique_ptr<TaskInstanceState> ThreadTaskProfiler::take_instance(
     TaskInstanceId id) {
-  if (find_instance(id) == nullptr) return nullptr;  // also sets last_hit_
+  if (find_instance(id) == nullptr) return nullptr;
+  if (last_hit_ >= instances_.size() || instances_[last_hit_]->id != id) {
+    // find_instance answered from the current_ fast path (callers assert
+    // they never take the running instance, but stay robust): locate the
+    // slot so the swap below removes the right entry.
+    for (std::size_t i = instances_.size(); i-- > 0;) {
+      if (instances_[i]->id == id) {
+        last_hit_ = i;
+        break;
+      }
+    }
+  }
   // Swap-and-pop: instance order carries no meaning (lookups only), and
   // the heap addresses current_ and callers hold stay valid.
   std::swap(instances_[last_hit_], instances_.back());

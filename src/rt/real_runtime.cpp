@@ -1,6 +1,8 @@
 #include "rt/real_runtime.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -11,6 +13,7 @@
 #include "common/clock.hpp"
 #include "rt/schedule_policy.hpp"
 #include "rt/steal_deque.hpp"
+#include "rt/taskgraph.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace taskprof::rt {
@@ -71,7 +74,27 @@ struct TaskRecord {
   /// which live inside ThreadState and are never recycled.
   RecordSlab* slab = nullptr;
   std::atomic<TaskRecord*> next_free{nullptr};  ///< free-list link
+  // --- taskgraph record/replay (SchedulerKind::kTaskGraph only) --------
+  /// Recorded node for this instance: a node index while recording or on
+  /// the static replay path, kGraphRoot for implicit-task records, and
+  /// kGraphNone for anything scheduled dynamically.
+  std::uint32_t graph_node = kGraphNone;
+  /// Next deferred-child spawn ordinal during replay.  Plain field: a
+  /// task's spawns are sequential on its executing thread (root spawns
+  /// use the shared atomic in ReplayState instead).
+  std::uint32_t replay_ordinal = 0;
+  /// Recorded child count of graph_node, copied out of the CSR at epoch
+  /// init so the per-task short-spawn check stays inside the record's
+  /// cache line instead of touching the row index.
+  std::uint32_t graph_children = 0;
+  /// Set once this task's spawns stop matching the recording: its later
+  /// spawns skip matching and go straight to the dynamic deques.
+  bool replay_diverged = false;
 };
+
+/// Static replay records never recycle: a huge reference count keeps
+/// release_ref() off the slab path without a per-call branch.
+constexpr std::uint32_t kStaticRecordRefs = 1u << 30;
 
 /// Per-thread TaskRecord allocator: chunked slabs plus a free list,
 /// mirroring the NodePool of src/profile/calltree.hpp.  Allocation is
@@ -172,6 +195,14 @@ struct SingleShard {
 /// and no per-episode allocation.
 struct TeamBarrier {
   alignas(64) std::atomic<std::uint64_t> arrived{0};
+  /// Replay-exhausted workers park here instead of polling: their run
+  /// list is drained and no divergence is in flight, so nothing can ever
+  /// arrive for them again this region — a fact only a static schedule
+  /// can know.  Everything below is cold: dynamic schedulers never park,
+  /// and wakers skip the mutex entirely while `parked == 0`.
+  alignas(64) std::atomic<int> parked{0};
+  std::mutex park_mu;
+  std::condition_variable park_cv;
 };
 
 }  // namespace
@@ -194,6 +225,36 @@ struct RealRuntime::Impl {
   std::unique_ptr<SingleShard[]> single_shards;
   TeamBarrier barrier;
 
+  // --- taskgraph record/replay state (SchedulerKind::kTaskGraph) ---------
+  /// What the current region does with the task graph.  kOff for the
+  /// other scheduler kinds; kFallback when a recorded graph went stale.
+  enum class GraphMode : std::uint8_t { kOff, kRecord, kReplay, kFallback };
+  GraphMode graph_mode = GraphMode::kOff;
+  std::unique_ptr<TaskGraphRecorder> recorder;  ///< live while recording
+  std::unique_ptr<TaskGraph> graph;             ///< frozen recording
+  StaticSchedule schedule;      ///< rebuilt when nthreads changes
+  ReplayState replay;           ///< slots + root ordinal, reset per region
+  /// Preallocated records, one per graph node (array: TaskRecord holds
+  /// atomics and cannot live in a vector).  Reused across replay regions.
+  std::unique_ptr<TaskRecord[]> replay_records;
+  std::size_t replay_record_count = 0;
+  /// Records need their epoch-constant fields (graph_node, deferred,
+  /// refs, ...) rewritten before the next replay: set when a new graph is
+  /// frozen or the array is (re)allocated, consumed at region setup.  The
+  /// per-spawn publish then writes only what actually varies.
+  bool replay_records_dirty = false;
+  bool graph_stale = false;  ///< a replay diverged; run dynamic from now on
+  /// Dynamically scheduled tasks in flight during replay.  Zero lets the
+  /// replay acquire path skip the deque pop and the steal sweep entirely
+  /// (one relaxed load); divergence makes it nonzero and re-enables them.
+  std::atomic<std::uint64_t> dynamic_outstanding{0};
+  std::atomic<std::uint64_t> region_divergences{0};  ///< this region
+  /// Implicit tasks whose body returned: the last one knows no further
+  /// root spawns can come and cancels unclaimed recorded root subtrees
+  /// (otherwise a short-spawning replay would leave slots empty forever
+  /// and strand every run list queued behind them).
+  std::atomic<int> bodies_done{0};
+
   // --- per-thread state --------------------------------------------------
   struct ThreadState {
     ThreadId tid = 0;
@@ -202,6 +263,25 @@ struct RealRuntime::Impl {
     std::vector<TaskRecord*> task_stack;  // bottom = &implicit_record
     std::uint64_t single_counter = 0;
     std::uint64_t barrier_counter = 0;
+    /// Position in this worker's static run list (replay regions only).
+    std::size_t replay_cursor = 0;
+    /// Replay-mode root-ordinal block [root_next, root_end): claimed
+    /// from the shared counter kRootOrdinalBlock at a time when the
+    /// recording had a single root producer.  Unused tail ordinals are
+    /// cancelled at end of body (the hole sweep in parallel()).
+    std::uint32_t root_next = 0;
+    std::uint32_t root_end = 0;
+    /// Net static-replay contribution to `outstanding` not yet flushed:
+    /// +1 when this thread publishes a static task, -1 when it finishes
+    /// executing one.  Batching turns two shared RMWs per task into one
+    /// per poll miss / barrier entry; see the replay accounting notes on
+    /// flush_static_delta().
+    std::int64_t static_delta = 0;
+    /// Replay-mode instance-id block: [id_next, id_end) was claimed from
+    /// the shared counter in one RMW (kIdBlock ids at a time), so the
+    /// static spawn path allocates ids with a plain increment.
+    TaskInstanceId id_next = 0;
+    TaskInstanceId id_end = 0;
     std::uint64_t executed = 0;
     std::uint64_t created = 0;
     std::uint64_t steals = 0;
@@ -224,10 +304,16 @@ struct RealRuntime::Impl {
     }
   }
 
+  /// kTaskGraph rides on the Chase–Lev deques for recording and for
+  /// divergence fallback, so everything except kMutexDeque uses them.
+  [[nodiscard]] bool lock_free_queues() const noexcept {
+    return config.scheduler != SchedulerKind::kMutexDeque;
+  }
+
   void enqueue(ThreadState& st, TaskRecord* rec) {
     perturb(st, SchedulePoint::kTaskCreate);
     WorkerQueue& own = *queues[st.tid];
-    if (config.scheduler == SchedulerKind::kChaseLev) {
+    if (lock_free_queues()) {
       own.deque.push(rec);
       if (st.telem.attached()) {
         st.telem.gauge_max(telemetry::Gauge::kDequeDepth, own.deque.size());
@@ -254,7 +340,7 @@ struct RealRuntime::Impl {
   /// LIFO pop from the worker's own queue (either scheduler variant).
   TaskRecord* pop_own(ThreadState& st) {
     WorkerQueue& own = *queues[st.tid];
-    if (config.scheduler == SchedulerKind::kChaseLev) {
+    if (lock_free_queues()) {
       return static_cast<TaskRecord*>(own.deque.pop());
     }
     std::scoped_lock lock(own.mutex);
@@ -277,7 +363,7 @@ struct RealRuntime::Impl {
       WorkerQueue& victim =
           *queues[(st.tid + offset) % static_cast<ThreadId>(nthreads)];
       TaskRecord* t = nullptr;
-      if (config.scheduler == SchedulerKind::kChaseLev) {
+      if (lock_free_queues()) {
         t = static_cast<TaskRecord*>(victim.deque.steal());
       } else {
         std::scoped_lock lock(victim.mutex);
@@ -296,8 +382,105 @@ struct RealRuntime::Impl {
     return nullptr;
   }
 
+  /// Ids per claim of the shared instance-id counter in replay mode.
+  static constexpr TaskInstanceId kIdBlock = 256;
+
+  /// Root ordinals per claim when the recording had a single root
+  /// producer.  Small enough that the end-of-body hole sweep stays
+  /// trivial, large enough to amortize the shared RMW away.
+  static constexpr std::uint32_t kRootOrdinalBlock = 32;
+
+  /// Fresh task instance id.  Replay regions claim ids in per-thread
+  /// blocks so the spawn hot path skips the shared-counter RMW; ids stay
+  /// unique (which is all the profiler needs) but are no longer dense.
+  TaskInstanceId next_instance_id(ThreadState& st) {
+    if (graph_mode != GraphMode::kReplay) {
+      return next_id.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (st.id_next == st.id_end) {
+      st.id_next = next_id.fetch_add(kIdBlock, std::memory_order_relaxed);
+      st.id_end = st.id_next + kIdBlock;
+    }
+    return st.id_next++;
+  }
+
+  /// True when this worker can never acquire work again in the current
+  /// replay region: its static run list is finished and no divergence
+  /// has put tasks on the dynamic deques.  A dynamic scheduler can never
+  /// conclude this (work might be stolen at any time); the static
+  /// schedule makes quiescence a local fact, and the barrier loop uses
+  /// it to sleep instead of contributing to a yield storm that starves
+  /// the owners still draining their lists on an oversubscribed host.
+  [[nodiscard]] bool replay_exhausted(const ThreadState& st) const {
+    return graph_mode == GraphMode::kReplay &&
+           st.replay_cursor >= schedule.run_lists[st.tid].size() &&
+           dynamic_outstanding.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Divergence fallback work in flight: a parked worker should resume
+  /// scanning the deques instead of (re-)parking.
+  [[nodiscard]] bool replay_divergence_pending() const {
+    return dynamic_outstanding.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Replay accounting: static spawns and completions batch into the
+  /// per-thread signed `static_delta` (+1 publish, -1 settle) and reach
+  /// the shared `outstanding` word only here — on a poll miss and at
+  /// barrier entry, as one release fetch_add.  That leaves the static
+  /// hot path with zero shared-counter RMWs per task.
+  ///
+  /// Why a barrier can still trust `outstanding == 0`: a thread's delta
+  /// accumulates publishes *before* the settle of the task whose body
+  /// made them (program order), and a flush is all-or-nothing, so
+  /// `outstanding` can only miss a task's settle together with every
+  /// publish from inside that task's body.  Walk any published-unsettled
+  /// task up its spawn chain: either some ancestor's publish is already
+  /// flushed (outstanding > 0 — no exit), or the chain ends in an
+  /// implicit body that has not yet arrived at the barrier (arrived <
+  /// needed — no exit; entry flushes before arriving, below).  Either
+  /// way a barrier cannot exit while real work remains; a *negative*
+  /// transient (settle flushed before its publish) only parks the exit
+  /// until the publisher's flush, which its barrier entry guarantees.
+  void flush_static_delta(ThreadState& st) {
+    if (st.static_delta != 0) {
+      outstanding.fetch_add(static_cast<std::uint64_t>(st.static_delta),
+                            std::memory_order_release);
+      st.static_delta = 0;
+      // A flush that empties `outstanding` may be the last event a
+      // parked worker waits on.
+      if (outstanding.load(std::memory_order_relaxed) == 0) wake_parked();
+    }
+  }
+
+  /// Nudge parked replay workers to re-check their exit predicate.  The
+  /// empty lock/unlock closes the classic lost-wakeup window (a parker
+  /// between its predicate check and its wait); the parked()==0 fast
+  /// path keeps every non-parking configuration mutex-free.  Parkers
+  /// additionally cap their wait, so even a wake lost to memory-order
+  /// weirdness only costs one timeout period.
+  void wake_parked() {
+    if (barrier.parked.load(std::memory_order_seq_cst) == 0) return;
+    { std::lock_guard<std::mutex> lk(barrier.park_mu); }
+    barrier.park_cv.notify_all();
+  }
+
   TaskRecord* try_acquire(ThreadState& st) {
     perturb(st, SchedulePoint::kAcquire);
+    if (graph_mode == GraphMode::kReplay) {
+      // Static fast path: one acquire load on the head-of-line slot of
+      // this worker's own run list.  No pop, no steal sweep, no CAS —
+      // this is where the replay's contention win comes from.
+      const std::uint32_t node = replay.poll(st.tid, st.replay_cursor);
+      if (node != kGraphNone) return &replay_records[node];
+      flush_static_delta(st);
+      // The deques only carry work after a divergence; skip them (and
+      // their steal probes) while no dynamic task is in flight.
+      if (dynamic_outstanding.load(std::memory_order_relaxed) > 0) {
+        if (TaskRecord* t = pop_own(st)) return t;
+        return steal_round(st);
+      }
+      return nullptr;
+    }
     // Under a schedule policy a worker occasionally inverts the LIFO-local
     // bias and raids other queues before its own — the inversion OpenMP
     // permits at any task scheduling point but a fair scheduler never
@@ -337,17 +520,56 @@ struct RealRuntime::Impl {
                          st.task_stack.size() + 1);
     }
     st.task_stack.push_back(rec);
+    const bool record_timing =
+        graph_mode == GraphMode::kRecord && rec->graph_node != kGraphNone &&
+        rec->graph_node != kGraphRoot;
+    const Ticks body_t0 = record_timing ? clock.now() : 0;
     rec->fn(ctx);
+    if (record_timing) {
+      // Duration estimate for the partitioner.  Nested tasks executed at
+      // this task's scheduling points inflate it; that is acceptable for
+      // a load-balancing weight and costs nothing to the replay path.
+      recorder->record_duration(rec->graph_node, clock.now() - body_t0);
+    }
     st.task_stack.pop_back();
+    if (graph_mode == GraphMode::kReplay && rec->graph_node != kGraphNone &&
+        rec->graph_node != kGraphRoot && !rec->replay_diverged &&
+        rec->replay_ordinal < rec->graph_children) {
+      // Short spawn: the recording promised more children than the task
+      // produced.  Cancel their subtrees before this task's counters
+      // drop, so no run list stays queued behind a slot that can no
+      // longer be filled.
+      region_divergences.fetch_add(1, std::memory_order_relaxed);
+      st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+      replay.cancel_children_from(rec->graph_node, rec->replay_ordinal);
+    }
     if (hooks != nullptr) hooks->on_task_end(st.tid, rec->id);
+    // parent == nullptr only for detached root replay spawns (see
+    // replay_spawn): no child accounting to settle.
     TaskRecord* parent = rec->parent;
     if (rec->deferred) {
-      parent->pending_children.fetch_sub(1, std::memory_order_release);
-      outstanding.fetch_sub(1, std::memory_order_release);
+      if (parent != nullptr) {
+        parent->pending_children.fetch_sub(1, std::memory_order_release);
+      }
+      if (graph_mode == GraphMode::kReplay && rec->graph_node != kGraphNone) {
+        // Static replay task: settles against `outstanding` in batch at
+        // the next poll miss or barrier entry (flush_static_delta).
+        --st.static_delta;
+      } else {
+        if (graph_mode == GraphMode::kReplay) {
+          dynamic_outstanding.fetch_sub(1, std::memory_order_release);
+        }
+        outstanding.fetch_sub(1, std::memory_order_release);
+      }
     }
     ++st.executed;
-    release_ref(st, rec);
-    release_ref(st, parent);
+    // Reference traffic exists to keep recyclable slab records alive;
+    // implicit-task records and static replay records never recycle, so
+    // they skip the RMWs entirely.
+    if (rec->slab != nullptr) release_ref(st, rec);
+    if (parent != nullptr && parent->slab != nullptr) {
+      release_ref(st, parent);
+    }
     // Resuming an enclosing *explicit* task is a task switch (Fig. 12);
     // returning to the implicit task is implied by on_task_end.
     TaskRecord* enclosing = st.task_stack.back();
@@ -370,26 +592,44 @@ class RealContext final : public TaskContext {
     if (hooks != nullptr) {
       hooks->on_task_create_begin(st_.tid, attrs.region, attrs.parameter);
     }
-    const TaskInstanceId id =
-        rt_.next_id.fetch_add(1, std::memory_order_relaxed);
+    const TaskInstanceId id = rt_.next_instance_id(st_);
     ++st_.created;
     if (st_.telem.attached()) {
       st_.telem.add(telemetry::Counter::kTasksCreated);
       st_.telem.add(attrs.undeferred
                         ? telemetry::Counter::kTasksUndeferred
                         : telemetry::Counter::kTasksDeferred);
-      st_.telem.add(telemetry::Counter::kSlabAllocs);
     }
+    // Replay: try to serve the spawn from its preallocated static slot.
+    if (!attrs.undeferred &&
+        rt_.graph_mode == RealRuntime::Impl::GraphMode::kReplay &&
+        replay_spawn(fn, attrs, id)) {
+      if (hooks != nullptr) {
+        hooks->on_task_create_end(st_.tid, id, attrs.region, attrs.parameter);
+      }
+      return;
+    }
+    st_.telem.add(telemetry::Counter::kSlabAllocs);
     TaskRecord* rec = st_.slab.allocate();
     rec->fn = std::move(fn);
     rec->attrs = attrs;
     rec->id = id;
     rec->parent = st_.task_stack.back();
     rec->creator = st_.tid;
-    rec->parent->refs.fetch_add(1, std::memory_order_relaxed);
+    rec->graph_node = kGraphNone;
+    rec->replay_ordinal = 0;
+    rec->replay_diverged = false;
+    // The child's back-reference pins recyclable parents only; implicit
+    // and static replay records outlive the region anyway (see the
+    // matching guard in execute()).
+    if (rec->parent->slab != nullptr) {
+      rec->parent->refs.fetch_add(1, std::memory_order_relaxed);
+    }
     if (attrs.undeferred) {
       // Runs inside the creation construct: the task's stub node lands
-      // under the "create task" node of the encountering task.
+      // under the "create task" node of the encountering task.  Never
+      // recorded: its ordinal-free position cannot be matched on replay,
+      // so its deferred descendants stay dynamic in both phases.
       rec->deferred = false;
       rt_.execute(st_, *this, rec);
       if (hooks != nullptr) {
@@ -398,6 +638,15 @@ class RealContext final : public TaskContext {
       return;
     }
     rec->deferred = true;
+    if (rt_.graph_mode == RealRuntime::Impl::GraphMode::kRecord &&
+        rec->parent->graph_node != kGraphNone) {
+      rec->graph_node = rt_.recorder->record_spawn(
+          rec->parent->graph_node, attrs.region, attrs.parameter, st_.tid);
+    } else if (rt_.graph_mode == RealRuntime::Impl::GraphMode::kReplay) {
+      rt_.dynamic_outstanding.fetch_add(1, std::memory_order_relaxed);
+      st_.telem.add(telemetry::Counter::kTaskgraphDynamicSpawns);
+      rt_.wake_parked();  // parked workers can help steal fallback work
+    }
     // Relaxed is sufficient: both counters are published to other threads
     // through the enqueue below (see the memory-ordering audit above).
     rec->parent->pending_children.fetch_add(1, std::memory_order_relaxed);
@@ -414,6 +663,12 @@ class RealContext final : public TaskContext {
     st_.telem.add(telemetry::Counter::kTaskwaitEntries);
     rt_.perturb(st_, SchedulePoint::kTaskwait);
     TaskRecord* current = st_.task_stack.back();
+    if (rt_.graph_mode == RealRuntime::Impl::GraphMode::kRecord &&
+        current->graph_node == kGraphRoot) {
+      // Replay must keep implicit-task child accounting exact for this
+      // graph (the detached-root-spawn optimization is off the table).
+      rt_.recorder->note_root_taskwait();
+    }
     int spins = 0;
     while (current->pending_children.load(std::memory_order_acquire) > 0) {
       if (TaskRecord* t = rt_.try_acquire(st_)) {
@@ -440,7 +695,13 @@ class RealContext final : public TaskContext {
     const std::uint64_t generation = ++st_.barrier_counter;
     const std::uint64_t needed =
         generation * static_cast<std::uint64_t>(rt_.nthreads);
+    // Flush before arriving: once this body counts as arrived, any
+    // publish it performed must be visible in `outstanding` or the
+    // barrier-exit condition could observe a false quiescence (the
+    // soundness argument in flush_static_delta leans on this ordering).
+    rt_.flush_static_delta(st_);
     rt_.barrier.arrived.fetch_add(1, std::memory_order_acq_rel);
+    rt_.wake_parked();  // this arrival may complete a parked generation
     int spins = 0;
     while (true) {
       if (TaskRecord* t = rt_.try_acquire(st_)) {
@@ -462,7 +723,26 @@ class RealContext final : public TaskContext {
       if (++spins >= rt_.config.spins_before_yield) {
         spins = 0;
         count_yield();
-        std::this_thread::yield();
+        if (rt_.replay_exhausted(st_)) {
+          // Nothing can ever arrive for this worker again; park off the
+          // run queue instead of yield-storming the owners still
+          // working.  Explicit wakes come from barrier arrivals, from
+          // the flush that empties `outstanding`, and from a divergence
+          // putting dynamic work in flight; the timeout is only a net
+          // against a lost wake.
+          std::unique_lock<std::mutex> lk(rt_.barrier.park_mu);
+          rt_.barrier.parked.fetch_add(1, std::memory_order_seq_cst);
+          const bool done =
+              rt_.barrier.arrived.load(std::memory_order_acquire) >=
+                  needed &&
+              rt_.outstanding.load(std::memory_order_acquire) == 0;
+          if (!done && !rt_.replay_divergence_pending()) {
+            rt_.barrier.park_cv.wait_for(lk, std::chrono::milliseconds(1));
+          }
+          rt_.barrier.parked.fetch_sub(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
       }
     }
     if (hooks != nullptr) hooks->on_barrier_end(st_.tid, implicit);
@@ -512,6 +792,93 @@ class RealContext final : public TaskContext {
   [[nodiscard]] int num_threads() const override { return rt_.nthreads; }
 
  private:
+  /// Match a deferred spawn against the recorded graph and, on success,
+  /// publish it into its preallocated slot (no allocation, no enqueue).
+  /// Returns false on divergence: the recorded subtrees that can no
+  /// longer be claimed are cancelled and the caller spawns dynamically.
+  /// `fn` is moved from only on success.
+  bool replay_spawn(TaskFn& fn, const TaskAttrs& attrs, TaskInstanceId id) {
+    TaskRecord* parent = st_.task_stack.back();
+    const std::uint32_t parent_key = parent->graph_node;
+    if (parent_key == kGraphNone || parent->replay_diverged) {
+      return false;  // dynamic subtree: nothing to match against
+    }
+    std::uint32_t ordinal;
+    if (parent_key == kGraphRoot) {
+      if (rt_.graph->single_root_producer()) {
+        // Batched claim: the recorded spawn order came from one thread,
+        // so the replay producer claims ordinals a block at a time and
+        // hands them out with a plain increment.
+        if (st_.root_next == st_.root_end) {
+          st_.root_next = rt_.replay.claim_root_ordinals(
+              RealRuntime::Impl::kRootOrdinalBlock);
+          st_.root_end = st_.root_next + RealRuntime::Impl::kRootOrdinalBlock;
+        }
+        ordinal = st_.root_next++;
+      } else {
+        ordinal = rt_.replay.next_root_ordinal();
+      }
+    } else {
+      ordinal = parent->replay_ordinal++;
+    }
+    std::uint32_t node = kGraphNone;
+    if (!rt_.graph->match_spawn(parent_key, ordinal, attrs.region,
+                                attrs.parameter, &node)) {
+      rt_.region_divergences.fetch_add(1, std::memory_order_relaxed);
+      st_.telem.add(telemetry::Counter::kTaskgraphDivergences);
+      if (parent_key == kGraphRoot) {
+        // Root spawns share one ordinal counter across workers, so only
+        // this ordinal's recorded subtree is orphaned — later root
+        // ordinals may still match on any worker.
+        const std::uint32_t orphan =
+            rt_.graph->child_at(kGraphRoot, ordinal);
+        if (orphan != kGraphNone) rt_.replay.cancel_subtree(orphan);
+      } else {
+        // An explicit parent spawns sequentially: once one spawn is off
+        // script the rest of its recorded children are unreachable.
+        parent->replay_diverged = true;
+        rt_.replay.cancel_children_from(parent_key, ordinal);
+      }
+      return false;
+    }
+    TaskRecord* rec = &rt_.replay_records[node];
+    // Detached root spawn: when the recording saw no taskwait from an
+    // implicit task, nothing ever reads an implicit record's
+    // pending_children, so root-spawned static tasks skip the parent
+    // RMW pair entirely (parent == nullptr; the region barrier tracks
+    // them through the batched outstanding delta instead).
+    const bool detached =
+        parent_key == kGraphRoot && !rt_.graph->root_taskwait();
+    // Only the per-instance fields are written here; everything constant
+    // for the recording epoch (graph_node, deferred, refs, ...) was
+    // initialized once at region setup (see replay_records_dirty).
+    // Region boundaries quiesce the record (workers joined), so plain
+    // stores are safe; the release publish below makes them visible to
+    // the owner worker together.
+    rec->fn = std::move(fn);
+    rec->attrs = attrs;
+    rec->id = id;
+    rec->parent = detached ? nullptr : parent;
+    rec->replay_ordinal = 0;
+    if (!detached) {
+      if (parent->slab != nullptr) {
+        parent->refs.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Relaxed increment rides the publish's release store, mirroring
+      // how the dynamic path rides the deque push (memory-ordering
+      // audit).
+      parent->pending_children.fetch_add(1, std::memory_order_relaxed);
+    }
+    // `outstanding` is batched: +1 here, -1 when the owner finishes the
+    // task, flushed at poll misses and barrier entries
+    // (flush_static_delta) — the static hot path never RMWs the shared
+    // word.
+    ++st_.static_delta;
+    st_.telem.add(telemetry::Counter::kTaskgraphStaticSpawns);
+    rt_.replay.publish(node);
+    return true;
+  }
+
   void count_yield() noexcept {
     st_.telem.add(telemetry::Counter::kSchedYields);
   }
@@ -547,11 +914,61 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
   rt.barrier.arrived.store(0);
   rt.outstanding.store(0);
   rt.next_id.store(1);
+  rt.dynamic_outstanding.store(0);
+  rt.region_divergences.store(0);
+  rt.bodies_done.store(0);
+  rt.graph_mode = Impl::GraphMode::kOff;
+  if (rt.config.scheduler == SchedulerKind::kTaskGraph) {
+    if (rt.graph_stale) {
+      rt.graph_mode = Impl::GraphMode::kFallback;
+    } else if (rt.graph == nullptr) {
+      rt.graph_mode = Impl::GraphMode::kRecord;
+      rt.recorder = std::make_unique<TaskGraphRecorder>(num_threads);
+    } else {
+      rt.graph_mode = Impl::GraphMode::kReplay;
+      if (rt.schedule.threads != num_threads) {
+        rt.schedule = StaticSchedule::build(*rt.graph, num_threads);
+      }
+      rt.replay.bind(rt.graph.get(), &rt.schedule);
+      if (rt.replay_record_count < rt.graph->size()) {
+        rt.replay_records = std::make_unique<TaskRecord[]>(rt.graph->size());
+        rt.replay_record_count = rt.graph->size();
+        rt.replay_records_dirty = true;
+      }
+      if (rt.replay_records_dirty) {
+        // Epoch init: fields that stay constant for the lifetime of this
+        // recording are written once here, not on every publish.  The
+        // invariants that keep them valid across replay regions:
+        // graph_node == index by construction; deferred is always true
+        // for a recorded (deferred) spawn; refs is never decremented
+        // (slab == nullptr keeps release_ref away); pending_children
+        // returns to zero at every region barrier (each increment has a
+        // matching pre-barrier decrement); replay_ordinal is re-zeroed
+        // per publish (it mutates during the region); replay_diverged
+        // can only become true in a region that also marks the graph
+        // stale, so a live replay epoch never sees a stale value.
+        for (std::size_t i = 0; i < rt.graph->size(); ++i) {
+          TaskRecord& rec = rt.replay_records[i];
+          rec.graph_node = static_cast<std::uint32_t>(i);
+          rec.graph_children =
+              rt.graph->child_count(static_cast<std::uint32_t>(i));
+          rec.deferred = true;
+          rec.slab = nullptr;
+          rec.creator = 0;
+          rec.replay_diverged = false;
+          rec.pending_children.store(0, std::memory_order_relaxed);
+          rec.refs.store(kStaticRecordRefs, std::memory_order_relaxed);
+        }
+        rt.replay_records_dirty = false;
+      }
+    }
+  }
   for (int i = 0; i < num_threads; ++i) {
     rt.queues.push_back(std::make_unique<WorkerQueue>());
     auto st = std::make_unique<Impl::ThreadState>();
     st->tid = static_cast<ThreadId>(i);
     st->implicit_record.id = kImplicitTaskId;
+    st->implicit_record.graph_node = kGraphRoot;
     if (rt.config.policy != nullptr) {
       st->sched = rt.config.policy->stream(st->tid);
     }
@@ -562,17 +979,64 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
     // Hand each worker a direct handle to its counter block so the
     // per-event path skips the registry's block-table indirection.
     for (const auto& st : rt.threads) st->telem = rt.telemetry->slots(st->tid);
+    switch (rt.graph_mode) {
+      case Impl::GraphMode::kRecord:
+        rt.threads[0]->telem.add(telemetry::Counter::kTaskgraphRecords);
+        break;
+      case Impl::GraphMode::kReplay:
+        rt.threads[0]->telem.add(telemetry::Counter::kTaskgraphReplays);
+        break;
+      case Impl::GraphMode::kFallback:
+        rt.threads[0]->telem.add(telemetry::Counter::kTaskgraphFallbacks);
+        break;
+      case Impl::GraphMode::kOff:
+        break;
+    }
   }
 
   if (rt.hooks != nullptr) rt.hooks->on_parallel_begin(num_threads);
   const Ticks t0 = rt.clock.now();
 
-  auto worker = [&rt, &body](ThreadId tid) {
+  auto worker = [&rt, &body, num_threads](ThreadId tid) {
     Impl::ThreadState& st = *rt.threads[tid];
     st.task_stack.push_back(&st.implicit_record);
     RealContext ctx(rt, st);
     if (rt.hooks != nullptr) rt.hooks->on_implicit_task_begin(tid, rt.clock);
     body(ctx);
+    if (rt.graph_mode == Impl::GraphMode::kReplay &&
+        st.root_next < st.root_end) {
+      // Hole sweep: this thread's unused root-ordinal tail can never be
+      // claimed by anyone else, so any recorded subtree at one of those
+      // ordinals was short-spawned — cancel it before the final barrier
+      // strands a run list behind its empty slot.  Ordinals past the
+      // recorded root row are just block-claim rounding, not holes.
+      bool hole = false;
+      for (std::uint32_t o = st.root_next; o < st.root_end; ++o) {
+        const std::uint32_t n = rt.graph->child_at(kGraphRoot, o);
+        if (n == kGraphNone) continue;
+        hole = true;
+        rt.replay.cancel_subtree(n);
+      }
+      if (hole) {
+        rt.region_divergences.fetch_add(1, std::memory_order_relaxed);
+        st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+      }
+    }
+    if (rt.graph_mode == Impl::GraphMode::kReplay &&
+        rt.bodies_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            num_threads) {
+      // Every implicit task's body has returned: no further root spawns
+      // can claim ordinals.  The acquire above sees all claims, so any
+      // recorded root child beyond the claimed count was short-spawned —
+      // cancel those subtrees before the final barrier or their empty
+      // slots would strand every run list queued behind them.
+      const std::uint32_t claimed = rt.replay.root_ordinals_claimed();
+      if (claimed < rt.graph->child_count(kGraphRoot)) {
+        rt.region_divergences.fetch_add(1, std::memory_order_relaxed);
+        st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+        rt.replay.cancel_children_from(kGraphRoot, claimed);
+      }
+    }
     ctx.barrier_impl(/*implicit=*/true);
     if (rt.hooks != nullptr) rt.hooks->on_implicit_task_end(tid);
   };
@@ -604,7 +1068,45 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
   }
   TASKPROF_ASSERT(rt.outstanding.load() == 0,
                   "tasks outstanding after parallel region");
+  if (rt.graph_mode == Impl::GraphMode::kRecord) {
+    rt.graph = rt.recorder->freeze();
+    rt.recorder.reset();
+    rt.schedule.threads = 0;  // force a partition for the first replay
+    rt.replay_records_dirty = true;  // new epoch: re-init constant fields
+  } else if (rt.graph_mode == Impl::GraphMode::kReplay) {
+    // Quiescent sweep: slots still empty mean spawns the engine could
+    // not observe going missing (all detectable cases were cancelled).
+    if (rt.replay.unspawned_count() > 0) {
+      rt.region_divergences.fetch_add(1, std::memory_order_relaxed);
+      if (rt.telemetry != nullptr) {
+        rt.telemetry->add(0, telemetry::Counter::kTaskgraphDivergences);
+      }
+    }
+    if (rt.region_divergences.load(std::memory_order_relaxed) > 0) {
+      // The program no longer matches the recording; later regions run
+      // fully dynamic (GraphMode::kFallback) until reset_taskgraph().
+      rt.graph_stale = true;
+    }
+  }
   return stats;
+}
+
+bool RealRuntime::taskgraph_recorded() const noexcept {
+  return impl_->graph != nullptr;
+}
+
+bool RealRuntime::taskgraph_stale() const noexcept {
+  return impl_->graph_stale;
+}
+
+std::size_t RealRuntime::taskgraph_size() const noexcept {
+  return impl_->graph != nullptr ? impl_->graph->size() : 0;
+}
+
+void RealRuntime::reset_taskgraph() noexcept {
+  impl_->graph.reset();
+  impl_->graph_stale = false;
+  impl_->schedule.threads = 0;
 }
 
 }  // namespace taskprof::rt

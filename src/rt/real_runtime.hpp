@@ -17,6 +17,7 @@
 // bench_ablation_design).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -33,6 +34,13 @@ class SchedulePolicy;  // rt/schedule_policy.hpp
 enum class SchedulerKind : std::uint8_t {
   kMutexDeque,  ///< std::mutex around a std::deque (pre-optimization core)
   kChaseLev,    ///< lock-free Chase–Lev deque (rt/steal_deque.hpp)
+  /// Record-and-replay static scheduler (rt/taskgraph.hpp, DESIGN.md §12):
+  /// the first parallel region records the task graph on the Chase–Lev
+  /// core; subsequent regions replay it through precomputed per-worker
+  /// run lists — no deque pushes, no steals, no allocation.  Divergence
+  /// from the recorded shape falls back to the Chase–Lev deques within
+  /// the region and marks the graph stale (fully dynamic afterwards).
+  kTaskGraph,
 };
 
 struct RealConfig {
@@ -62,6 +70,17 @@ class RealRuntime final : public Runtime {
   void set_telemetry(telemetry::Registry* registry) override;
   TeamStats parallel(int num_threads, TaskFn body) override;
   [[nodiscard]] Ticks now() const override;
+
+  // --- SchedulerKind::kTaskGraph state (no-ops on the other kinds) ------
+
+  /// True once a recording region has produced a frozen TaskGraph.
+  [[nodiscard]] bool taskgraph_recorded() const noexcept;
+  /// True when a replay diverged and later regions run fully dynamic.
+  [[nodiscard]] bool taskgraph_stale() const noexcept;
+  /// Recorded node count (0 before the first recording).
+  [[nodiscard]] std::size_t taskgraph_size() const noexcept;
+  /// Drop the recorded graph: the next parallel region records afresh.
+  void reset_taskgraph() noexcept;
 
   /// Implementation detail (public only so the engine-internal context
   /// class in the .cpp can name it; not part of the API).

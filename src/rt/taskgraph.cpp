@@ -1,0 +1,190 @@
+#include "rt/taskgraph.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace taskprof::rt {
+
+std::uint32_t TaskGraphRecorder::record_spawn(std::uint32_t parent_key,
+                                              RegionHandle region,
+                                              std::int64_t parameter,
+                                              ThreadId tid) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  TASKPROF_ASSERT(index < kGraphRoot, "task graph overflow");
+  TaskGraphNode node;
+  node.region = region;
+  node.parameter = parameter;
+  node.parent = parent_key;
+  if (parent_key == kGraphRoot) {
+    node.ordinal = root_children_++;
+    if (!root_seen_) {
+      root_seen_ = true;
+      root_spawner_ = tid;
+    } else if (tid != root_spawner_) {
+      root_multi_ = true;
+    }
+  } else {
+    TASKPROF_ASSERT(parent_key < index, "child recorded before its parent");
+    node.ordinal = child_counts_[parent_key]++;
+  }
+  nodes_.push_back(node);
+  child_counts_.push_back(0);
+  return index;
+}
+
+void TaskGraphRecorder::record_duration(std::uint32_t node, Ticks ticks) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TASKPROF_ASSERT(node < nodes_.size(), "duration for unknown node");
+  nodes_[node].duration = ticks;
+}
+
+void TaskGraphRecorder::note_root_taskwait() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  root_taskwait_ = true;
+}
+
+std::size_t TaskGraphRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+std::unique_ptr<TaskGraph> TaskGraphRecorder::freeze() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto graph = std::make_unique<TaskGraph>();
+  graph->nodes_ = std::move(nodes_);
+  graph->recorded_threads_ = threads_;
+  graph->root_taskwait_ = root_taskwait_;
+  graph->single_root_producer_ = !root_multi_;
+
+  const std::size_t n = graph->nodes_.size();
+  // Counting sort by parent builds the CSR child index; appending nodes
+  // in index order keeps each row ordinal-ordered because a parent's
+  // children were recorded with ascending ordinals and ascending node
+  // indices (the recorder mutex makes the recorded order total).
+  graph->row_begin_.assign(n + 1, 0);
+  std::size_t explicit_edges = 0;
+  for (const TaskGraphNode& node : graph->nodes_) {
+    graph->total_duration_ += node.duration;
+    if (node.parent != kGraphRoot) {
+      ++graph->row_begin_[node.parent + 1];
+      ++explicit_edges;
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    graph->row_begin_[i] += graph->row_begin_[i - 1];
+  }
+  graph->root_begin_ = explicit_edges;
+  graph->child_index_.assign(n, kGraphNone);
+  std::vector<std::size_t> fill(graph->row_begin_.begin(),
+                                graph->row_begin_.end() - 1);
+  std::size_t root_fill = graph->root_begin_;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const TaskGraphNode& node = graph->nodes_[i];
+    if (node.parent == kGraphRoot) {
+      graph->child_index_[root_fill++] = i;
+    } else {
+      graph->child_index_[fill[node.parent]++] = i;
+    }
+  }
+  TASKPROF_ASSERT(root_fill == graph->child_index_.size(),
+                  "CSR fill mismatch");
+  return graph;
+}
+
+StaticSchedule StaticSchedule::build(const TaskGraph& graph, int num_threads,
+                                     std::uint32_t block, int active_limit) {
+  TASKPROF_ASSERT(num_threads > 0, "schedule needs at least one worker");
+  TASKPROF_ASSERT(block > 0, "zero block size");
+  if (active_limit <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    active_limit = hw > 0 ? static_cast<int>(hw) : num_threads;
+  }
+  const int active = std::min(num_threads, active_limit);
+  StaticSchedule sched;
+  sched.threads = num_threads;
+  sched.run_lists.resize(static_cast<std::size_t>(num_threads));
+  const std::size_t n = graph.size();
+  for (int w = 0; w < active; ++w) {
+    sched.run_lists[static_cast<std::size_t>(w)].reserve(
+        n / static_cast<std::size_t>(active) + block);
+  }
+  std::vector<Ticks> load(static_cast<std::size_t>(active), 0);
+  for (std::size_t begin = 0; begin < n; begin += block) {
+    const std::size_t end = std::min(n, begin + block);
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    for (std::size_t i = begin; i < end; ++i) {
+      sched.run_lists[w].push_back(static_cast<std::uint32_t>(i));
+      const Ticks d = graph.node(static_cast<std::uint32_t>(i)).duration;
+      load[w] += d > 0 ? d : 1;  // weight 1 when the clock never advanced
+    }
+  }
+  return sched;
+}
+
+void ReplayState::bind(const TaskGraph* graph,
+                       const StaticSchedule* schedule) {
+  graph_ = graph;
+  schedule_ = schedule;
+  const std::size_t n = graph->size();
+  if (slot_count_ < n) {
+    slots_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    slot_count_ = n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].store(kEmpty, std::memory_order_relaxed);
+  }
+  root_ordinal_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t ReplayState::cancel_subtree(std::uint32_t node) noexcept {
+  // Iterative DFS over the CSR child rows.  Every visited slot is kEmpty
+  // by the caller's structural argument (its unique filler can no longer
+  // run); the CAS claim makes the cancellation exact-once even if two
+  // cancel frontiers ever overlap — a node that is already cancelled is
+  // neither recounted nor re-descended.  Cancelled nodes were never
+  // published, so they never entered the engine's outstanding balance.
+  std::size_t cancelled = 0;
+  std::vector<std::uint32_t> stack;
+  stack.push_back(node);
+  while (!stack.empty()) {
+    const std::uint32_t cur = stack.back();
+    stack.pop_back();
+    std::uint8_t expected = kEmpty;
+    if (!slots_[cur].compare_exchange_strong(expected, kCancelled,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+      continue;
+    }
+    ++cancelled;
+    const std::uint32_t kids = graph_->child_count(cur);
+    for (std::uint32_t o = 0; o < kids; ++o) {
+      stack.push_back(graph_->child_at(cur, o));
+    }
+  }
+  return cancelled;
+}
+
+std::size_t ReplayState::cancel_children_from(
+    std::uint32_t parent_key, std::uint32_t first_ordinal) noexcept {
+  std::size_t cancelled = 0;
+  const std::uint32_t kids = graph_->child_count(parent_key);
+  for (std::uint32_t o = first_ordinal; o < kids; ++o) {
+    cancelled += cancel_subtree(graph_->child_at(parent_key, o));
+  }
+  return cancelled;
+}
+
+std::size_t ReplayState::unspawned_count() const noexcept {
+  std::size_t empty = 0;
+  const std::size_t n = graph_ != nullptr ? graph_->size() : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slots_[i].load(std::memory_order_relaxed) == kEmpty) ++empty;
+  }
+  return empty;
+}
+
+}  // namespace taskprof::rt

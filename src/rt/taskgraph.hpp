@@ -1,0 +1,337 @@
+// Taskgraph record-and-replay: a near-zero-contention static scheduler
+// mode for recurring task workloads (DESIGN.md §12).
+//
+// Iterative programs (sparselu-style sweeps, stencil updates) spawn the
+// same task graph every iteration.  The dynamic schedulers pay the full
+// spawn price each time: a slab allocation, a deque push, and — for every
+// idle thread — steal probes against other workers' deques.  This module
+// removes all three for the steady state:
+//
+//  * a *recording* region (the first parallel region after selecting
+//    SchedulerKind::kTaskGraph) runs on the ordinary Chase–Lev core while
+//    a TaskGraphRecorder captures every deferred spawn: creation-site
+//    region, task parameter, parent link, spawn ordinal within the
+//    parent, and a per-task duration estimate measured around the body;
+//  * freeze() turns the recording into an immutable TaskGraph — nodes in
+//    recorded-spawn order (so a parent's index always precedes its
+//    children's) plus a CSR child index ordered by spawn ordinal;
+//  * StaticSchedule::build partitions the node set into per-worker run
+//    lists: contiguous blocks of nodes, each block assigned to the
+//    least-loaded worker by accumulated recorded duration.  Every run
+//    list is ascending in node index, which keeps it consistent with
+//    spawn order and therefore topologically valid;
+//  * *replay* regions re-execute the program, but create_task matches
+//    each deferred spawn against the recorded graph by (parent node,
+//    spawn ordinal) and — on a match — publishes the task body straight
+//    into the preallocated slot for that node.  Workers consume their own
+//    run list through a cursor: one acquire load per poll, no deque
+//    pushes, no steals, no allocation.
+//
+// Divergence (the program spawned something the recording did not
+// predict) is detected at the creation site: region or parameter
+// mismatch, or more spawns than recorded.  The offending spawn and every
+// later spawn of that parent fall back to the ordinary Chase–Lev deques
+// within the same region, the recorded subtrees that can no longer be
+// legitimately spawned are cancelled so no cursor blocks on them, and
+// the region is marked stale so subsequent regions run fully dynamic
+// (telemetry: taskgraph_divergences / taskgraph_fallbacks).
+//
+// Thread-safety contract: recording serializes through a mutex (the
+// recording region is the cold path, by design).  Replay-side slot
+// publication is a release store by the unique spawner; consumption is
+// an acquire load by the unique owner worker.  A slot is cancelled only
+// by a thread that has structurally excluded every possible filler (the
+// parent diverged, ended short, or is itself cancelled), so the
+// kEmpty→kFilled and kEmpty→kCancelled transitions never race.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace taskprof::rt {
+
+/// Parent key of nodes spawned by an implicit (per-thread root) task.
+/// Root spawns draw ordinals from one shared atomic because any worker's
+/// implicit task may produce them in any interleaving.
+inline constexpr std::uint32_t kGraphRoot = 0xFFFFFFFEu;
+
+/// "No graph node": a dynamically scheduled task (divergence fallback,
+/// undeferred descendants) or a lookup miss.
+inline constexpr std::uint32_t kGraphNone = 0xFFFFFFFFu;
+
+/// One recorded deferred spawn.  Immutable after TaskGraph::freeze.
+struct TaskGraphNode {
+  RegionHandle region = kInvalidRegion;  ///< creation-site region
+  std::int64_t parameter = kNoParameter; ///< task parameter (e.g. depth)
+  std::uint32_t parent = kGraphRoot;     ///< parent node or kGraphRoot
+  std::uint32_t ordinal = 0;             ///< spawn index within the parent
+  Ticks duration = 0;                    ///< measured body ticks (estimate)
+};
+
+/// The immutable recorded graph.  Node indices are recorded-spawn order,
+/// so parent < child for every edge; child rows are ordinal-ordered.
+class TaskGraph {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const TaskGraphNode& node(std::uint32_t i) const noexcept {
+    return nodes_[i];
+  }
+
+  /// Number of recorded children of `parent_key` (a node index or
+  /// kGraphRoot).
+  [[nodiscard]] std::uint32_t child_count(std::uint32_t parent_key) const
+      noexcept {
+    const auto& row = child_row(parent_key);
+    return static_cast<std::uint32_t>(row.second - row.first);
+  }
+
+  /// Node index of `parent_key`'s child with spawn ordinal `ordinal`, or
+  /// kGraphNone when the recording has no such spawn.
+  [[nodiscard]] std::uint32_t child_at(std::uint32_t parent_key,
+                                       std::uint32_t ordinal) const noexcept {
+    const auto& row = child_row(parent_key);
+    if (ordinal >= static_cast<std::uint32_t>(row.second - row.first)) {
+      return kGraphNone;
+    }
+    return child_index_[row.first + ordinal];
+  }
+
+  /// True when the spawn (parent_key, ordinal, region, parameter) matches
+  /// the recording; the matched node index lands in `node_out`.
+  [[nodiscard]] bool match_spawn(std::uint32_t parent_key,
+                                 std::uint32_t ordinal, RegionHandle region,
+                                 std::int64_t parameter,
+                                 std::uint32_t* node_out) const noexcept {
+    const std::uint32_t n = child_at(parent_key, ordinal);
+    if (n == kGraphNone) return false;
+    const TaskGraphNode& rec = nodes_[n];
+    if (rec.region != region || rec.parameter != parameter) return false;
+    *node_out = n;
+    return true;
+  }
+
+  /// Sum of recorded durations (0 when the clock never advanced).
+  [[nodiscard]] Ticks total_duration() const noexcept {
+    return total_duration_;
+  }
+
+  /// Thread count of the recording region (informational).
+  [[nodiscard]] int recorded_threads() const noexcept {
+    return recorded_threads_;
+  }
+
+  /// True when the recording region ever executed a taskwait from an
+  /// implicit task.  When it did not, replay regions skip the parent
+  /// child-count RMWs for root-spawned static tasks ("detached" spawns):
+  /// nothing will ever wait on that counter, and the region barrier
+  /// tracks their completion through the batched outstanding delta.
+  [[nodiscard]] bool root_taskwait() const noexcept {
+    return root_taskwait_;
+  }
+
+  /// True when every recorded root spawn came from one thread (the
+  /// single-producer idiom: `if (ctx.single()) { spawn loop }`).  Replay
+  /// then claims root ordinals in per-thread blocks — one shared RMW per
+  /// block instead of per spawn.  Multi-producer recordings keep the
+  /// per-spawn claim: block claiming would punch ordinal holes into an
+  /// interleaving that per-spawn claims can still match.
+  [[nodiscard]] bool single_root_producer() const noexcept {
+    return single_root_producer_;
+  }
+
+ private:
+  friend class TaskGraphRecorder;
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> child_row(
+      std::uint32_t parent_key) const noexcept {
+    if (parent_key == kGraphRoot) {
+      return {root_begin_, child_index_.size()};
+    }
+    return {row_begin_[parent_key], row_begin_[parent_key + 1]};
+  }
+
+  std::vector<TaskGraphNode> nodes_;
+  /// CSR storage: per-parent child rows (ordinal-ordered), explicit
+  /// parents first, then the root row at [root_begin_, end).
+  std::vector<std::uint32_t> child_index_;
+  std::vector<std::size_t> row_begin_;  ///< size() == nodes_.size() + 1
+  std::size_t root_begin_ = 0;
+  Ticks total_duration_ = 0;
+  int recorded_threads_ = 0;
+  bool root_taskwait_ = false;
+  bool single_root_producer_ = true;
+};
+
+/// Mutex-serialized spawn/duration capture for the recording region.
+/// Recording rides on the dynamic scheduler, so contention here only
+/// costs the one region that records — the price of admission for the
+/// allocation-free replay.
+class TaskGraphRecorder {
+ public:
+  explicit TaskGraphRecorder(int num_threads) : threads_(num_threads) {}
+
+  /// Record one deferred spawn; returns the new node's index.  The
+  /// caller passes the parent's node index (or kGraphRoot) — the ordinal
+  /// is derived from how many children that parent has recorded so far.
+  /// `tid` is the spawning worker: root spawns coming from a single
+  /// thread enable the replay's batched ordinal claims (see
+  /// TaskGraph::single_root_producer).
+  std::uint32_t record_spawn(std::uint32_t parent_key, RegionHandle region,
+                             std::int64_t parameter, ThreadId tid);
+
+  /// Attach the measured body duration to a recorded node.
+  void record_duration(std::uint32_t node, Ticks ticks);
+
+  /// Note a taskwait executed from an implicit task: replay must then
+  /// keep full child accounting on implicit records (see
+  /// TaskGraph::root_taskwait).
+  void note_root_taskwait();
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Build the immutable graph (CSR child index, totals).  The recorder
+  /// is spent afterwards.
+  [[nodiscard]] std::unique_ptr<TaskGraph> freeze();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskGraphNode> nodes_;
+  std::vector<std::uint32_t> child_counts_;  ///< next ordinal per node
+  std::uint32_t root_children_ = 0;          ///< next root ordinal
+  int threads_ = 0;
+  bool root_taskwait_ = false;
+  ThreadId root_spawner_ = 0;      ///< first thread to spawn from root
+  bool root_seen_ = false;         ///< any root spawn recorded yet
+  bool root_multi_ = false;        ///< root spawns from >1 thread
+};
+
+/// Duration-weighted static partition of a TaskGraph: one ascending run
+/// list per worker.  Rebuilt only when the replay thread count changes.
+struct StaticSchedule {
+  std::vector<std::vector<std::uint32_t>> run_lists;  ///< per worker
+  int threads = 0;
+
+  /// Greedy blocked partition: walk nodes in index order in blocks of
+  /// `block` and give each block to the least-loaded worker (load =
+  /// accumulated recorded duration, weight 1 per node when the recording
+  /// clock never advanced).  Blocking keeps sibling leaves together —
+  /// cache locality and fewer cross-worker dependence edges — while the
+  /// greedy choice balances total work.
+  ///
+  /// Run lists are owner-only (that is what makes the replay poll a
+  /// single acquire load), so there is no stealing to rebalance an
+  /// oversubscribed team: every list's owner must be scheduled by the OS
+  /// before its share finishes.  Spreading work across more lists than
+  /// the machine has hardware threads therefore only adds context-switch
+  /// serialization.  `active_limit` caps how many lists receive work —
+  /// 0 means "auto" (hardware_concurrency); the remaining workers get
+  /// empty lists and simply help any dynamic fallback tasks.
+  [[nodiscard]] static StaticSchedule build(const TaskGraph& graph,
+                                            int num_threads,
+                                            std::uint32_t block = 16,
+                                            int active_limit = 0);
+};
+
+/// Per-region replay coordination: one slot per graph node plus the
+/// shared root-spawn ordinal.  The engine owns the cursor (per-worker,
+/// reset each region); this class owns everything shared.
+class ReplayState {
+ public:
+  enum : std::uint8_t { kEmpty = 0, kFilled = 1, kCancelled = 2 };
+
+  /// Rebind to a (graph, schedule) pair and clear every slot.  Runs
+  /// single-threaded at region entry; O(nodes).
+  void bind(const TaskGraph* graph, const StaticSchedule* schedule);
+
+  /// Claim the next implicit-task spawn ordinal (shared across workers).
+  [[nodiscard]] std::uint32_t next_root_ordinal() noexcept {
+    return root_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Claim `count` consecutive root ordinals at once (single-producer
+  /// recordings only); returns the first.  The claimer owns the whole
+  /// range and must cancel any recorded node at an ordinal it ends up
+  /// not using (see the engine's end-of-body hole sweep).
+  [[nodiscard]] std::uint32_t claim_root_ordinals(
+      std::uint32_t count) noexcept {
+    return root_ordinal_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Root ordinals claimed so far.  Exact once every possible claimer
+  /// has synchronized with the reader (e.g. the last implicit task body
+  /// to finish, via the engine's bodies_done acquire).
+  [[nodiscard]] std::uint32_t root_ordinals_claimed() const noexcept {
+    return root_ordinal_.load(std::memory_order_relaxed);
+  }
+
+  /// Publish a matched spawn into its node slot.  A slot is one state
+  /// byte — the node index itself names the engine's preallocated record,
+  /// so nothing else needs storing and 64 slots share a cache line
+  /// (16 KB of slot traffic per million tasks instead of 256 KB).  The
+  /// release store pairs with the owner's acquire poll and publishes the
+  /// record fields plus every relaxed bookkeeping increment made before
+  /// it.
+  void publish(std::uint32_t node) noexcept {
+    slots_[node].store(kFilled, std::memory_order_release);
+  }
+
+  /// Owner-side poll: next runnable node index from worker `w`'s run
+  /// list, advancing `cursor` past it (and past cancelled slots).
+  /// Returns kGraphNone while the head-of-line slot is still empty — run
+  /// lists are consumed strictly in order, which is what makes them
+  /// topologically safe without per-task dependence lists.
+  [[nodiscard]] std::uint32_t poll(ThreadId w, std::size_t& cursor) noexcept {
+    const std::vector<std::uint32_t>& list = schedule_->run_lists[w];
+    while (cursor < list.size()) {
+      const std::uint32_t node = list[cursor];
+      const std::uint8_t st = slots_[node].load(std::memory_order_acquire);
+      if (st == kFilled) {
+        ++cursor;
+        return node;
+      }
+      if (st == kCancelled) {
+        ++cursor;
+        continue;
+      }
+      return kGraphNone;  // head-of-line not spawned yet
+    }
+    return kGraphNone;
+  }
+
+  /// Cancel the recorded subtrees rooted at `parent_key`'s children with
+  /// ordinal >= `first_ordinal` (divergence / short spawn: those ordinals
+  /// can no longer be legitimately claimed, so their slots would block
+  /// cursors forever).  Returns the number of nodes newly cancelled:
+  /// cancellation claims each slot kEmpty->kCancelled with a CAS, so
+  /// overlapping cancel calls count every node exactly once.  Cancelled
+  /// nodes were never published, so they never entered the engine's
+  /// outstanding balance.
+  std::size_t cancel_children_from(std::uint32_t parent_key,
+                                   std::uint32_t first_ordinal) noexcept;
+
+  /// Cancel one recorded subtree (a mismatched spawn consumed its root's
+  /// ordinal).  Returns the number of nodes newly cancelled (exact-once,
+  /// as above).
+  std::size_t cancel_subtree(std::uint32_t node) noexcept;
+
+  /// Slots still kEmpty (post-region, quiescent): >0 means the program
+  /// spawned less than recorded somewhere the engine could not observe
+  /// (e.g. root short-spawn) — a divergence for staleness purposes.
+  [[nodiscard]] std::size_t unspawned_count() const noexcept;
+
+ private:
+  const TaskGraph* graph_ = nullptr;
+  const StaticSchedule* schedule_ = nullptr;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> slots_;
+  std::size_t slot_count_ = 0;
+  alignas(64) std::atomic<std::uint32_t> root_ordinal_{0};
+};
+
+}  // namespace taskprof::rt

@@ -25,6 +25,12 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kMigrations: return "migrations";
     case Counter::kHookEvents: return "hook_events";
     case Counter::kHookTicks: return "hook_ticks";
+    case Counter::kTaskgraphRecords: return "taskgraph_records";
+    case Counter::kTaskgraphReplays: return "taskgraph_replays";
+    case Counter::kTaskgraphFallbacks: return "taskgraph_fallbacks";
+    case Counter::kTaskgraphDivergences: return "taskgraph_divergences";
+    case Counter::kTaskgraphStaticSpawns: return "taskgraph_static_spawns";
+    case Counter::kTaskgraphDynamicSpawns: return "taskgraph_dynamic_spawns";
     case Counter::kCount_: break;
   }
   return "?";

@@ -54,6 +54,12 @@ enum class Counter : std::uint32_t {
   kMigrations,          ///< untied resumptions on a new worker (sim)
   kHookEvents,          ///< measurement-hook invocations (self-timing)
   kHookTicks,           ///< wall ticks spent inside measurement hooks
+  kTaskgraphRecords,    ///< parallel regions that recorded a task graph
+  kTaskgraphReplays,    ///< parallel regions replayed from a task graph
+  kTaskgraphFallbacks,  ///< regions run dynamically on a stale graph
+  kTaskgraphDivergences,    ///< replay shape mismatches detected
+  kTaskgraphStaticSpawns,   ///< replay spawns served from the static slots
+  kTaskgraphDynamicSpawns,  ///< replay spawns that fell back to the deques
   kCount_
 };
 

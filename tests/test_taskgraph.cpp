@@ -1,0 +1,473 @@
+// Taskgraph record-and-replay (rt/taskgraph.hpp, DESIGN.md §12).
+//
+// Three layers of evidence that the static scheduler mode is safe to use
+// as a drop-in for the dynamic deques:
+//  1. unit tests of the graph data structures (recorder → CSR, partition,
+//     slot protocol);
+//  2. record/replay profile-projection equivalence against a chase_lev
+//     run of the same BOTS kernels — the replay must not change what the
+//     profiler attributes, only how fast the program runs;
+//  3. divergence handling (shape changes fall back and mark the graph
+//     stale, results stay correct) and seeded SchedulePolicy fuzzing
+//     (replay output is immune to schedule perturbation, because the run
+//     lists — not the race outcomes — decide placement).
+#include "rt/taskgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bots/kernel.hpp"
+#include "check/differential.hpp"
+#include "instrument/instrumentor.hpp"
+#include "profile/region.hpp"
+#include "rt/hooks.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/schedule_policy.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace taskprof {
+namespace {
+
+using rt::kGraphNone;
+using rt::kGraphRoot;
+
+// ---------------------------------------------------------------------
+// Layer 1: data structures.
+// ---------------------------------------------------------------------
+
+TEST(TaskGraphRecorder, FreezeBuildsOrdinalOrderedCSR) {
+  rt::TaskGraphRecorder rec(2);
+  // root -> a, b; a -> a0, a1; b -> b0.  All spawned by thread 0.
+  const std::uint32_t a = rec.record_spawn(kGraphRoot, 1, 10, 0);
+  const std::uint32_t b = rec.record_spawn(kGraphRoot, 1, 11, 0);
+  const std::uint32_t a0 = rec.record_spawn(a, 2, kNoParameter, 0);
+  const std::uint32_t a1 = rec.record_spawn(a, 2, kNoParameter, 0);
+  const std::uint32_t b0 = rec.record_spawn(b, 2, kNoParameter, 0);
+  rec.record_duration(a, 7);
+  rec.record_duration(b0, 3);
+  EXPECT_EQ(rec.size(), 5u);
+
+  const auto graph = rec.freeze();
+  ASSERT_EQ(graph->size(), 5u);
+  EXPECT_EQ(graph->child_count(kGraphRoot), 2u);
+  EXPECT_EQ(graph->child_at(kGraphRoot, 0), a);
+  EXPECT_EQ(graph->child_at(kGraphRoot, 1), b);
+  EXPECT_EQ(graph->child_count(a), 2u);
+  EXPECT_EQ(graph->child_at(a, 0), a0);
+  EXPECT_EQ(graph->child_at(a, 1), a1);
+  EXPECT_EQ(graph->child_count(b), 1u);
+  EXPECT_EQ(graph->child_at(b, 0), b0);
+  EXPECT_EQ(graph->child_at(b, 1), kGraphNone);
+  EXPECT_EQ(graph->total_duration(), 10);
+  EXPECT_EQ(graph->recorded_threads(), 2);
+  EXPECT_TRUE(graph->single_root_producer());
+  EXPECT_FALSE(graph->root_taskwait());
+
+  // Parent index precedes every child index (run-list topological
+  // premise).
+  for (std::uint32_t i = 0; i < graph->size(); ++i) {
+    const rt::TaskGraphNode& n = graph->node(i);
+    if (n.parent != kGraphRoot) {
+      EXPECT_LT(n.parent, i);
+    }
+  }
+}
+
+TEST(TaskGraphRecorder, MatchSpawnChecksSiteAndOrdinal) {
+  rt::TaskGraphRecorder rec(1);
+  const std::uint32_t a = rec.record_spawn(kGraphRoot, 1, 10, 0);
+  (void)rec.record_spawn(a, 2, 5, 0);
+  const auto graph = rec.freeze();
+
+  std::uint32_t node = kGraphNone;
+  EXPECT_TRUE(graph->match_spawn(kGraphRoot, 0, 1, 10, &node));
+  EXPECT_EQ(node, a);
+  EXPECT_TRUE(graph->match_spawn(a, 0, 2, 5, &node));
+  // Region mismatch, parameter mismatch, ordinal past the recording.
+  EXPECT_FALSE(graph->match_spawn(kGraphRoot, 0, 9, 10, &node));
+  EXPECT_FALSE(graph->match_spawn(kGraphRoot, 0, 1, 99, &node));
+  EXPECT_FALSE(graph->match_spawn(kGraphRoot, 1, 1, 10, &node));
+}
+
+TEST(TaskGraphRecorder, MultiThreadRootSpawnsDisableBatchedClaims) {
+  rt::TaskGraphRecorder rec(2);
+  (void)rec.record_spawn(kGraphRoot, 1, 0, /*tid=*/0);
+  (void)rec.record_spawn(kGraphRoot, 1, 1, /*tid=*/1);
+  const auto graph = rec.freeze();
+  EXPECT_FALSE(graph->single_root_producer());
+}
+
+TEST(TaskGraphRecorder, RootTaskwaitIsSticky) {
+  rt::TaskGraphRecorder rec(1);
+  (void)rec.record_spawn(kGraphRoot, 1, 0, 0);
+  rec.note_root_taskwait();
+  const auto graph = rec.freeze();
+  EXPECT_TRUE(graph->root_taskwait());
+}
+
+std::unique_ptr<rt::TaskGraph> make_chain_graph(std::uint32_t n,
+                                                Ticks each) {
+  rt::TaskGraphRecorder rec(1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t node = rec.record_spawn(kGraphRoot, 1, i, 0);
+    rec.record_duration(node, each);
+  }
+  return rec.freeze();
+}
+
+TEST(StaticSchedule, PartitionCoversEveryNodeOnceAscending) {
+  const auto graph = make_chain_graph(100, 1);
+  const rt::StaticSchedule sched =
+      rt::StaticSchedule::build(*graph, /*num_threads=*/4, /*block=*/8,
+                                /*active_limit=*/4);
+  ASSERT_EQ(sched.run_lists.size(), 4u);
+  std::set<std::uint32_t> seen;
+  for (const auto& list : sched.run_lists) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(list[i - 1], list[i]);  // run lists stay ascending
+      }
+      EXPECT_TRUE(seen.insert(list[i]).second) << "node assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), graph->size());
+}
+
+TEST(StaticSchedule, ActiveLimitConcentratesWork) {
+  const auto graph = make_chain_graph(64, 1);
+  // 8 workers but only 2 may receive work (oversubscribed-host cap).
+  const rt::StaticSchedule sched =
+      rt::StaticSchedule::build(*graph, 8, /*block=*/4, /*active_limit=*/2);
+  ASSERT_EQ(sched.run_lists.size(), 8u);
+  EXPECT_FALSE(sched.run_lists[0].empty());
+  EXPECT_FALSE(sched.run_lists[1].empty());
+  for (std::size_t w = 2; w < 8; ++w) {
+    EXPECT_TRUE(sched.run_lists[w].empty());
+  }
+}
+
+TEST(StaticSchedule, GreedyBalancesRecordedDuration) {
+  // One heavy block followed by many light ones: the greedy partitioner
+  // must not give the heavy worker more blocks until the others catch up.
+  rt::TaskGraphRecorder rec(1);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    const std::uint32_t node = rec.record_spawn(kGraphRoot, 1, i, 0);
+    rec.record_duration(node, i < 4 ? 1000 : 10);
+  }
+  const auto graph = rec.freeze();
+  const rt::StaticSchedule sched =
+      rt::StaticSchedule::build(*graph, 2, /*block=*/4, /*active_limit=*/2);
+  // Worker owning the heavy first block gets few nodes; the other the rest.
+  const std::size_t n0 = sched.run_lists[0].size();
+  const std::size_t n1 = sched.run_lists[1].size();
+  EXPECT_EQ(n0 + n1, 40u);
+  EXPECT_EQ(std::min(n0, n1), 4u) << "heavy block should stand alone";
+}
+
+TEST(ReplayState, PollIsHeadOfLineBlockingAndSkipsCancelled) {
+  const auto graph = make_chain_graph(4, 1);
+  const rt::StaticSchedule sched =
+      rt::StaticSchedule::build(*graph, 1, 16, 1);
+  rt::ReplayState replay;
+  replay.bind(graph.get(), &sched);
+
+  std::size_t cursor = 0;
+  EXPECT_EQ(replay.poll(0, cursor), kGraphNone);  // nothing published
+  replay.publish(1);
+  EXPECT_EQ(replay.poll(0, cursor), kGraphNone);  // head (0) still empty
+  replay.publish(0);
+  EXPECT_EQ(replay.poll(0, cursor), 0u);
+  EXPECT_EQ(replay.poll(0, cursor), 1u);
+  // Cancel node 2's subtree: poll must skip it and block on 3.
+  EXPECT_EQ(replay.cancel_subtree(2), 1u);
+  EXPECT_EQ(replay.poll(0, cursor), kGraphNone);
+  replay.publish(3);
+  EXPECT_EQ(replay.poll(0, cursor), 3u);
+  EXPECT_EQ(replay.poll(0, cursor), kGraphNone);  // list exhausted
+  EXPECT_EQ(replay.unspawned_count(), 0u);
+}
+
+TEST(ReplayState, CancelSubtreeIsExactOnceAndRecursive) {
+  rt::TaskGraphRecorder rec(1);
+  const std::uint32_t a = rec.record_spawn(kGraphRoot, 1, 0, 0);
+  (void)rec.record_spawn(a, 2, kNoParameter, 0);
+  const std::uint32_t a1 = rec.record_spawn(a, 2, kNoParameter, 0);
+  (void)rec.record_spawn(a1, 3, kNoParameter, 0);
+  const auto graph = rec.freeze();
+  const rt::StaticSchedule sched =
+      rt::StaticSchedule::build(*graph, 1, 16, 1);
+  rt::ReplayState replay;
+  replay.bind(graph.get(), &sched);
+
+  EXPECT_EQ(replay.cancel_subtree(a), 4u);
+  EXPECT_EQ(replay.cancel_subtree(a), 0u);  // already claimed
+  EXPECT_EQ(replay.cancel_children_from(kGraphRoot, 0), 0u);
+  EXPECT_EQ(replay.unspawned_count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Layers 2/3: whole-engine behaviour.
+// ---------------------------------------------------------------------
+
+/// One instrumented kernel run; the registry is not movable, so results
+/// are filled in place.
+struct Measured {
+  RegionRegistry registry;
+  bots::KernelResult result;
+  telemetry::Snapshot snapshot;
+  AggregateProfile profile;
+};
+
+/// Run `kernel_name` on `runtime` `iterations` times; only the LAST
+/// iteration is instrumented and profiled (for kTaskGraph that makes the
+/// measured iteration a replay when iterations >= 2).
+void run_kernel(Measured& out, rt::Runtime& runtime,
+                const std::string& kernel_name, int threads,
+                int iterations) {
+  auto kernel = bots::make_kernel(kernel_name);
+  ASSERT_NE(kernel, nullptr) << kernel_name;
+  bots::KernelConfig config;
+  config.threads = threads;
+  config.size = bots::SizeClass::kTest;
+
+  // Warmups share out.registry: register_region dedupes by (name, type),
+  // so the recording and the measured replay see identical handles.
+  for (int i = 0; i + 1 < iterations; ++i) {
+    const bots::KernelResult warm =
+        kernel->run(runtime, out.registry, config);
+    ASSERT_TRUE(warm.ok) << kernel_name << " warmup failed: " << warm.check;
+  }
+
+  Instrumentor instr(out.registry);
+  telemetry::Registry telem;
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+  runtime.set_telemetry(&telem);
+  out.result = kernel->run(runtime, out.registry, config);
+  runtime.set_hooks(nullptr);
+  runtime.set_telemetry(nullptr);
+  instr.finalize();
+  out.profile = instr.aggregate();
+  out.snapshot = telem.snapshot();
+}
+
+check::ProfileProjection project(const Measured& m, const char* label) {
+  check::ProfileProjection p =
+      check::project_profile(m.profile, m.registry, m.result.stats);
+  p.engine = label;
+  return p;
+}
+
+/// Replay runs must attribute exactly what a chase_lev run attributes:
+/// same construct instance/creation counts, same checksum.  This is the
+/// acceptance criterion "profile output projection-equal to a chase_lev
+/// run" — checked across BOTS kernels with distinct shapes (binary
+/// recursion, irregular pruning, single-construct wavefront).
+TEST(TaskGraphReplay, ProjectionEqualsChaseLevAcrossKernels) {
+  for (const char* name : {"fib", "nqueens", "sparselu"}) {
+    SCOPED_TRACE(name);
+
+    Measured base;
+    rt::RealConfig chase;
+    chase.scheduler = rt::SchedulerKind::kChaseLev;
+    rt::RealRuntime chase_rt(chase);
+    run_kernel(base, chase_rt, name, /*threads=*/2, /*iterations=*/1);
+    ASSERT_TRUE(base.result.ok) << base.result.check;
+
+    Measured replayed;
+    rt::RealConfig graph;
+    graph.scheduler = rt::SchedulerKind::kTaskGraph;
+    rt::RealRuntime graph_rt(graph);
+    run_kernel(replayed, graph_rt, name, /*threads=*/2, /*iterations=*/3);
+    ASSERT_TRUE(replayed.result.ok) << replayed.result.check;
+
+    EXPECT_TRUE(graph_rt.taskgraph_recorded());
+    EXPECT_FALSE(graph_rt.taskgraph_stale())
+        << name << " diverged on replay";
+    EXPECT_GT(graph_rt.taskgraph_size(), 0u);
+    EXPECT_EQ(base.result.checksum, replayed.result.checksum);
+
+    const std::vector<std::string> diffs = check::diff_projections(
+        project(base, "chase_lev"), project(replayed, "taskgraph"));
+    std::string joined;
+    for (const std::string& d : diffs) joined += d + "\n";
+    EXPECT_TRUE(diffs.empty()) << joined;
+
+    // The measured iteration was a replay served from the static slots.
+    using telemetry::Counter;
+    EXPECT_GE(replayed.snapshot.counter(Counter::kTaskgraphReplays), 1u);
+    EXPECT_GT(replayed.snapshot.counter(Counter::kTaskgraphStaticSpawns),
+              0u);
+    EXPECT_EQ(replayed.snapshot.counter(Counter::kTaskgraphDivergences),
+              0u);
+  }
+}
+
+/// Fibonacci task body used by the divergence tests: shape depends only
+/// on (n, cut), so changing either between regions changes the spawn
+/// structure deterministically.
+void fib_region(rt::TaskContext& ctx, RegionHandle task, int n,
+                long* result) {
+  ctx.work(50);
+  if (n < 2) {
+    *result = n;
+    return;
+  }
+  long a = 0;
+  long b = 0;
+  rt::TaskAttrs attrs;
+  attrs.region = task;
+  ctx.create_task(
+      [task, n, &a](rt::TaskContext& c) { fib_region(c, task, n - 1, &a); },
+      attrs);
+  ctx.create_task(
+      [task, n, &b](rt::TaskContext& c) { fib_region(c, task, n - 2, &b); },
+      attrs);
+  ctx.taskwait();
+  *result = a + b;
+}
+
+long fib_serial(int n) {
+  return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+/// A replay region whose program spawns a DIFFERENT shape must (a) still
+/// compute the right answer, (b) count a divergence, and (c) mark the
+/// graph stale so later regions run fully dynamic (fallback).
+TEST(TaskGraphReplay, DivergentShapeFallsBackAndStaysCorrect) {
+  rt::RealConfig config;
+  config.scheduler = rt::SchedulerKind::kTaskGraph;
+  rt::RealRuntime runtime(config);
+  telemetry::Registry telem;
+  runtime.set_telemetry(&telem);
+  RegionRegistry registry;
+  const RegionHandle task =
+      registry.register_region("fib_task", RegionType::kTask);
+
+  auto run_fib = [&](int n) {
+    long result = 0;
+    (void)runtime.parallel(2, [&](rt::TaskContext& ctx) {
+      if (ctx.single()) fib_region(ctx, task, n, &result);
+    });
+    return result;
+  };
+
+  EXPECT_EQ(run_fib(10), fib_serial(10));  // records
+  ASSERT_TRUE(runtime.taskgraph_recorded());
+  EXPECT_EQ(run_fib(10), fib_serial(10));  // replays cleanly
+  EXPECT_FALSE(runtime.taskgraph_stale());
+
+  // Bigger problem: the recorded graph is too small — divergence.
+  EXPECT_EQ(run_fib(12), fib_serial(12));
+  EXPECT_TRUE(runtime.taskgraph_stale());
+
+  // Stale graph: later regions run dynamic (fallback), still correct.
+  EXPECT_EQ(run_fib(8), fib_serial(8));
+  EXPECT_EQ(run_fib(12), fib_serial(12));
+
+  using telemetry::Counter;
+  const telemetry::Snapshot snap = telem.snapshot();
+  EXPECT_EQ(snap.counter(Counter::kTaskgraphRecords), 1u);
+  EXPECT_GE(snap.counter(Counter::kTaskgraphDivergences), 1u);
+  EXPECT_GE(snap.counter(Counter::kTaskgraphFallbacks), 2u);
+  EXPECT_GT(snap.counter(Counter::kTaskgraphDynamicSpawns), 0u);
+  runtime.set_telemetry(nullptr);
+
+  // reset_taskgraph(): the next region records afresh and replay works
+  // again for the new shape.
+  runtime.reset_taskgraph();
+  EXPECT_FALSE(runtime.taskgraph_recorded());
+  EXPECT_EQ(run_fib(9), fib_serial(9));  // re-record
+  EXPECT_TRUE(runtime.taskgraph_recorded());
+  EXPECT_FALSE(runtime.taskgraph_stale());
+  EXPECT_EQ(run_fib(9), fib_serial(9));  // replay of the new graph
+  EXPECT_FALSE(runtime.taskgraph_stale());
+}
+
+/// A shrinking shape (fewer spawns than recorded) exercises the
+/// short-spawn / hole-sweep cancellation paths rather than the
+/// more-spawns-than-recorded path.
+TEST(TaskGraphReplay, ShrinkingShapeIsDetected) {
+  rt::RealConfig config;
+  config.scheduler = rt::SchedulerKind::kTaskGraph;
+  rt::RealRuntime runtime(config);
+  RegionRegistry registry;
+  const RegionHandle task =
+      registry.register_region("leaf", RegionType::kTask);
+
+  auto run_spawner = [&](int count) {
+    std::vector<long> hit(static_cast<std::size_t>(count), 0);
+    (void)runtime.parallel(2, [&](rt::TaskContext& ctx) {
+      if (!ctx.single()) return;
+      rt::TaskAttrs attrs;
+      attrs.region = task;
+      for (int i = 0; i < count; ++i) {
+        ctx.create_task(
+            [&hit, i](rt::TaskContext& c) {
+              c.work(20);
+              hit[static_cast<std::size_t>(i)] = 1;
+            },
+            attrs);
+      }
+      ctx.taskwait();
+    });
+    long sum = 0;
+    for (const long h : hit) sum += h;
+    return sum;
+  };
+
+  EXPECT_EQ(run_spawner(40), 40);  // records 40 root spawns
+  ASSERT_TRUE(runtime.taskgraph_recorded());
+  EXPECT_EQ(run_spawner(25), 25);  // replays short: 15 recorded holes
+  EXPECT_TRUE(runtime.taskgraph_stale());
+  EXPECT_EQ(run_spawner(40), 40);  // stale -> dynamic, still correct
+}
+
+/// The perturbation-immunity fuzz: under aggressive seeded schedule
+/// perturbation (yield injection, steal-first inversion, victim
+/// rotation), replay regions must neither diverge nor change the
+/// profile projection — placement comes from the run lists, not from
+/// race outcomes.  Each seed uses a fresh runtime (record + replay).
+TEST(TaskGraphReplay, ReplayIsImmuneToSchedulePerturbation) {
+  check::ProfileProjection reference;
+  bool have_reference = false;
+  std::uint64_t reference_checksum = 0;
+
+  for (const std::uint64_t seed : {1u, 7u, 99u, 1234u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const rt::SchedulePolicy policy(seed);
+    rt::RealConfig config;
+    config.scheduler = rt::SchedulerKind::kTaskGraph;
+    config.policy = &policy;
+    rt::RealRuntime runtime(config);
+
+    Measured m;
+    run_kernel(m, runtime, "fib", /*threads=*/2, /*iterations=*/2);
+    ASSERT_TRUE(m.result.ok) << m.result.check;
+    EXPECT_FALSE(runtime.taskgraph_stale()) << "perturbation caused "
+                                               "divergence";
+
+    check::ProfileProjection p = project(m, "taskgraph");
+    if (!have_reference) {
+      reference = p;
+      reference.engine = "reference";
+      reference_checksum = m.result.checksum;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(m.result.checksum, reference_checksum);
+    const std::vector<std::string> diffs =
+        check::diff_projections(reference, p);
+    std::string joined;
+    for (const std::string& d : diffs) joined += d + "\n";
+    EXPECT_TRUE(diffs.empty()) << joined;
+  }
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -71,7 +71,13 @@ TEST(TelemetryJson, GoldenRendering) {
       "    \"slab_remote_recycles\": 2,\n"
       "    \"migrations\": 0,\n"
       "    \"hook_events\": 4,\n"
-      "    \"hook_ticks\": 10\n"
+      "    \"hook_ticks\": 10,\n"
+      "    \"taskgraph_records\": 0,\n"
+      "    \"taskgraph_replays\": 0,\n"
+      "    \"taskgraph_fallbacks\": 0,\n"
+      "    \"taskgraph_divergences\": 0,\n"
+      "    \"taskgraph_static_spawns\": 0,\n"
+      "    \"taskgraph_dynamic_spawns\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"deque_depth_hwm\": 3,\n"
@@ -84,7 +90,8 @@ TEST(TelemetryJson, GoldenRendering) {
       "    \"hook_mean_ns\": 2.5\n"
       "  },\n"
       "  \"per_thread\": [\n"
-      "    [10, 10, 9, 1, 4, 2, 1, 5, 2, 1, 3, 10, 10, 2, 0, 4, 10]\n"
+      "    [10, 10, 9, 1, 4, 2, 1, 5, 2, 1, 3, 10, 10, 2, 0, 4, 10, "
+      "0, 0, 0, 0, 0, 0]\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(telemetry::snapshot_to_json(golden_snapshot()), expected);

@@ -1,23 +1,39 @@
 #!/usr/bin/env python3
-"""Gate BENCH_event_hotpath.json against the committed reference.
+"""Gate committed bench JSONs against fresh runs (ratio-based).
 
-The trajectory bench records every shape twice (mode=baseline, the plain
-engine, and mode=fastpath, the accelerated one).  Raw events/sec numbers
-are machine-dependent, so CI runs on shared runners cannot gate on them
-directly.  The per-shape speedup fastpath/baseline, however, is a
-same-binary, same-machine A/B: if a change erodes the fast path, the
-ratio drops on any machine.  This script fails when a candidate run's
-speedup falls below --min-ratio (default 0.85, i.e. a >15% regression)
-of the committed speedup for any shape.
+Two bench families are understood, dispatched on the file's "bench" id:
 
-With --absolute, the fastpath events/sec themselves are compared too --
-only meaningful when the candidate was produced on the same machine as
-the committed reference (e.g. a local before/after check).
+event_hotpath (BENCH_event_hotpath.json)
+  The trajectory bench records every shape twice (mode=baseline, the
+  plain engine, and mode=fastpath, the accelerated one).  Raw events/sec
+  numbers are machine-dependent, so CI runs on shared runners cannot
+  gate on them directly.  The per-shape speedup fastpath/baseline,
+  however, is a same-binary, same-machine A/B: if a change erodes the
+  fast path, the ratio drops on any machine.  This script fails when a
+  candidate run's speedup falls below --min-ratio (default 0.85, i.e. a
+  >15% regression) of the committed speedup for any shape.
+
+queue_contention (BENCH_queue_contention.json)
+  Each (workload, threads) cell carries all three schedulers
+  (mutex_deque, chase_lev, taskgraph).  The gated quantities are again
+  same-run ratios: chase_lev/mutex_deque per cell, and — on the
+  recurring "sweep" workload — taskgraph/chase_lev per cell (the
+  record-and-replay speedup, DESIGN.md §12).  --taskgraph-floor
+  additionally enforces an absolute floor on the file's summary
+  taskgraph_speedup_sweep_4t/8t fields; CI applies it to the committed
+  JSON (and to fresh runs with a generous --min-ratio, since shared
+  runners are noisy).
+
+With --absolute, raw events/sec are compared too -- only meaningful
+when the candidate was produced on the same machine as the committed
+reference (e.g. a local before/after check).
 
 Usage:
   python3 tools/check_bench_regression.py \
       --committed BENCH_event_hotpath.json \
       --candidate build/BENCH_event_hotpath.json
+  python3 tools/check_bench_regression.py \
+      --committed BENCH_queue_contention.json --taskgraph-floor 2.0
 """
 
 import argparse
@@ -25,10 +41,22 @@ import json
 import sys
 
 
-def load_speedups(path):
-    """Return {shape: (baseline_eps, fastpath_eps)} from a bench JSON."""
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
+    bench = doc.get("bench")
+    if bench not in ("event_hotpath", "queue_contention"):
+        raise SystemExit(f"{path}: unknown bench id {bench!r}")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# event_hotpath
+# ----------------------------------------------------------------------
+
+def load_speedups(path, doc=None):
+    """Return {shape: (baseline_eps, fastpath_eps)} from a bench JSON."""
+    doc = doc if doc is not None else load_doc(path)
     if doc.get("bench") != "event_hotpath":
         raise SystemExit(f"{path}: not an event_hotpath bench file")
     shapes = {}
@@ -85,8 +113,104 @@ def compare(committed, candidate, min_ratio, absolute=False, quiet=False):
     return failures
 
 
+# ----------------------------------------------------------------------
+# queue_contention
+# ----------------------------------------------------------------------
+
+# Per-cell ratios gated by contention_ratios(): numerator / denominator
+# scheduler throughput, restricted to `workloads` (None = all).
+CONTENTION_PAIRS = [
+    ("chase_lev", "mutex_deque", None),
+    ("taskgraph", "chase_lev", ("sweep",)),
+]
+
+
+def load_contention(path, doc=None):
+    """Return ({(workload, threads): {scheduler: tasks/s}}, summary)."""
+    doc = doc if doc is not None else load_doc(path)
+    if doc.get("bench") != "queue_contention":
+        raise SystemExit(f"{path}: not a queue_contention bench file")
+    cells = {}
+    for entry in doc.get("results", []):
+        key = (entry["workload"], int(entry["threads"]))
+        tps = float(entry["tasks_per_sec"])
+        if tps <= 0:
+            raise SystemExit(f"{path}: non-positive tasks/sec for {key}")
+        cells.setdefault(key, {})[entry["scheduler"]] = tps
+    if not cells:
+        raise SystemExit(f"{path}: no results")
+    if doc.get("task_counts_identical") is not True:
+        raise SystemExit(f"{path}: task_counts_identical is not true — "
+                         "the schedulers did not run the same work")
+    summary = {
+        k: float(doc.get(k, 0.0))
+        for k in ("taskgraph_speedup_sweep_4t", "taskgraph_speedup_sweep_8t")
+    }
+    return cells, summary
+
+
+def contention_ratios(cells, path="<cells>"):
+    """Flatten cells to {label: ratio} for every gated scheduler pair."""
+    ratios = {}
+    for (workload, threads), by_sched in sorted(cells.items()):
+        for num, den, only in CONTENTION_PAIRS:
+            if only is not None and workload not in only:
+                continue
+            if num not in by_sched or den not in by_sched:
+                raise SystemExit(
+                    f"{path}: cell {workload} x{threads} is missing "
+                    f"scheduler {num if num not in by_sched else den}")
+            label = f"{workload} x{threads} {num}/{den}"
+            ratios[label] = by_sched[num] / by_sched[den]
+    return ratios
+
+
+def compare_contention(committed, candidate, min_ratio, quiet=False):
+    """Gate candidate per-cell scheduler ratios against committed ones."""
+    failures = []
+    ref = contention_ratios(committed, "committed")
+    cand = contention_ratios(candidate, "candidate")
+    if not quiet:
+        print(f"{'cell ratio':<38} {'committed':>10} {'candidate':>10} "
+              f"{'ratio':>7}")
+    for label, ref_ratio in sorted(ref.items()):
+        if label not in cand:
+            failures.append(f"{label}: missing from candidate run")
+            continue
+        ratio = cand[label] / ref_ratio
+        flag = ""
+        if ratio < min_ratio:
+            failures.append(
+                f"{label}: {cand[label]:.2f}x is below {min_ratio:.2f}x "
+                f"of committed {ref_ratio:.2f}x")
+            flag = "  << FAIL"
+        if not quiet:
+            print(f"{label:<38} {ref_ratio:>9.2f}x {cand[label]:>9.2f}x "
+                  f"{ratio:>6.2f}{flag}")
+    return failures
+
+
+def gate_taskgraph_floor(summary, floor, label, quiet=False):
+    """Enforce the absolute replay-speedup floor on a summary dict."""
+    failures = []
+    for key, value in sorted(summary.items()):
+        flag = ""
+        if value < floor:
+            failures.append(
+                f"{label}: {key} = {value:.2f}x is below the "
+                f"{floor:.2f}x replay-speedup floor")
+            flag = "  << FAIL"
+        if not quiet:
+            print(f"{label}: {key:<28} {value:>6.2f}x "
+                  f"(floor {floor:.2f}x){flag}")
+    return failures
+
+
+# ----------------------------------------------------------------------
+
+
 def self_test():
-    """Exercise the loader and the gate on synthetic data; 0 on success."""
+    """Exercise the loaders and gates on synthetic data; 0 on success."""
     import os
     import tempfile
 
@@ -124,7 +248,7 @@ def self_test():
         with open(path, "w") as f:
             json.dump(bad, f)
         try:
-            load_speedups(path)
+            load_doc(path)
             raise AssertionError("wrong bench id accepted")
         except SystemExit:
             pass
@@ -139,6 +263,62 @@ def self_test():
     finally:
         os.remove(path)
 
+    # --- queue_contention ------------------------------------------------
+    qcells = {
+        ("fib", 4): {"mutex_deque": 1.0e6, "chase_lev": 1.5e6,
+                     "taskgraph": 1.4e6},
+        ("sweep", 4): {"mutex_deque": 0.8e6, "chase_lev": 1.0e6,
+                       "taskgraph": 2.2e6},
+    }
+    # Identical: clean pass; ratios include taskgraph only on sweep.
+    labels = set(contention_ratios(qcells))
+    assert labels == {"fib x4 chase_lev/mutex_deque",
+                      "sweep x4 chase_lev/mutex_deque",
+                      "sweep x4 taskgraph/chase_lev"}, labels
+    assert compare_contention(qcells, qcells, 0.85, quiet=True) == []
+    # Eroded replay: caught.
+    eroded = {k: dict(v) for k, v in qcells.items()}
+    eroded[("sweep", 4)]["taskgraph"] = 1.0e6
+    fails = compare_contention(qcells, eroded, 0.85, quiet=True)
+    assert len(fails) == 1 and "taskgraph/chase_lev" in fails[0], fails
+    # Missing cell: caught.
+    fails = compare_contention(
+        qcells, {("fib", 4): qcells[("fib", 4)]}, 0.85, quiet=True)
+    assert len(fails) == 2, fails
+    # Floor gate: 2.2x passes a 2.0 floor, 1.9x fails it.
+    summary = {"taskgraph_speedup_sweep_4t": 2.2,
+               "taskgraph_speedup_sweep_8t": 1.9}
+    fails = gate_taskgraph_floor(summary, 2.0, "t", quiet=True)
+    assert len(fails) == 1 and "sweep_8t" in fails[0], fails
+    assert gate_taskgraph_floor(summary, 1.5, "t", quiet=True) == []
+
+    # load_contention round trip, plus its rejects.
+    qdoc = {"bench": "queue_contention", "task_counts_identical": True,
+            "taskgraph_speedup_sweep_4t": 2.2,
+            "taskgraph_speedup_sweep_8t": 2.3,
+            "results": [
+                {"workload": "sweep", "threads": 4, "scheduler": s,
+                 "tasks_per_sec": t}
+                for s, t in (("mutex_deque", 1.0e6), ("chase_lev", 1.2e6),
+                             ("taskgraph", 2.5e6))]}
+    fd, path = tempfile.mkstemp(suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(qdoc, f)
+        cells, summary = load_contention(path)
+        assert cells[("sweep", 4)]["taskgraph"] == 2.5e6
+        assert summary["taskgraph_speedup_sweep_8t"] == 2.3
+        bad = dict(qdoc, task_counts_identical=False)
+        with open(path, "w") as f:
+            json.dump(bad, f)
+        try:
+            load_contention(path)
+            raise AssertionError("task-count mismatch accepted")
+        except SystemExit:
+            pass
+    finally:
+        os.remove(path)
+
     print("self-test passed")
     return 0
 
@@ -146,15 +326,20 @@ def self_test():
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--committed",
-                        help="reference BENCH_event_hotpath.json (committed)")
+                        help="committed reference bench JSON")
     parser.add_argument("--candidate",
-                        help="freshly produced BENCH_event_hotpath.json")
+                        help="freshly produced bench JSON (optional when "
+                             "only --taskgraph-floor is being checked)")
     parser.add_argument("--min-ratio", type=float, default=0.85,
-                        help="minimum candidate/committed speedup ratio "
-                             "before failing (default: 0.85)")
+                        help="minimum candidate/committed ratio before "
+                             "failing (default: 0.85)")
     parser.add_argument("--absolute", action="store_true",
-                        help="also gate fastpath events/sec (same-machine "
-                             "runs only)")
+                        help="also gate raw events/sec (same-machine runs "
+                             "only; event_hotpath)")
+    parser.add_argument("--taskgraph-floor", type=float, default=0.0,
+                        help="absolute floor for the queue_contention "
+                             "summary taskgraph replay speedups at >=4 "
+                             "threads (0 = off)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in checks on synthetic data "
                              "and exit")
@@ -162,21 +347,44 @@ def main():
 
     if args.self_test:
         return self_test()
-    if not args.committed or not args.candidate:
-        parser.error("--committed and --candidate are required "
-                     "(or use --self-test)")
+    if not args.committed:
+        parser.error("--committed is required (or use --self-test)")
 
-    committed = load_speedups(args.committed)
-    candidate = load_speedups(args.candidate)
-    failures = compare(committed, candidate, args.min_ratio, args.absolute)
+    committed_doc = load_doc(args.committed)
+    bench = committed_doc["bench"]
+    failures = []
+
+    if bench == "event_hotpath":
+        if not args.candidate:
+            parser.error("event_hotpath gating needs --candidate")
+        committed = load_speedups(args.committed, committed_doc)
+        candidate = load_speedups(args.candidate)
+        failures += compare(committed, candidate, args.min_ratio,
+                            args.absolute)
+    else:
+        committed, ref_summary = load_contention(args.committed,
+                                                 committed_doc)
+        if args.candidate:
+            candidate, cand_summary = load_contention(args.candidate)
+            failures += compare_contention(committed, candidate,
+                                           args.min_ratio)
+        if args.taskgraph_floor > 0:
+            failures += gate_taskgraph_floor(ref_summary,
+                                             args.taskgraph_floor,
+                                             "committed")
+            if args.candidate:
+                failures += gate_taskgraph_floor(cand_summary,
+                                                 args.taskgraph_floor *
+                                                 args.min_ratio,
+                                                 "candidate")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nbench regression gate passed "
-          f"({len(committed)} shapes, min ratio {args.min_ratio:.2f})")
+    print(f"\nbench regression gate passed ({bench}, "
+          f"min ratio {args.min_ratio:.2f})")
     return 0
 
 

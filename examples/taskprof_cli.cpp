@@ -13,15 +13,19 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bots/kernel.hpp"
 #include "check/invariants.hpp"
 #include "common/format.hpp"
+#include "diagnose/diagnose.hpp"
+#include "diagnose/render.hpp"
 #include "instrument/instrumentor.hpp"
 #include "report/analysis.hpp"
 #include "report/cube_export.hpp"
+#include "report/json_report.hpp"
 #include "report/text_report.hpp"
 #include "rt/real_runtime.hpp"
 #include "rt/sim_runtime.hpp"
@@ -43,6 +47,10 @@ void usage(const char* argv0) {
       "usage: %s --kernel=NAME [options]\n"
       "       %s load FILE.tpsnap [--report=tree|cube|csv] [--check]\n"
       "       %s merge --out=OUT.tpsnap FILE.tpsnap [FILE.tpsnap ...]\n"
+      "       taskprof_cli diagnose --kernel=NAME [run options]\n"
+      "                             [--fail-on=SEV] [--json=FILE]\n"
+      "       taskprof_cli diagnose FILE.tpsnap [--trace-file=FILE.tptrc]\n"
+      "       taskprof_cli diagnose --trace-file=FILE.tptrc\n"
       "\n"
       "kernels: alignment fft fib floorplan health nqueens sort sparselu\n"
       "         strassen\n"
@@ -85,7 +93,15 @@ void usage(const char* argv0) {
       "  --snapshot-every=MS   flush a partial snapshot every MS\n"
       "                        milliseconds during the run; the final flush\n"
       "                        replaces it with the complete profile\n"
-      "  --uninstrumented      run without measurement (timing baseline)\n");
+      "  --report-json=FILE    write the profile analysis (construct stats,\n"
+      "                        scheduling points, advisor findings) as JSON\n"
+      "  --uninstrumented      run without measurement (timing baseline)\n"
+      "\n"
+      "diagnose runs the detrimental-pattern detectors (creation storm,\n"
+      "serialized spawn chain, starved workers, granularity collapse,\n"
+      "taskwait serialization, replay fallback) over a live run, a .tpsnap\n"
+      "snapshot, and/or a recorded trace.  --fail-on=info|warning|problem\n"
+      "exits 3 when a finding at or above that severity is present.\n");
 }
 
 struct CliOptions {
@@ -102,6 +118,7 @@ struct CliOptions {
   std::string analyze_trace;
   std::string telemetry_json;
   std::string chrome_trace;
+  std::string report_json;
   std::string snapshot_out;
   std::uint64_t snapshot_every_ms = 0;
 };
@@ -156,6 +173,8 @@ bool parse(int argc, char** argv, CliOptions& cli) {
     } else if (arg.rfind("--chrome-trace=", 0) == 0) {
       cli.trace = true;
       cli.chrome_trace = value_of("--chrome-trace=");
+    } else if (arg.rfind("--report-json=", 0) == 0) {
+      cli.report_json = value_of("--report-json=");
     } else if (arg.rfind("--snapshot-out=", 0) == 0) {
       cli.snapshot_out = value_of("--snapshot-out=");
     } else if (arg.rfind("--snapshot-every=", 0) == 0) {
@@ -325,6 +344,227 @@ int cmd_merge(int argc, char** argv) {
   }
 }
 
+/// `taskprof_cli diagnose ...`: run the detrimental-pattern detectors.
+/// Three input modes, combinable where it makes sense:
+///   --kernel=NAME        live run (trace + telemetry recorded implicitly)
+///   FILE.tpsnap          post-mortem profile (+ telemetry if present)
+///   --trace-file=FILE    recorded trace (alone, or alongside a .tpsnap)
+int cmd_diagnose(int argc, char** argv) {
+  std::string kernel_name;
+  std::string engine = "sim";
+  std::string scheduler = "chase_lev";
+  std::string snapshot_path;
+  std::string trace_path;
+  std::string json_out;
+  std::string chrome_out;
+  std::string fail_on;
+  int repeat = 1;
+  bots::KernelConfig config;
+  config.threads = 4;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_name = value_of("--kernel=");
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = value_of("--engine=");
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      scheduler = value_of("--scheduler=");
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::stoi(value_of("--repeat="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.threads = std::stoi(value_of("--threads="));
+    } else if (arg == "--size=test") {
+      config.size = bots::SizeClass::kTest;
+    } else if (arg == "--size=small") {
+      config.size = bots::SizeClass::kSmall;
+    } else if (arg == "--size=medium") {
+      config.size = bots::SizeClass::kMedium;
+    } else if (arg == "--cutoff") {
+      config.cutoff = true;
+    } else if (arg == "--untied") {
+      config.untied = true;
+    } else if (arg == "--depth-params") {
+      config.depth_parameter = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::stoull(value_of("--seed="));
+    } else if (arg.rfind("--trace-file=", 0) == 0) {
+      trace_path = value_of("--trace-file=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_out = value_of("--json=");
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_out = value_of("--chrome-trace=");
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      fail_on = value_of("--fail-on=");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else if (snapshot_path.empty()) {
+      snapshot_path = arg;
+    } else {
+      std::fprintf(stderr, "diagnose takes at most one .tpsnap file\n");
+      return 2;
+    }
+  }
+  diag::Severity gate = diag::Severity::kProblem;
+  if (!fail_on.empty() && !diag::parse_severity(fail_on, &gate)) {
+    std::fprintf(stderr, "--fail-on must be info|warning|problem\n");
+    return 2;
+  }
+  const bool live = !kernel_name.empty();
+  if (!live && snapshot_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr, "diagnose needs --kernel=NAME, a .tpsnap file, "
+                 "or --trace-file=FILE\n");
+    return 2;
+  }
+  if (live && !snapshot_path.empty()) {
+    std::fprintf(stderr, "diagnose: --kernel and a .tpsnap file are "
+                 "mutually exclusive\n");
+    return 2;
+  }
+
+  // Inputs must outlive run_diagnosis; declare all storage up front.
+  RegionRegistry registry;
+  AggregateProfile profile;
+  snapshot::SnapshotData snap;
+  trace::Trace recorded;
+  telemetry::Snapshot telemetry_snapshot;
+  diag::DiagnosisInput input;
+
+  try {
+    if (live) {
+      auto kernel = bots::make_kernel(kernel_name);
+      if (kernel == nullptr) {
+        std::fprintf(stderr, "unknown kernel: %s\n", kernel_name.c_str());
+        return 2;
+      }
+      std::unique_ptr<rt::Runtime> runtime;
+      if (engine == "sim") {
+        runtime = std::make_unique<rt::SimRuntime>();
+      } else if (engine == "real") {
+        rt::RealConfig real_config;
+        if (scheduler == "chase_lev") {
+          real_config.scheduler = rt::SchedulerKind::kChaseLev;
+        } else if (scheduler == "mutex_deque") {
+          real_config.scheduler = rt::SchedulerKind::kMutexDeque;
+        } else if (scheduler == "taskgraph") {
+          real_config.scheduler = rt::SchedulerKind::kTaskGraph;
+        } else {
+          std::fprintf(stderr, "unknown scheduler: %s\n", scheduler.c_str());
+          return 2;
+        }
+        runtime = std::make_unique<rt::RealRuntime>(real_config);
+      } else {
+        std::fprintf(stderr, "unknown engine: %s\n", engine.c_str());
+        return 2;
+      }
+      // A diagnose run always records everything the detectors can use:
+      // profile, trace, and telemetry.
+      Instrumentor instrumentor(registry, MeasureOptions{});
+      trace::TraceRecorder recorder;
+      telemetry::Registry telem;
+      rt::FanoutHooks fanout;
+      fanout.add(&instrumentor);
+      fanout.add(&recorder);
+      telemetry::TimedHooks timed(&fanout, &telem);
+      runtime->set_hooks(&timed);
+      runtime->set_telemetry(&telem);
+      bots::KernelResult result;
+      for (int run = 0; run < repeat; ++run) {
+        result = kernel->run(*runtime, registry, config);
+        if (!result.ok) break;
+      }
+      runtime->set_hooks(nullptr);
+      runtime->set_telemetry(nullptr);
+      if (!result.ok) {
+        std::fprintf(stderr, "kernel self-check FAILED: %s\n",
+                     result.check.c_str());
+        return 1;
+      }
+      instrumentor.finalize();
+      profile = instrumentor.aggregate();
+      recorded = recorder.take();
+      telemetry_snapshot = telem.snapshot();
+      input.profile = &profile;
+      input.registry = &registry;
+      input.trace = &recorded;
+      input.telemetry = &telemetry_snapshot;
+    } else if (!snapshot_path.empty()) {
+      snap = snapshot::read_snapshot_file(snapshot_path);
+      input.profile = &snap.profile;
+      input.registry = snap.registry.get();
+      if (snap.has_telemetry) input.telemetry = &snap.telemetry;
+      if (!trace_path.empty()) {
+        recorded = trace::read_trace_file(trace_path);
+        input.trace = &recorded;
+      }
+    } else {
+      // Trace only: region names are not stored in the trace file, so
+      // run against a registry of generated names (same as
+      // --analyze-trace).
+      recorded = trace::read_trace_file(trace_path);
+      RegionHandle max_region = 0;
+      for (const auto& event : recorded.merged()) {
+        if (event.region != kInvalidRegion) {
+          max_region = std::max(max_region, event.region);
+        }
+      }
+      for (RegionHandle r = 0; r <= max_region; ++r) {
+        registry.register_region("region " + std::to_string(r),
+                                 RegionType::kTask);
+      }
+      input.registry = &registry;
+      input.trace = &recorded;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+
+  const diag::DiagnosisReport report = diag::run_diagnosis(input);
+  {
+    std::ostringstream os;
+    diag::render_diagnosis_text(report, os);
+    std::fputs(os.str().c_str(), stdout);
+  }
+  if (!json_out.empty()) {
+    const std::string json = diag::render_diagnosis_json(report);
+    std::FILE* f = std::fopen(json_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("diagnosis JSON written to %s\n", json_out.c_str());
+  }
+  if (!chrome_out.empty() && input.trace != nullptr) {
+    try {
+      const std::vector<trace::TraceAnnotation> annotations =
+          diag::diagnosis_annotations(report);
+      trace::ChromeExportOptions chrome;
+      chrome.registry = input.registry;
+      chrome.telemetry = input.telemetry;
+      chrome.annotations = &annotations;
+      trace::write_chrome_trace(chrome_out, *input.trace, chrome);
+      std::printf("chrome trace written to %s (diagnoses as instant "
+                  "events)\n",
+                  chrome_out.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
+    }
+  }
+  if (!fail_on.empty() && report.count_at_least(gate) > 0) {
+    std::fprintf(stderr, "diagnose: %zu finding(s) at or above %s\n",
+                 report.count_at_least(gate), diag::severity_name(gate));
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +573,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "merge") == 0) {
     return cmd_merge(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "diagnose") == 0) {
+    return cmd_diagnose(argc, argv);
   }
   CliOptions cli;
   if (!parse(argc, argv, cli)) {
@@ -460,12 +703,19 @@ int main(int argc, char** argv) {
   runtime->set_hooks(nullptr);
   runtime->set_telemetry(nullptr);
   if (real_runtime != nullptr && cli.scheduler == "taskgraph") {
-    std::printf("taskgraph: %zu nodes recorded, %d replay run(s), %s\n",
-                real_runtime->taskgraph_size(),
-                cli.repeat > 1 ? cli.repeat - 1 : 0,
-                real_runtime->taskgraph_stale()
-                    ? "diverged (fell back to chase_lev)"
-                    : "shape stable");
+    if (real_runtime->taskgraph_stale()) {
+      std::printf("taskgraph: %zu nodes recorded, %d replay run(s), "
+                  "diverged (fell back to chase_lev; cause: %s)\n",
+                  real_runtime->taskgraph_size(),
+                  cli.repeat > 1 ? cli.repeat - 1 : 0,
+                  rt::scheduler_note_name(
+                      real_runtime->taskgraph_fallback_reason()));
+    } else {
+      std::printf("taskgraph: %zu nodes recorded, %d replay run(s), "
+                  "shape stable\n",
+                  real_runtime->taskgraph_size(),
+                  cli.repeat > 1 ? cli.repeat - 1 : 0);
+    }
   }
   if (flusher != nullptr) flusher->stop();
 
@@ -553,6 +803,17 @@ int main(int argc, char** argv) {
   }
   if (cli.report == "findings" || cli.report == "all") {
     std::fputs(render_findings(diagnose(profile, registry)).c_str(), stdout);
+  }
+  if (!cli.report_json.empty()) {
+    const std::string json = render_report_json(profile, registry);
+    std::FILE* f = std::fopen(cli.report_json.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", cli.report_json.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("report JSON written to %s\n", cli.report_json.c_str());
   }
   return result.ok ? 0 : 1;
 }

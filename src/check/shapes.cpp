@@ -1,0 +1,171 @@
+#include "check/shapes.hpp"
+
+#include "check/random_tree.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/sim_runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace taskprof::check {
+
+namespace {
+
+// Sim cost model for reference: create_local = 150, create_service = 260,
+// dequeue_service = 220 ticks.  Scenario numbers below are chosen against
+// those costs so each pattern clears its detector threshold with margin.
+
+/// kSerializedSpawnChain: each link works, spawns exactly one successor,
+/// and waits for it — the creation tree is a 40-deep linked list carrying
+/// all the work, so logical parallelism pins near 1.
+void chain_link(rt::TaskContext& ctx, RegionHandle region, int remaining) {
+  rt::TaskAttrs attrs;
+  attrs.region = region;
+  ctx.create_task(
+      [region, remaining](rt::TaskContext& c) {
+        c.work(3'000);
+        if (remaining > 1) {
+          chain_link(c, region, remaining - 1);
+          c.taskwait();
+        }
+      },
+      attrs);
+}
+
+}  // namespace
+
+const char* anti_pattern_name(AntiPattern pattern) noexcept {
+  switch (pattern) {
+    case AntiPattern::kCreationStorm: return "creation_storm";
+    case AntiPattern::kSerializedSpawnChain: return "serialized_spawn_chain";
+    case AntiPattern::kStarvedWorkers: return "starved_workers";
+    case AntiPattern::kGranularityCollapse: return "granularity_collapse";
+    case AntiPattern::kTaskwaitSerialization: return "taskwait_serialization";
+    case AntiPattern::kClean: return "clean";
+  }
+  return "?";
+}
+
+const char* anti_pattern_detector(AntiPattern pattern) noexcept {
+  return pattern == AntiPattern::kClean ? "" : anti_pattern_name(pattern);
+}
+
+ShapeRun run_anti_pattern(AntiPattern pattern) {
+  ShapeRun out;
+  out.registry = std::make_unique<RegionRegistry>();
+  RegionRegistry& registry = *out.registry;
+
+  rt::SimRuntime runtime;
+  Instrumentor instrumentor(registry, MeasureOptions{});
+  trace::TraceRecorder recorder;
+  telemetry::Registry telem;
+  rt::FanoutHooks fanout;
+  fanout.add(&instrumentor);
+  fanout.add(&recorder);
+  runtime.set_hooks(&fanout);
+  runtime.set_telemetry(&telem);
+
+  switch (pattern) {
+    case AntiPattern::kCreationStorm: {
+      // One thread creates 2000 tasks at ~150 ticks apiece while the only
+      // other thread retires them at ~5000 ticks apiece: the ready backlog
+      // climbs into the thousands (threshold at 2 threads: 192).
+      out.threads = 2;
+      const RegionHandle task =
+          registry.register_region("storm_task", RegionType::kTask);
+      out.task_region = task;
+      runtime.parallel(out.threads, [&](rt::TaskContext& ctx) {
+        if (!ctx.single()) return;
+        rt::TaskAttrs attrs;
+        attrs.region = task;
+        for (int i = 0; i < 2'000; ++i) {
+          ctx.create_task([](rt::TaskContext& c) { c.work(5'000); }, attrs);
+        }
+      });
+      break;
+    }
+    case AntiPattern::kSerializedSpawnChain: {
+      out.threads = 2;
+      const RegionHandle task =
+          registry.register_region("chain_task", RegionType::kTask);
+      out.task_region = task;
+      runtime.parallel(out.threads, [&](rt::TaskContext& ctx) {
+        if (!ctx.single()) return;
+        chain_link(ctx, task, 40);
+        ctx.taskwait();
+      });
+      break;
+    }
+    case AntiPattern::kStarvedWorkers: {
+      // Two 2 ms tasks on an 8-thread team: six threads spend the whole
+      // region waiting at the barrier, and work/span caps parallelism at 2.
+      out.threads = 8;
+      const RegionHandle task =
+          registry.register_region("starve_task", RegionType::kTask);
+      out.task_region = task;
+      runtime.parallel(out.threads, [&](rt::TaskContext& ctx) {
+        if (!ctx.single()) return;
+        rt::TaskAttrs attrs;
+        attrs.region = task;
+        for (int i = 0; i < 2; ++i) {
+          ctx.create_task([](rt::TaskContext& c) { c.work(2'000'000); },
+                          attrs);
+        }
+        ctx.taskwait();
+      });
+      break;
+    }
+    case AntiPattern::kGranularityCollapse: {
+      // Complete binary tree, depth 10: 2046 tasks of 10 ticks body work
+      // against ~150 ticks creation cost — ratio ~15x with bodies far
+      // under the 150 ns floor.
+      out.threads = 4;
+      UniformTree tree(registry, /*work=*/10);
+      out.task_region = tree.task_region();
+      runtime.parallel(out.threads, [&](rt::TaskContext& ctx) {
+        if (!ctx.single()) return;
+        tree.body(ctx, /*depth=*/10, /*fanout=*/2);
+      });
+      break;
+    }
+    case AntiPattern::kTaskwaitSerialization: {
+      // Spawn-wait lockstep: 24 sequential (spawn, taskwait) rounds keep
+      // at most one task in flight while the spawner blocks.
+      out.threads = 4;
+      const RegionHandle task =
+          registry.register_region("lockstep_task", RegionType::kTask);
+      out.task_region = task;
+      runtime.parallel(out.threads, [&](rt::TaskContext& ctx) {
+        if (!ctx.single()) return;
+        rt::TaskAttrs attrs;
+        attrs.region = task;
+        for (int i = 0; i < 24; ++i) {
+          ctx.create_task([](rt::TaskContext& c) { c.work(8'000); }, attrs);
+          ctx.taskwait();
+        }
+      });
+      break;
+    }
+    case AntiPattern::kClean: {
+      // Healthy fan-out: 363 tasks of 4000 ticks in a fanout-3 tree —
+      // enough creations to arm every detector's minimums without
+      // tripping any of them.
+      out.threads = 4;
+      UniformTree tree(registry, /*work=*/4'000);
+      out.task_region = tree.task_region();
+      runtime.parallel(out.threads, [&](rt::TaskContext& ctx) {
+        if (!ctx.single()) return;
+        tree.body(ctx, /*depth=*/5, /*fanout=*/3);
+      });
+      break;
+    }
+  }
+
+  runtime.set_hooks(nullptr);
+  runtime.set_telemetry(nullptr);
+  instrumentor.finalize();
+  out.profile = instrumentor.aggregate();
+  out.trace = recorder.take();
+  out.telemetry = telem.snapshot();
+  return out;
+}
+
+}  // namespace taskprof::check

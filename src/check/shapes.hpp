@@ -1,0 +1,56 @@
+// Seeded anti-pattern task-tree shapes for the diagnosis engine's test
+// corpus.  Each shape is a small deterministic program (sim engine,
+// virtual time) constructed to provably contain — or provably not
+// contain — one of the detrimental patterns the src/diagnose detectors
+// name.  tests/test_diagnose.cpp asserts the right detector fires with
+// the right call path; tests/corpus/diagnose/*.case pin the full JSON
+// reports byte-for-byte.
+#pragma once
+
+#include <memory>
+
+#include "measure/aggregate.hpp"
+#include "profile/region.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/trace.hpp"
+
+namespace taskprof::check {
+
+enum class AntiPattern : std::uint8_t {
+  kCreationStorm,         ///< one thread floods the queue with slow tasks
+  kSerializedSpawnChain,  ///< each task spawns exactly one successor
+  kStarvedWorkers,        ///< two big tasks on a wide team
+  kGranularityCollapse,   ///< bodies far cheaper than task creation
+  kTaskwaitSerialization, ///< spawn one, wait, spawn one, wait, ...
+  kClean,                 ///< healthy fan-out tree; must stay problem-free
+};
+
+inline constexpr AntiPattern kAllAntiPatterns[] = {
+    AntiPattern::kCreationStorm,         AntiPattern::kSerializedSpawnChain,
+    AntiPattern::kStarvedWorkers,        AntiPattern::kGranularityCollapse,
+    AntiPattern::kTaskwaitSerialization, AntiPattern::kClean,
+};
+
+/// Stable scenario name ("creation_storm", ..., "clean").
+[[nodiscard]] const char* anti_pattern_name(AntiPattern pattern) noexcept;
+
+/// Id of the detector expected to flag the scenario ("" for kClean).
+[[nodiscard]] const char* anti_pattern_detector(AntiPattern pattern) noexcept;
+
+/// Everything a diagnosis consumes from one scenario run.
+struct ShapeRun {
+  std::unique_ptr<RegionRegistry> registry;
+  AggregateProfile profile;
+  trace::Trace trace;
+  telemetry::Snapshot telemetry;
+  int threads = 0;
+  /// The construct the diagnosis should point at.
+  RegionHandle task_region = kInvalidRegion;
+};
+
+/// Run the scenario on the deterministic sim engine with profile, trace,
+/// and telemetry capture attached.  Identical calls produce identical
+/// traces (and therefore byte-identical diagnosis JSON).
+[[nodiscard]] ShapeRun run_anti_pattern(AntiPattern pattern);
+
+}  // namespace taskprof::check

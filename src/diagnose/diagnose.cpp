@@ -1,0 +1,89 @@
+#include "diagnose/diagnose.hpp"
+
+#include <algorithm>
+
+#include "diagnose/detectors.hpp"
+#include "trace/analysis.hpp"
+
+namespace taskprof::diag {
+
+Severity DiagnosisReport::max_severity() const noexcept {
+  Severity max = Severity::kInfo;
+  for (const Diagnosis& d : findings) {
+    if (d.severity > max) max = d.severity;
+  }
+  return max;
+}
+
+std::size_t DiagnosisReport::count_at_least(Severity floor) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnosis& d : findings) {
+    if (d.severity >= floor) ++n;
+  }
+  return n;
+}
+
+bool parse_severity(const std::string& text, Severity* out) {
+  if (text == "info") {
+    *out = Severity::kInfo;
+  } else if (text == "warning") {
+    *out = Severity::kWarning;
+  } else if (text == "problem") {
+    *out = Severity::kProblem;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DiagnosisReport run_diagnosis(const DiagnosisInput& input,
+                              const DiagnoseOptions& options) {
+  DiagnosisReport report;
+  if (input.registry == nullptr) return report;
+
+  // A profile unlocks the construct-level detectors; a trace alone still
+  // feeds the time-domain ones.
+  std::vector<TaskConstructStats> constructs;
+  SchedulingPointSummary scheduling;
+  if (input.profile != nullptr) {
+    constructs = task_construct_stats(*input.profile, *input.registry);
+    scheduling = scheduling_point_summary(*input.profile, *input.registry);
+  }
+
+  trace::TraceAnalysis trace_analysis;
+  const bool have_trace =
+      input.trace != nullptr && !input.trace->merged().empty();
+  if (have_trace) {
+    trace_analysis = trace::analyze_trace(*input.trace);
+    report.workspan = compute_workspan(trace_analysis, *input.registry);
+    report.has_workspan = true;
+  }
+
+  DetectorContext ctx{input,
+                      options,
+                      constructs,
+                      scheduling,
+                      static_cast<int>(
+                          have_trace ? input.trace->thread_count()
+                                     : (input.profile != nullptr
+                                            ? input.profile->thread_count
+                                            : 0)),
+                      have_trace ? &trace_analysis : nullptr,
+                      report.has_workspan ? &report.workspan : nullptr};
+
+  for (const Detector& detector : detector_registry()) {
+    detector.run(ctx, &report.findings);
+  }
+
+  // Rank: severity first, then detector-relative score; detector id as the
+  // final tie-break keeps the ordering (and the golden JSON) stable.
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Diagnosis& a, const Diagnosis& b) {
+                     if (a.severity != b.severity) return a.severity > b.severity;
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.detector < b.detector;
+                   });
+  return report;
+}
+
+}  // namespace taskprof::diag

@@ -1,0 +1,109 @@
+#include "diagnose/workspan.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace taskprof::diag {
+
+WorkSpanSummary compute_workspan(const trace::TraceAnalysis& analysis,
+                                 const RegionRegistry& registry) {
+  WorkSpanSummary out;
+
+  // Creation tree: parent instance -> children it created.  Children are
+  // sorted by id so the argmax walk below is deterministic.
+  std::unordered_map<TaskInstanceId, std::vector<const trace::TaskLifetime*>>
+      children;
+  std::unordered_map<TaskInstanceId, const trace::TaskLifetime*> by_id;
+  for (const trace::TaskLifetime& life : analysis.tasks) {
+    out.work += life.active;
+    children[life.parent].push_back(&life);
+    by_id.emplace(life.id, &life);
+  }
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(),
+              [](const trace::TaskLifetime* a, const trace::TaskLifetime* b) {
+                return a->id < b->id;
+              });
+  }
+
+  // Heaviest chain below each instance, memoized; best_child reconstructs
+  // the path without storing it per node.
+  struct Chain {
+    Ticks time = 0;
+    int length = 0;
+    TaskInstanceId best_child = kImplicitTaskId;  ///< 0 = leaf
+  };
+  std::unordered_map<TaskInstanceId, Chain> memo;
+  auto chain_of = [&](const trace::TaskLifetime& life,
+                      auto&& self) -> Chain {
+    if (auto it = memo.find(life.id); it != memo.end()) return it->second;
+    Chain best;
+    if (auto it = children.find(life.id); it != children.end()) {
+      for (const trace::TaskLifetime* child : it->second) {
+        const Chain sub = self(*child, self);
+        if (sub.time > best.time) {
+          best.time = sub.time;
+          best.length = sub.length;
+          best.best_child = child->id;
+        }
+      }
+    }
+    const Chain result{life.active + best.time, 1 + best.length,
+                       best.best_child};
+    memo.emplace(life.id, result);
+    return result;
+  };
+
+  // The span starts at some task whose parent is not itself an explicit
+  // task on the chain: consider every task created by an implicit task a
+  // chain root, plus orphans whose parent never completed.
+  const trace::TaskLifetime* span_root = nullptr;
+  Chain span_chain;
+  for (const trace::TaskLifetime& life : analysis.tasks) {
+    const bool is_root =
+        life.parent == kImplicitTaskId || by_id.count(life.parent) == 0;
+    if (!is_root) continue;
+    const Chain chain = chain_of(life, chain_of);
+    if (chain.time > span_chain.time ||
+        (chain.time == span_chain.time &&
+         (span_root == nullptr || life.id < span_root->id))) {
+      span_chain = chain;
+      span_root = &life;
+    }
+  }
+  if (span_root == nullptr) return out;
+
+  out.span = span_chain.time;
+  out.span_length = span_chain.length;
+
+  // Reconstruct the chain and attribute per construct.
+  std::unordered_map<RegionHandle, ConstructSpanShare> shares;
+  const trace::TaskLifetime* node = span_root;
+  while (node != nullptr) {
+    out.span_tasks.push_back(node->id);
+    ConstructSpanShare& share = shares[node->region];
+    share.region = node->region;
+    share.on_span += node->active;
+    share.instances += 1;
+    const Chain& chain = memo.at(node->id);
+    node = chain.best_child == kImplicitTaskId
+               ? nullptr
+               : by_id.at(chain.best_child);
+  }
+  for (auto& [region, share] : shares) {
+    if (region != kInvalidRegion && region < registry.size()) {
+      share.name = registry.info(region).name;
+    } else {
+      share.name = "region " + std::to_string(region);
+    }
+    out.shares.push_back(share);
+  }
+  std::sort(out.shares.begin(), out.shares.end(),
+            [](const ConstructSpanShare& a, const ConstructSpanShare& b) {
+              if (a.on_span != b.on_span) return a.on_span > b.on_span;
+              return a.region < b.region;
+            });
+  return out;
+}
+
+}  // namespace taskprof::diag

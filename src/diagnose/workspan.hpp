@@ -1,0 +1,51 @@
+// Per-task work/span accounting over reconstructed task lifetimes
+// (TASKPROF-style).
+//
+//   work = sum of executed-fragment time over all completed tasks
+//   span = the heaviest root-to-leaf chain through the creation tree
+//          (each hop parent -> child it created), by active time
+//
+// Logical parallelism = work / span bounds the speedup any scheduler can
+// extract from the task structure; the per-construct span shares say
+// *which* task construct owns the critical path — the what-to-optimize
+// answer the plain profile cannot give.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "profile/region.hpp"
+#include "trace/analysis.hpp"
+
+namespace taskprof::diag {
+
+/// One construct's share of the critical path.
+struct ConstructSpanShare {
+  RegionHandle region = kInvalidRegion;
+  std::string name;
+  Ticks on_span = 0;       ///< active time this construct contributes
+  int instances = 0;       ///< chain members from this construct
+};
+
+struct WorkSpanSummary {
+  Ticks work = 0;
+  Ticks span = 0;
+  int span_length = 0;  ///< tasks on the critical chain
+  /// Chain instance ids, outermost first (empty when no tasks completed).
+  std::vector<TaskInstanceId> span_tasks;
+  /// Per-construct critical-path attribution, largest share first.
+  std::vector<ConstructSpanShare> shares;
+
+  [[nodiscard]] double logical_parallelism() const noexcept {
+    return span == 0 ? 0.0
+                     : static_cast<double>(work) / static_cast<double>(span);
+  }
+};
+
+/// Compute work/span from a finished trace analysis.  Deterministic: ties
+/// on chain weight break toward the smaller instance id.
+[[nodiscard]] WorkSpanSummary compute_workspan(
+    const trace::TraceAnalysis& analysis, const RegionRegistry& registry);
+
+}  // namespace taskprof::diag

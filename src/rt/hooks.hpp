@@ -22,6 +22,44 @@
 
 namespace taskprof::rt {
 
+/// Out-of-band scheduler condition worth surfacing to observers: why a
+/// taskgraph replay abandoned its static schedule, or that a region fell
+/// back to dynamic scheduling before it started.  Carried by
+/// on_scheduler_note so traces and telemetry can tell fallbacks apart.
+enum class SchedulerNote : std::uint8_t {
+  kNone = 0,
+  /// Region started in fallback mode because the recorded graph was
+  /// marked stale (a prior region diverged or recording failed).
+  kTaskgraphFallbackStale = 1,
+  /// A replayed task spawned a child whose construct/shape did not match
+  /// the recorded graph node (structure mismatch).
+  kTaskgraphDivergeStructure = 2,
+  /// A replayed task (or the root) produced fewer children than the
+  /// recorded graph expected (short spawn).
+  kTaskgraphDivergeShortSpawn = 3,
+  /// The region went quiescent with recorded graph nodes never spawned
+  /// (unspawned residue).
+  kTaskgraphDivergeResidue = 4,
+};
+
+/// Stable short identifier for a SchedulerNote (used as a trace-event /
+/// telemetry label).
+inline const char* scheduler_note_name(SchedulerNote note) {
+  switch (note) {
+    case SchedulerNote::kNone:
+      return "none";
+    case SchedulerNote::kTaskgraphFallbackStale:
+      return "taskgraph_fallback_stale";
+    case SchedulerNote::kTaskgraphDivergeStructure:
+      return "taskgraph_diverge_structure";
+    case SchedulerNote::kTaskgraphDivergeShortSpawn:
+      return "taskgraph_diverge_short_spawn";
+    case SchedulerNote::kTaskgraphDivergeResidue:
+      return "taskgraph_diverge_residue";
+  }
+  return "unknown";
+}
+
 class SchedulerHooks {
  public:
   virtual ~SchedulerHooks() = default;
@@ -121,6 +159,20 @@ class SchedulerHooks {
     (void)thread;
     (void)region;
   }
+
+  // -- Scheduler diagnostics ----------------------------------------------
+
+  /// The scheduler hit a noteworthy out-of-band condition (e.g. a
+  /// taskgraph replay divergence).  `detail` is note-specific: the graph
+  /// node / ordinal involved where known, 0 otherwise.  May fire on any
+  /// worker thread, or on the encountering thread between
+  /// on_parallel_begin and the workers' implicit-task begins.
+  virtual void on_scheduler_note(ThreadId thread, SchedulerNote note,
+                                 std::int64_t detail) {
+    (void)thread;
+    (void)note;
+    (void)detail;
+  }
 };
 
 /// Forwards every event to several listeners in order — e.g. a profiler
@@ -191,6 +243,10 @@ class FanoutHooks final : public SchedulerHooks {
   }
   void on_region_exit(ThreadId thread, RegionHandle region) override {
     for (auto* l : listeners_) l->on_region_exit(thread, region);
+  }
+  void on_scheduler_note(ThreadId thread, SchedulerNote note,
+                         std::int64_t detail) override {
+    for (auto* l : listeners_) l->on_scheduler_note(thread, note, detail);
   }
 
  private:

@@ -249,6 +249,10 @@ struct RealRuntime::Impl {
   /// (one relaxed load); divergence makes it nonzero and re-enables them.
   std::atomic<std::uint64_t> dynamic_outstanding{0};
   std::atomic<std::uint64_t> region_divergences{0};  ///< this region
+  /// First divergence/fallback cause, sticky until reset_taskgraph():
+  /// tells humans and the diagnosis engine *why* replay gave up, not just
+  /// that it did.  Stored as the SchedulerNote code (0 = none).
+  std::atomic<std::uint8_t> fallback_reason{0};
   /// Implicit tasks whose body returned: the last one knows no further
   /// root spawns can come and cancels unclaimed recorded root subtrees
   /// (otherwise a short-spawning replay would leave slots empty forever
@@ -308,6 +312,35 @@ struct RealRuntime::Impl {
   /// divergence fallback, so everything except kMutexDeque uses them.
   [[nodiscard]] bool lock_free_queues() const noexcept {
     return config.scheduler != SchedulerKind::kMutexDeque;
+  }
+
+  static telemetry::Counter divergence_counter(SchedulerNote note) noexcept {
+    switch (note) {
+      case SchedulerNote::kTaskgraphDivergeStructure:
+        return telemetry::Counter::kTaskgraphDivergeStructure;
+      case SchedulerNote::kTaskgraphDivergeShortSpawn:
+        return telemetry::Counter::kTaskgraphDivergeShortSpawn;
+      default:
+        return telemetry::Counter::kTaskgraphDivergeResidue;
+    }
+  }
+
+  /// Keep only the *first* cause: later divergences are usually knock-on
+  /// effects of the first one and would bury it.
+  void remember_fallback_reason(SchedulerNote note) noexcept {
+    std::uint8_t expected = 0;
+    fallback_reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(note), std::memory_order_relaxed);
+  }
+
+  /// One replay divergence: bumps the aggregate and per-reason counters,
+  /// records the sticky first cause, and surfaces a trace instant.
+  void diverge(ThreadState& st, SchedulerNote note, std::int64_t detail) {
+    region_divergences.fetch_add(1, std::memory_order_relaxed);
+    st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+    st.telem.add(divergence_counter(note));
+    remember_fallback_reason(note);
+    if (hooks != nullptr) hooks->on_scheduler_note(st.tid, note, detail);
   }
 
   void enqueue(ThreadState& st, TaskRecord* rec) {
@@ -539,8 +572,8 @@ struct RealRuntime::Impl {
       // produced.  Cancel their subtrees before this task's counters
       // drop, so no run list stays queued behind a slot that can no
       // longer be filled.
-      region_divergences.fetch_add(1, std::memory_order_relaxed);
-      st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+      diverge(st, SchedulerNote::kTaskgraphDivergeShortSpawn,
+              rec->graph_node);
       replay.cancel_children_from(rec->graph_node, rec->replay_ordinal);
     }
     if (hooks != nullptr) hooks->on_task_end(st.tid, rec->id);
@@ -824,8 +857,8 @@ class RealContext final : public TaskContext {
     std::uint32_t node = kGraphNone;
     if (!rt_.graph->match_spawn(parent_key, ordinal, attrs.region,
                                 attrs.parameter, &node)) {
-      rt_.region_divergences.fetch_add(1, std::memory_order_relaxed);
-      st_.telem.add(telemetry::Counter::kTaskgraphDivergences);
+      rt_.diverge(st_, SchedulerNote::kTaskgraphDivergeStructure,
+                  parent_key == kGraphRoot ? ordinal : parent_key);
       if (parent_key == kGraphRoot) {
         // Root spawns share one ordinal counter across workers, so only
         // this ordinal's recorded subtree is orphaned — later root
@@ -1002,6 +1035,14 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
     st.task_stack.push_back(&st.implicit_record);
     RealContext ctx(rt, st);
     if (rt.hooks != nullptr) rt.hooks->on_implicit_task_begin(tid, rt.clock);
+    if (tid == 0 && rt.graph_mode == Impl::GraphMode::kFallback &&
+        rt.hooks != nullptr) {
+      // Announce *why* this region runs dynamically on a recorded graph:
+      // detail carries the original divergence cause.
+      rt.hooks->on_scheduler_note(
+          0, SchedulerNote::kTaskgraphFallbackStale,
+          rt.fallback_reason.load(std::memory_order_relaxed));
+    }
     body(ctx);
     if (rt.graph_mode == Impl::GraphMode::kReplay &&
         st.root_next < st.root_end) {
@@ -1018,8 +1059,8 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
         rt.replay.cancel_subtree(n);
       }
       if (hole) {
-        rt.region_divergences.fetch_add(1, std::memory_order_relaxed);
-        st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+        rt.diverge(st, SchedulerNote::kTaskgraphDivergeShortSpawn,
+                   st.root_next);
       }
     }
     if (rt.graph_mode == Impl::GraphMode::kReplay &&
@@ -1032,8 +1073,7 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
       // slots would strand every run list queued behind them.
       const std::uint32_t claimed = rt.replay.root_ordinals_claimed();
       if (claimed < rt.graph->child_count(kGraphRoot)) {
-        rt.region_divergences.fetch_add(1, std::memory_order_relaxed);
-        st.telem.add(telemetry::Counter::kTaskgraphDivergences);
+        rt.diverge(st, SchedulerNote::kTaskgraphDivergeShortSpawn, claimed);
         rt.replay.cancel_children_from(kGraphRoot, claimed);
       }
     }
@@ -1080,6 +1120,15 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
       rt.region_divergences.fetch_add(1, std::memory_order_relaxed);
       if (rt.telemetry != nullptr) {
         rt.telemetry->add(0, telemetry::Counter::kTaskgraphDivergences);
+        rt.telemetry->add(0, telemetry::Counter::kTaskgraphDivergeResidue);
+      }
+      rt.remember_fallback_reason(SchedulerNote::kTaskgraphDivergeResidue);
+      if (rt.hooks != nullptr) {
+        // Post-join, so this fires on the master's track; worker 0's
+        // recorder clock is still bound.
+        rt.hooks->on_scheduler_note(
+            0, SchedulerNote::kTaskgraphDivergeResidue,
+            static_cast<std::int64_t>(rt.replay.unspawned_count()));
       }
     }
     if (rt.region_divergences.load(std::memory_order_relaxed) > 0) {
@@ -1099,6 +1148,11 @@ bool RealRuntime::taskgraph_stale() const noexcept {
   return impl_->graph_stale;
 }
 
+SchedulerNote RealRuntime::taskgraph_fallback_reason() const noexcept {
+  return static_cast<SchedulerNote>(
+      impl_->fallback_reason.load(std::memory_order_relaxed));
+}
+
 std::size_t RealRuntime::taskgraph_size() const noexcept {
   return impl_->graph != nullptr ? impl_->graph->size() : 0;
 }
@@ -1106,6 +1160,7 @@ std::size_t RealRuntime::taskgraph_size() const noexcept {
 void RealRuntime::reset_taskgraph() noexcept {
   impl_->graph.reset();
   impl_->graph_stale = false;
+  impl_->fallback_reason.store(0, std::memory_order_relaxed);
   impl_->schedule.threads = 0;
 }
 

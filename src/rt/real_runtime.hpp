@@ -77,6 +77,9 @@ class RealRuntime final : public Runtime {
   [[nodiscard]] bool taskgraph_recorded() const noexcept;
   /// True when a replay diverged and later regions run fully dynamic.
   [[nodiscard]] bool taskgraph_stale() const noexcept;
+  /// First cause of the staleness (SchedulerNote::kNone when not stale);
+  /// sticky until reset_taskgraph().
+  [[nodiscard]] SchedulerNote taskgraph_fallback_reason() const noexcept;
   /// Recorded node count (0 before the first recording).
   [[nodiscard]] std::size_t taskgraph_size() const noexcept;
   /// Drop the recorded graph: the next parallel region records afresh.

@@ -31,6 +31,12 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kTaskgraphDivergences: return "taskgraph_divergences";
     case Counter::kTaskgraphStaticSpawns: return "taskgraph_static_spawns";
     case Counter::kTaskgraphDynamicSpawns: return "taskgraph_dynamic_spawns";
+    case Counter::kTaskgraphDivergeStructure:
+      return "taskgraph_diverge_structure";
+    case Counter::kTaskgraphDivergeShortSpawn:
+      return "taskgraph_diverge_short_spawn";
+    case Counter::kTaskgraphDivergeResidue:
+      return "taskgraph_diverge_residue";
     case Counter::kCount_: break;
   }
   return "?";
@@ -247,6 +253,12 @@ void TimedHooks::on_region_enter(ThreadId thread, RegionHandle region,
 void TimedHooks::on_region_exit(ThreadId thread, RegionHandle region) {
   const Timed timed(*this, thread);
   inner_->on_region_exit(thread, region);
+}
+
+void TimedHooks::on_scheduler_note(ThreadId thread, rt::SchedulerNote note,
+                                   std::int64_t detail) {
+  const Timed timed(*this, thread);
+  inner_->on_scheduler_note(thread, note, detail);
 }
 
 }  // namespace taskprof::telemetry

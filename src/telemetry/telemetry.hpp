@@ -60,6 +60,9 @@ enum class Counter : std::uint32_t {
   kTaskgraphDivergences,    ///< replay shape mismatches detected
   kTaskgraphStaticSpawns,   ///< replay spawns served from the static slots
   kTaskgraphDynamicSpawns,  ///< replay spawns that fell back to the deques
+  kTaskgraphDivergeStructure,  ///< divergences: recorded-shape mismatch
+  kTaskgraphDivergeShortSpawn, ///< divergences: fewer children than recorded
+  kTaskgraphDivergeResidue,    ///< divergences: unspawned residue at the end
   kCount_
 };
 
@@ -258,6 +261,8 @@ class TimedHooks final : public rt::SchedulerHooks {
   void on_region_enter(ThreadId thread, RegionHandle region,
                        std::int64_t parameter) override;
   void on_region_exit(ThreadId thread, RegionHandle region) override;
+  void on_scheduler_note(ThreadId thread, rt::SchedulerNote note,
+                         std::int64_t detail) override;
 
  private:
   /// Times one callback; charges to `thread`'s block on destruction.

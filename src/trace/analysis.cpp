@@ -37,13 +37,15 @@ TraceAnalysis analyze_trace(const Trace& trace,
   std::unordered_map<TaskInstanceId, TaskLifetime> lifetimes;
   std::vector<ThreadReplay> replay(trace.thread_count());
 
-  auto classify_gap = [&](Ticks gap) {
+  auto classify_gap = [&](ThreadId thread, Ticks gap) {
     if (gap <= 0) return;
     out.sync_total += gap;
     if (gap <= options.management_gap_threshold) {
       out.sync_management += gap;
+      out.threads[thread].management += gap;
     } else {
       out.sync_waiting += gap;
+      out.threads[thread].waiting += gap;
     }
   };
 
@@ -64,7 +66,7 @@ TraceAnalysis analyze_trace(const Trace& trace,
   auto open_fragment = [&](ThreadReplay& state, ThreadId thread,
                            TaskInstanceId id, Ticks now) {
     if (!state.sync_stack.empty()) {
-      classify_gap(now - state.sync_stack.back().last_activity);
+      classify_gap(thread, now - state.sync_stack.back().last_activity);
       state.sync_stack.back().last_activity = now;
     }
     state.current = id;
@@ -139,7 +141,8 @@ TraceAnalysis analyze_trace(const Trace& trace,
           // decomposition is exact for tied tasks, approximate across
           // migrations).
           if (state.sync_stack.empty()) break;
-          classify_gap(event.time - state.sync_stack.back().last_activity);
+          classify_gap(thread,
+                       event.time - state.sync_stack.back().last_activity);
           state.sync_stack.pop_back();
           if (!state.sync_stack.empty()) {
             state.sync_stack.back().last_activity = event.time;
@@ -151,6 +154,7 @@ TraceAnalysis analyze_trace(const Trace& trace,
         case EventKind::kCreateBegin:
         case EventKind::kRegionEnter:
         case EventKind::kRegionExit:
+        case EventKind::kSchedulerNote:
           break;
       }
     }
@@ -258,7 +262,8 @@ std::string render_analysis(const TraceAnalysis& analysis,
     os << "  thread " << t << ": busy " << format_ticks(usage.busy) << " of "
        << format_ticks(usage.span) << " ("
        << format_percent(usage.utilization()) << ", "
-       << format_count(usage.fragments) << " fragments)\n";
+       << format_count(usage.fragments) << " fragments, waiting "
+       << format_ticks(usage.waiting) << ")\n";
   }
   return os.str();
 }

@@ -49,10 +49,18 @@ struct TaskLifetime {
 struct ThreadUsage {
   Ticks span = 0;            ///< implicit-task begin .. end
   Ticks busy = 0;            ///< time executing explicit-task fragments
+  Ticks management = 0;      ///< this thread's short scheduling-point gaps
+  Ticks waiting = 0;         ///< this thread's long scheduling-point gaps
   std::uint64_t fragments = 0;
   [[nodiscard]] double utilization() const noexcept {
     return span == 0 ? 0.0
                      : static_cast<double>(busy) / static_cast<double>(span);
+  }
+  /// Fraction of the thread's span spent starved at scheduling points.
+  [[nodiscard]] double waiting_fraction() const noexcept {
+    return span == 0 ? 0.0
+                     : static_cast<double>(waiting) /
+                           static_cast<double>(span);
   }
 };
 

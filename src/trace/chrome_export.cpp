@@ -321,6 +321,16 @@ std::string render_chrome_trace(const Trace& trace,
           writer.arg("to", static_cast<std::uint64_t>(event.peer));
           writer.end_event();
           break;
+        case EventKind::kSchedulerNote: {
+          const auto note = static_cast<rt::SchedulerNote>(event.parameter);
+          writer.begin_event(
+              std::string("scheduler: ") + rt::scheduler_note_name(note),
+              'i', ts, tid);
+          writer.arg("note", std::string(rt::scheduler_note_name(note)));
+          writer.arg("detail", static_cast<std::uint64_t>(event.task));
+          writer.end_event();
+          break;
+        }
       }
     }
     // Close anything left open (truncated traces) so B/E stay balanced.
@@ -361,6 +371,17 @@ std::string render_chrome_trace(const Trace& trace,
         default:
           break;
       }
+    }
+  }
+
+  // Caller-supplied annotations (diagnosis findings etc.) as instants.
+  if (options.annotations != nullptr) {
+    for (const TraceAnnotation& note : *options.annotations) {
+      writer.begin_event(note.name, 'i', note.time - t_begin, note.thread);
+      for (const auto& [key, value] : note.args) {
+        writer.arg(key.c_str(), value);
+      }
+      writer.end_event();
     }
   }
 

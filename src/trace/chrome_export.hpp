@@ -19,6 +19,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "profile/region.hpp"
 #include "telemetry/telemetry.hpp"
@@ -26,11 +28,24 @@
 
 namespace taskprof::trace {
 
+/// An extra instant event layered onto the exported timeline — e.g. a
+/// diagnosis finding pinned next to the behavior it names.  Kept generic
+/// (name + string args) so higher layers can annotate without this
+/// subsystem depending on them.
+struct TraceAnnotation {
+  std::string name;
+  Ticks time = 0;       ///< absolute trace time (same domain as the events)
+  ThreadId thread = 0;  ///< track to pin the instant to
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
 struct ChromeExportOptions {
   /// Region names for event labels; nullptr labels by handle number.
   const RegionRegistry* registry = nullptr;
   /// Final scheduler-telemetry counters to append as counter tracks.
   const telemetry::Snapshot* telemetry = nullptr;
+  /// Extra instant events (diagnoses, markers) to layer onto the export.
+  const std::vector<TraceAnnotation>* annotations = nullptr;
   /// Emit the derived tasks-queued / tasks-executing counter tracks.
   bool counter_tracks = true;
   /// Process label shown in the UI.

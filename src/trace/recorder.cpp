@@ -82,6 +82,24 @@ void TraceRecorder::on_region_exit(ThreadId thread, RegionHandle region) {
   record(thread, EventKind::kRegionExit, kImplicitTaskId, region);
 }
 
+void TraceRecorder::on_scheduler_note(ThreadId thread, rt::SchedulerNote note,
+                                      std::int64_t detail) {
+  // Notes may fire before the thread's implicit task begins (e.g. a
+  // stale-graph fallback announced at region entry); record with the last
+  // known timestamp (0 at stream start) rather than asserting.
+  ThreadStream& s = stream(thread);
+  Ticks now = 0;
+  if (s.clock != nullptr) {
+    now = s.clock->now();
+  } else if (!s.events.empty()) {
+    now = s.events.back().time;
+  }
+  s.events.push_back(TraceEvent{now, thread, EventKind::kSchedulerNote,
+                                static_cast<TaskInstanceId>(detail),
+                                kInvalidRegion,
+                                static_cast<std::int64_t>(note), 0});
+}
+
 Trace TraceRecorder::take() {
   std::vector<std::vector<TraceEvent>> per_thread;
   per_thread.reserve(streams_.size());

@@ -38,6 +38,8 @@ class TraceRecorder final : public rt::SchedulerHooks {
   void on_region_enter(ThreadId thread, RegionHandle region,
                        std::int64_t parameter) override;
   void on_region_exit(ThreadId thread, RegionHandle region) override;
+  void on_scheduler_note(ThreadId thread, rt::SchedulerNote note,
+                         std::int64_t detail) override;
 
   // -- Results ----------------------------------------------------------------
 

@@ -22,6 +22,7 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::kBarrierEnd: return "barrier_end";
     case EventKind::kRegionEnter: return "region_enter";
     case EventKind::kRegionExit: return "region_exit";
+    case EventKind::kSchedulerNote: return "scheduler_note";
   }
   return "unknown";
 }

@@ -34,6 +34,8 @@ enum class EventKind : std::uint8_t {
   kBarrierEnd,
   kRegionEnter,
   kRegionExit,
+  kSchedulerNote,  ///< out-of-band scheduler condition; `parameter` =
+                   ///< rt::SchedulerNote code, `task` = note detail
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind) noexcept;

@@ -224,8 +224,9 @@ TEST(ChromeExport, WriteToFileRoundTrips) {
   const RegionHandle fib = registry.register_region("fib", RegionType::kTask);
   const std::string path =
       "chrome_export_test_" + std::to_string(::getpid()) + ".json";
-  trace::write_chrome_trace(path, small_trace(fib),
-                            {&registry, nullptr, true, "taskprof"});
+  trace::ChromeExportOptions file_options;
+  file_options.registry = &registry;
+  trace::write_chrome_trace(path, small_trace(fib), file_options);
   std::ifstream in(path, std::ios::binary);
   ASSERT_TRUE(in.good());
   std::stringstream buffer;

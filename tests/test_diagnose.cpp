@@ -1,0 +1,194 @@
+// The diagnosis engine: every seeded anti-pattern shape must be flagged
+// by its detector (at problem severity, pointing at the offending
+// construct), the clean shape must stay finding-free, and the work/span
+// accounting must agree with the trace analyzer's independent
+// critical-chain computation.
+#include "diagnose/diagnose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bots/kernel.hpp"
+#include "check/shapes.hpp"
+#include "diagnose/detectors.hpp"
+#include "diagnose/render.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/sim_runtime.hpp"
+#include "trace/analysis.hpp"
+#include "trace/recorder.hpp"
+
+namespace taskprof {
+namespace {
+
+diag::DiagnosisInput input_for(const check::ShapeRun& run) {
+  diag::DiagnosisInput input;
+  input.profile = &run.profile;
+  input.registry = run.registry.get();
+  input.trace = &run.trace;
+  input.telemetry = &run.telemetry;
+  return input;
+}
+
+const diag::Diagnosis* find_detector(const diag::DiagnosisReport& report,
+                                     const std::string& id) {
+  for (const diag::Diagnosis& d : report.findings) {
+    if (d.detector == id) return &d;
+  }
+  return nullptr;
+}
+
+TEST(Diagnose, EverySeededAntiPatternIsFlaggedWithItsCallPath) {
+  for (const check::AntiPattern pattern : check::kAllAntiPatterns) {
+    if (pattern == check::AntiPattern::kClean) continue;
+    SCOPED_TRACE(check::anti_pattern_name(pattern));
+    const check::ShapeRun run = check::run_anti_pattern(pattern);
+    const diag::DiagnosisReport report = diag::run_diagnosis(input_for(run));
+    const diag::Diagnosis* d =
+        find_detector(report, check::anti_pattern_detector(pattern));
+    ASSERT_NE(d, nullptr) << "expected detector did not fire";
+    EXPECT_EQ(d->severity, diag::Severity::kProblem);
+    ASSERT_FALSE(d->sites.empty());
+    EXPECT_EQ(d->sites.front().region, run.task_region)
+        << "diagnosis points at '" << d->sites.front().name
+        << "', not the offending construct";
+    EXPECT_FALSE(d->summary.empty());
+    EXPECT_FALSE(d->remediation.empty());
+    EXPECT_FALSE(d->metrics.empty());
+  }
+}
+
+TEST(Diagnose, CleanShapeHasNoFindings) {
+  const check::ShapeRun run =
+      check::run_anti_pattern(check::AntiPattern::kClean);
+  const diag::DiagnosisReport report = diag::run_diagnosis(input_for(run));
+  EXPECT_EQ(report.findings.size(), 0u);
+  EXPECT_EQ(report.max_severity(), diag::Severity::kInfo);
+  EXPECT_TRUE(report.has_workspan);
+  EXPECT_GT(report.workspan.logical_parallelism(), 2.0);
+}
+
+TEST(Diagnose, FindingsAreRankedBySeverityThenScore) {
+  const check::ShapeRun run =
+      check::run_anti_pattern(check::AntiPattern::kCreationStorm);
+  diag::DiagnosisReport report = diag::run_diagnosis(input_for(run));
+  for (std::size_t i = 1; i < report.findings.size(); ++i) {
+    const diag::Diagnosis& prev = report.findings[i - 1];
+    const diag::Diagnosis& cur = report.findings[i];
+    EXPECT_TRUE(prev.severity > cur.severity ||
+                (prev.severity == cur.severity && prev.score >= cur.score));
+  }
+}
+
+// Work/span must agree with the trace analyzer's independently computed
+// critical chain — same definition, separate implementations.
+TEST(Diagnose, FibWorkSpanMatchesTraceCriticalChainWithin10Percent) {
+  RegionRegistry registry;
+  rt::SimRuntime runtime;
+  Instrumentor instrumentor(registry, MeasureOptions{});
+  trace::TraceRecorder recorder;
+  rt::FanoutHooks fanout;
+  fanout.add(&instrumentor);
+  fanout.add(&recorder);
+  runtime.set_hooks(&fanout);
+  auto kernel = bots::make_kernel("fib");
+  ASSERT_NE(kernel, nullptr);
+  bots::KernelConfig config;
+  config.threads = 4;
+  config.size = bots::SizeClass::kTest;
+  const bots::KernelResult result = kernel->run(runtime, registry, config);
+  ASSERT_TRUE(result.ok) << result.check;
+  runtime.set_hooks(nullptr);
+  instrumentor.finalize();
+
+  const trace::Trace recorded = recorder.take();
+  const trace::TraceAnalysis analysis = trace::analyze_trace(recorded);
+  const diag::WorkSpanSummary ws =
+      diag::compute_workspan(analysis, registry);
+
+  ASSERT_GT(ws.span, 0);
+  ASSERT_GT(analysis.critical_chain_time, 0);
+  const double span_ratio = static_cast<double>(ws.span) /
+                            static_cast<double>(analysis.critical_chain_time);
+  EXPECT_GT(span_ratio, 0.9);
+  EXPECT_LT(span_ratio, 1.1);
+  EXPECT_EQ(ws.span_length, analysis.critical_chain_length);
+
+  const double parallelism = ws.logical_parallelism();
+  const double trace_estimate =
+      static_cast<double>(analysis.total_active) /
+      static_cast<double>(analysis.critical_chain_time);
+  EXPECT_GT(parallelism / trace_estimate, 0.9);
+  EXPECT_LT(parallelism / trace_estimate, 1.1);
+
+  // The span is a real root-to-leaf creation chain.
+  EXPECT_EQ(static_cast<int>(ws.span_tasks.size()), ws.span_length);
+}
+
+TEST(Diagnose, ReplayFallbackDetectorReadsTelemetryReasons) {
+  check::ShapeRun run = check::run_anti_pattern(check::AntiPattern::kClean);
+  telemetry::Snapshot snap;
+  snap.counters[static_cast<std::size_t>(
+      telemetry::Counter::kTaskgraphFallbacks)] = 2;
+  snap.counters[static_cast<std::size_t>(
+      telemetry::Counter::kTaskgraphDivergences)] = 3;
+  snap.counters[static_cast<std::size_t>(
+      telemetry::Counter::kTaskgraphDivergeShortSpawn)] = 2;
+  snap.counters[static_cast<std::size_t>(
+      telemetry::Counter::kTaskgraphDivergeStructure)] = 1;
+  diag::DiagnosisInput input = input_for(run);
+  input.telemetry = &snap;
+  const diag::DiagnosisReport report = diag::run_diagnosis(input);
+  const diag::Diagnosis* d = find_detector(report, "replay_fallback");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, diag::Severity::kInfo);
+  EXPECT_NE(d->summary.find("2 short spawn"), std::string::npos);
+  EXPECT_NE(d->summary.find("1 structure mismatch"), std::string::npos);
+}
+
+TEST(Diagnose, ProfileOnlyInputStillRunsConstructDetectors) {
+  const check::ShapeRun run =
+      check::run_anti_pattern(check::AntiPattern::kGranularityCollapse);
+  diag::DiagnosisInput input;
+  input.profile = &run.profile;
+  input.registry = run.registry.get();
+  const diag::DiagnosisReport report = diag::run_diagnosis(input);
+  EXPECT_FALSE(report.has_workspan);
+  const diag::Diagnosis* d = find_detector(report, "granularity_collapse");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, diag::Severity::kProblem);
+}
+
+TEST(Diagnose, ParseSeverityRoundTrips) {
+  diag::Severity s;
+  EXPECT_TRUE(diag::parse_severity("info", &s));
+  EXPECT_EQ(s, diag::Severity::kInfo);
+  EXPECT_TRUE(diag::parse_severity("warning", &s));
+  EXPECT_EQ(s, diag::Severity::kWarning);
+  EXPECT_TRUE(diag::parse_severity("problem", &s));
+  EXPECT_EQ(s, diag::Severity::kProblem);
+  EXPECT_FALSE(diag::parse_severity("fatal", &s));
+}
+
+TEST(Diagnose, AnnotationsCarrySeverityDetectorAndCallPath) {
+  const check::ShapeRun run =
+      check::run_anti_pattern(check::AntiPattern::kCreationStorm);
+  const diag::DiagnosisReport report = diag::run_diagnosis(input_for(run));
+  ASSERT_FALSE(report.findings.empty());
+  const std::vector<trace::TraceAnnotation> notes =
+      diag::diagnosis_annotations(report);
+  ASSERT_EQ(notes.size(), report.findings.size());
+  const trace::TraceAnnotation& note = notes.front();
+  EXPECT_EQ(note.name, "diagnosis: " + report.findings.front().detector);
+  auto has_arg = [&note](const std::string& key) {
+    return std::any_of(note.args.begin(), note.args.end(),
+                       [&key](const auto& kv) { return kv.first == key; });
+  };
+  EXPECT_TRUE(has_arg("severity"));
+  EXPECT_TRUE(has_arg("detector"));
+  EXPECT_TRUE(has_arg("call_path"));
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -1,0 +1,73 @@
+// No-false-positive sweep: every BOTS kernel, run clean on the sim
+// engine across thread counts, must produce zero problem-severity
+// diagnoses.  The detectors exist to name real anti-patterns; a healthy
+// divide-and-conquer kernel that trips one is a calibration bug (see
+// DESIGN.md §13 for the thresholds and the margins this sweep pins).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bots/kernel.hpp"
+#include "diagnose/diagnose.hpp"
+#include "instrument/instrumentor.hpp"
+#include "rt/sim_runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace taskprof {
+namespace {
+
+constexpr const char* kKernels[] = {
+    "alignment", "fft",  "fib",      "floorplan", "health",
+    "nqueens",   "sort", "sparselu", "strassen",
+};
+
+TEST(DiagnoseBots, CleanKernelsHaveNoProblemFindings) {
+  for (const char* name : kKernels) {
+    for (const int threads : {2, 4, 8}) {
+      SCOPED_TRACE(std::string(name) + " threads=" +
+                   std::to_string(threads));
+      RegionRegistry registry;
+      rt::SimRuntime runtime;
+      Instrumentor instrumentor(registry, MeasureOptions{});
+      trace::TraceRecorder recorder;
+      rt::FanoutHooks fanout;
+      fanout.add(&instrumentor);
+      fanout.add(&recorder);
+      runtime.set_hooks(&fanout);
+      auto kernel = bots::make_kernel(name);
+      ASSERT_NE(kernel, nullptr);
+      bots::KernelConfig config;
+      config.threads = threads;
+      config.size = bots::SizeClass::kTest;
+      const bots::KernelResult result =
+          kernel->run(runtime, registry, config);
+      ASSERT_TRUE(result.ok) << result.check;
+      runtime.set_hooks(nullptr);
+      instrumentor.finalize();
+      const AggregateProfile profile = instrumentor.aggregate();
+      const trace::Trace recorded = recorder.take();
+
+      diag::DiagnosisInput input;
+      input.profile = &profile;
+      input.registry = &registry;
+      input.trace = &recorded;
+      const diag::DiagnosisReport report = diag::run_diagnosis(input);
+      EXPECT_EQ(report.count_at_least(diag::Severity::kProblem), 0u)
+          << [&report] {
+               std::string all;
+               for (const diag::Diagnosis& d : report.findings) {
+                 if (d.severity == diag::Severity::kProblem) {
+                   all += d.detector + ": " + d.summary + "\n";
+                 }
+               }
+               return all;
+             }();
+      EXPECT_TRUE(report.has_workspan);
+      EXPECT_GT(report.workspan.logical_parallelism(), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taskprof

@@ -77,7 +77,10 @@ TEST(TelemetryJson, GoldenRendering) {
       "    \"taskgraph_fallbacks\": 0,\n"
       "    \"taskgraph_divergences\": 0,\n"
       "    \"taskgraph_static_spawns\": 0,\n"
-      "    \"taskgraph_dynamic_spawns\": 0\n"
+      "    \"taskgraph_dynamic_spawns\": 0,\n"
+      "    \"taskgraph_diverge_structure\": 0,\n"
+      "    \"taskgraph_diverge_short_spawn\": 0,\n"
+      "    \"taskgraph_diverge_residue\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"deque_depth_hwm\": 3,\n"
@@ -91,7 +94,7 @@ TEST(TelemetryJson, GoldenRendering) {
       "  },\n"
       "  \"per_thread\": [\n"
       "    [10, 10, 9, 1, 4, 2, 1, 5, 2, 1, 3, 10, 10, 2, 0, 4, 10, "
-      "0, 0, 0, 0, 0, 0]\n"
+      "0, 0, 0, 0, 0, 0, 0, 0, 0]\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(telemetry::snapshot_to_json(golden_snapshot()), expected);

@@ -37,6 +37,9 @@
 #include "trace/chrome_export.hpp"
 #include "trace/file.hpp"
 #include "trace/recorder.hpp"
+#include "whatif/render.hpp"
+#include "whatif/validate.hpp"
+#include "whatif/whatif.hpp"
 
 using namespace taskprof;
 
@@ -51,6 +54,14 @@ void usage(const char* argv0) {
       "                             [--fail-on=SEV] [--json=FILE]\n"
       "       taskprof_cli diagnose FILE.tpsnap [--trace-file=FILE.tptrc]\n"
       "       taskprof_cli diagnose --trace-file=FILE.tptrc\n"
+      "       taskprof_cli whatif --kernel=NAME [run options]\n"
+      "                           [--whatif PATH=N ...] [--threads-list=...]\n"
+      "                           [--json=FILE]\n"
+      "       taskprof_cli whatif FILE.tpsnap --trace-file=FILE.tptrc\n"
+      "       taskprof_cli whatif --trace-file=FILE.tptrc\n"
+      "       taskprof_cli whatif-validate [--kernels=a,b] [--threads=2,4,8]\n"
+      "                           [--optimize=25,50,90] [--size=test]\n"
+      "                           [--tolerance=0.15] [--json=FILE]\n"
       "\n"
       "kernels: alignment fft fib floorplan health nqueens sort sparselu\n"
       "         strassen\n"
@@ -101,7 +112,19 @@ void usage(const char* argv0) {
       "serialized spawn chain, starved workers, granularity collapse,\n"
       "taskwait serialization, replay fallback) over a live run, a .tpsnap\n"
       "snapshot, and/or a recorded trace.  --fail-on=info|warning|problem\n"
-      "exits 3 when a finding at or above that severity is present.\n");
+      "exits 3 when a finding at or above that severity is present.\n"
+      "\n"
+      "whatif computes causal projections over a recorded trace: for each\n"
+      "--whatif PATH=N hypothesis (\"call path PATH runs N%% faster\",\n"
+      "N in (0,100]) it reports the new critical path, logical parallelism,\n"
+      "and anticipated wall-clock speedup at each --threads-list count.\n"
+      "Without targets it prints the ranked top-optimization-targets table\n"
+      "(every path at N=50).  whatif needs a trace: a live --kernel run\n"
+      "records one, or pass --trace-file; a .tpsnap alone is rejected with\n"
+      "a no_trace error.  whatif-validate replays BOTS kernels on the sim\n"
+      "engine with each hypothesis applied to the virtual task durations\n"
+      "and gates |projected - simulated| / simulated per case (exit 3 on\n"
+      "gate failure).\n");
 }
 
 struct CliOptions {
@@ -565,6 +588,323 @@ int cmd_diagnose(int argc, char** argv) {
   return 0;
 }
 
+/// Parse "2,4,8" into integers; returns false on any bad element.
+bool parse_int_list(const std::string& text, std::vector<int>* out) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out->push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+bool parse_double_list(const std::string& text, std::vector<double>* out) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out->push_back(std::stod(item));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+int report_whatif_error(const whatif::Error& error) {
+  std::fprintf(stderr, "whatif: [%s] %s\n",
+               whatif::error_code_name(error.code), error.message.c_str());
+  return 2;
+}
+
+/// `taskprof_cli whatif ...`: causal what-if projections over a recorded
+/// trace.  Input modes mirror diagnose, but a trace is mandatory (the
+/// projection runs over reconstructed task lifetimes):
+///   --kernel=NAME        live run, trace recorded implicitly
+///   FILE.tpsnap --trace-file=FILE   snapshot registry + recorded trace
+///   --trace-file=FILE    recorded trace with generated region names
+int cmd_whatif(int argc, char** argv) {
+  std::string kernel_name;
+  std::string engine = "sim";
+  std::string snapshot_path;
+  std::string trace_path;
+  std::string json_out;
+  std::vector<std::string> specs;
+  std::vector<int> thread_counts;
+  double rank_percent = 50.0;
+  bots::KernelConfig config;
+  config.threads = 4;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_name = value_of("--kernel=");
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = value_of("--engine=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.threads = std::stoi(value_of("--threads="));
+    } else if (arg.rfind("--threads-list=", 0) == 0) {
+      if (!parse_int_list(value_of("--threads-list="), &thread_counts)) {
+        std::fprintf(stderr, "--threads-list wants e.g. 2,4,8\n");
+        return 2;
+      }
+    } else if (arg == "--size=test") {
+      config.size = bots::SizeClass::kTest;
+    } else if (arg == "--size=small") {
+      config.size = bots::SizeClass::kSmall;
+    } else if (arg == "--size=medium") {
+      config.size = bots::SizeClass::kMedium;
+    } else if (arg == "--cutoff") {
+      config.cutoff = true;
+    } else if (arg == "--untied") {
+      config.untied = true;
+    } else if (arg == "--depth-params") {
+      config.depth_parameter = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::stoull(value_of("--seed="));
+    } else if (arg.rfind("--trace-file=", 0) == 0) {
+      trace_path = value_of("--trace-file=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_out = value_of("--json=");
+    } else if (arg.rfind("--rank-percent=", 0) == 0) {
+      rank_percent = std::stod(value_of("--rank-percent="));
+    } else if (arg.rfind("--whatif=", 0) == 0) {
+      specs.push_back(value_of("--whatif="));
+    } else if (arg == "--whatif" && i + 1 < argc) {
+      specs.emplace_back(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else if (snapshot_path.empty()) {
+      snapshot_path = arg;
+    } else {
+      std::fprintf(stderr, "whatif takes at most one .tpsnap file\n");
+      return 2;
+    }
+  }
+  const bool live = !kernel_name.empty();
+  if (!live && snapshot_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr, "whatif needs --kernel=NAME, a .tpsnap file with "
+                 "--trace-file, or --trace-file=FILE\n");
+    return 2;
+  }
+  if (live && !snapshot_path.empty()) {
+    std::fprintf(stderr, "whatif: --kernel and a .tpsnap file are "
+                 "mutually exclusive\n");
+    return 2;
+  }
+  // Parse hypotheses before any (possibly slow) run so bad specs fail
+  // fast with their typed error.
+  std::vector<whatif::TargetSpec> targets;
+  for (const std::string& spec : specs) {
+    whatif::TargetSpec target;
+    const whatif::Error parse_error = whatif::parse_target_spec(spec, &target);
+    if (!parse_error.ok()) return report_whatif_error(parse_error);
+    targets.push_back(std::move(target));
+  }
+  if (!(rank_percent > 0.0) || rank_percent > 100.0) {
+    return report_whatif_error(
+        {whatif::ErrorCode::kBadFraction,
+         "--rank-percent must be in (0,100]"});
+  }
+
+  // Inputs must outlive the profile; declare all storage up front.
+  RegionRegistry registry;
+  snapshot::SnapshotData snap;
+  trace::Trace recorded;
+  const RegionRegistry* names = &registry;
+
+  try {
+    if (live) {
+      auto kernel = bots::make_kernel(kernel_name);
+      if (kernel == nullptr) {
+        std::fprintf(stderr, "unknown kernel: %s\n", kernel_name.c_str());
+        return 2;
+      }
+      std::unique_ptr<rt::Runtime> runtime;
+      if (engine == "sim") {
+        runtime = std::make_unique<rt::SimRuntime>();
+      } else if (engine == "real") {
+        runtime = std::make_unique<rt::RealRuntime>();
+      } else {
+        std::fprintf(stderr, "unknown engine: %s\n", engine.c_str());
+        return 2;
+      }
+      Instrumentor instrumentor(registry, MeasureOptions{});
+      trace::TraceRecorder recorder;
+      rt::FanoutHooks fanout;
+      fanout.add(&instrumentor);
+      fanout.add(&recorder);
+      runtime->set_hooks(&fanout);
+      const bots::KernelResult result =
+          kernel->run(*runtime, registry, config);
+      runtime->set_hooks(nullptr);
+      if (!result.ok) {
+        std::fprintf(stderr, "kernel self-check FAILED: %s\n",
+                     result.check.c_str());
+        return 1;
+      }
+      instrumentor.finalize();
+      recorded = recorder.take();
+    } else if (!snapshot_path.empty()) {
+      snap = snapshot::read_snapshot_file(snapshot_path);
+      names = snap.registry.get();
+      if (trace_path.empty()) {
+        // The projection needs task lifetimes; a profile snapshot alone
+        // cannot provide them.
+        return report_whatif_error(
+            {whatif::ErrorCode::kNoTrace,
+             "snapshot input '" + snapshot_path +
+                 "' carries no trace; record one with --trace-out and pass "
+                 "--trace-file=FILE.tptrc"});
+      }
+      recorded = trace::read_trace_file(trace_path);
+    } else {
+      // Trace only: generated region names (names are not in the file).
+      recorded = trace::read_trace_file(trace_path);
+      RegionHandle max_region = 0;
+      for (const auto& event : recorded.merged()) {
+        if (event.region != kInvalidRegion) {
+          max_region = std::max(max_region, event.region);
+        }
+      }
+      for (RegionHandle r = 0; r <= max_region; ++r) {
+        registry.register_region("region " + std::to_string(r),
+                                 RegionType::kTask);
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+
+  const trace::TraceAnalysis analysis = trace::analyze_trace(recorded);
+  whatif::WhatIfProfile profile;
+  const whatif::Error build_error =
+      whatif::WhatIfProfile::build(recorded, analysis, *names, &profile);
+  if (!build_error.ok()) return report_whatif_error(build_error);
+
+  whatif::Report report;
+  report.summarize(profile);
+  report.rank_fraction = rank_percent / 100.0;
+  for (const whatif::TargetSpec& target : targets) {
+    std::vector<std::size_t> indices;
+    const whatif::Error resolve_error =
+        profile.resolve(target.path, &indices);
+    if (!resolve_error.ok()) return report_whatif_error(resolve_error);
+    report.projections.push_back(
+        profile.project(indices, target.fraction, thread_counts));
+  }
+  if (targets.empty()) {
+    report.top_targets =
+        profile.rank_targets(report.rank_fraction, thread_counts);
+  }
+
+  {
+    std::ostringstream os;
+    whatif::render_whatif_text(report, os);
+    std::fputs(os.str().c_str(), stdout);
+  }
+  if (!json_out.empty()) {
+    const std::string json = whatif::render_whatif_json(report);
+    std::FILE* f = std::fopen(json_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("whatif JSON written to %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+/// `taskprof_cli whatif-validate ...`: run the analytical-vs-sim-replay
+/// tolerance gate over the BOTS matrix.  Exit 3 when any case misses the
+/// tolerance (or changes program structure).
+int cmd_whatif_validate(int argc, char** argv) {
+  whatif::ValidateOptions options;
+  std::string json_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--kernels=", 0) == 0) {
+      std::stringstream ss(value_of("--kernels="));
+      std::string item;
+      options.kernels.clear();
+      while (std::getline(ss, item, ',')) options.kernels.push_back(item);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads.clear();
+      if (!parse_int_list(value_of("--threads="), &options.threads)) {
+        std::fprintf(stderr, "--threads wants e.g. 2,4,8\n");
+        return 2;
+      }
+    } else if (arg.rfind("--optimize=", 0) == 0) {
+      std::vector<double> percents;
+      if (!parse_double_list(value_of("--optimize="), &percents)) {
+        std::fprintf(stderr, "--optimize wants percents, e.g. 25,50,90\n");
+        return 2;
+      }
+      options.fractions.clear();
+      for (const double percent : percents) {
+        if (!(percent > 0.0) || percent > 100.0) {
+          return report_whatif_error(
+              {whatif::ErrorCode::kBadFraction,
+               "--optimize percents must be in (0,100]"});
+        }
+        options.fractions.push_back(percent / 100.0);
+      }
+    } else if (arg == "--size=test") {
+      options.size = bots::SizeClass::kTest;
+    } else if (arg == "--size=small") {
+      options.size = bots::SizeClass::kSmall;
+    } else if (arg == "--size=medium") {
+      options.size = bots::SizeClass::kMedium;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      options.tolerance = std::stod(value_of("--tolerance="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_out = value_of("--json=");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  whatif::Error error;
+  const whatif::ValidateReport report =
+      whatif::run_validation(options, &error);
+  if (!error.ok()) return report_whatif_error(error);
+
+  {
+    std::ostringstream os;
+    whatif::render_validate_text(report, os);
+    std::fputs(os.str().c_str(), stdout);
+  }
+  if (!json_out.empty()) {
+    const std::string json = whatif::render_validate_json(report);
+    std::FILE* f = std::fopen(json_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("validation JSON written to %s\n", json_out.c_str());
+  }
+  return report.all_within() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -576,6 +916,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "diagnose") == 0) {
     return cmd_diagnose(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "whatif") == 0) {
+    return cmd_whatif(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "whatif-validate") == 0) {
+    return cmd_whatif_validate(argc, argv);
   }
   CliOptions cli;
   if (!parse(argc, argv, cli)) {
@@ -749,6 +1095,20 @@ int main(int argc, char** argv) {
     }
     const trace::TraceAnalysis analysis = trace::analyze_trace(recorded);
     std::fputs(trace::render_analysis(analysis, registry).c_str(), stdout);
+    // Ranked what-if targets: which construct to optimize first, and the
+    // projected payoff if it ran 50% faster.
+    whatif::WhatIfProfile whatif_profile;
+    if (whatif::WhatIfProfile::build(recorded, analysis, registry,
+                                     &whatif_profile)
+            .ok()) {
+      whatif::Report whatif_report;
+      whatif_report.summarize(whatif_profile);
+      whatif_report.top_targets =
+          whatif_profile.rank_targets(whatif_report.rank_fraction, {});
+      std::ostringstream os;
+      whatif::render_top_targets_text(whatif_report, 5, os);
+      std::fputs(os.str().c_str(), stdout);
+    }
     std::fputs(trace::render_timeline(recorded).c_str(), stdout);
   }
 

@@ -1,101 +1,141 @@
 #include "diagnose/workspan.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace taskprof::diag {
 
-WorkSpanSummary compute_workspan(const trace::TraceAnalysis& analysis,
-                                 const RegionRegistry& registry) {
-  WorkSpanSummary out;
-
-  // Creation tree: parent instance -> children it created.  Children are
-  // sorted by id so the argmax walk below is deterministic.
-  std::unordered_map<TaskInstanceId, std::vector<const trace::TaskLifetime*>>
-      children;
-  std::unordered_map<TaskInstanceId, const trace::TaskLifetime*> by_id;
-  for (const trace::TaskLifetime& life : analysis.tasks) {
-    out.work += life.active;
-    children[life.parent].push_back(&life);
-    by_id.emplace(life.id, &life);
+std::string construct_display_name(RegionHandle region,
+                                   const RegionRegistry& registry) {
+  if (region != kInvalidRegion && region < registry.size()) {
+    return registry.info(region).name;
   }
-  for (auto& [parent, kids] : children) {
+  return "(unattributed)";
+}
+
+CreationForest::CreationForest(const trace::TraceAnalysis& analysis) {
+  for (const trace::TaskLifetime& life : analysis.tasks) {
+    children_[life.parent].push_back(&life);
+    by_id_.emplace(life.id, &life);
+  }
+  // Children sorted by id so argmax walks are deterministic.
+  for (auto& [parent, kids] : children_) {
     std::sort(kids.begin(), kids.end(),
               [](const trace::TaskLifetime* a, const trace::TaskLifetime* b) {
                 return a->id < b->id;
               });
   }
+  // A chain root is a task whose parent is not itself a completed
+  // explicit task: created by an implicit task, or orphaned.
+  for (const trace::TaskLifetime& life : analysis.tasks) {
+    if (life.parent == kImplicitTaskId || by_id_.count(life.parent) == 0) {
+      roots_.push_back(&life);
+    }
+  }
+  std::sort(roots_.begin(), roots_.end(),
+            [](const trace::TaskLifetime* a, const trace::TaskLifetime* b) {
+              return a->id < b->id;
+            });
+}
 
-  // Heaviest chain below each instance, memoized; best_child reconstructs
-  // the path without storing it per node.
-  struct Chain {
+const trace::TaskLifetime* CreationForest::find(TaskInstanceId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+CreationForest::Chain CreationForest::heaviest_chain(
+    const std::function<Ticks(const trace::TaskLifetime&)>& duration) const {
+  struct Sub {
     Ticks time = 0;
     int length = 0;
     TaskInstanceId best_child = kImplicitTaskId;  ///< 0 = leaf
   };
-  std::unordered_map<TaskInstanceId, Chain> memo;
-  auto chain_of = [&](const trace::TaskLifetime& life,
-                      auto&& self) -> Chain {
+  std::unordered_map<TaskInstanceId, Sub> memo;
+  memo.reserve(by_id_.size());
+
+  // A subchain is better on strictly more time; on equal time the longer
+  // chain wins (so zero-duration subtrees are not silently dropped — the
+  // chain always extends to a leaf); remaining ties keep the
+  // first-visited child, which is the smallest id by construction.
+  const auto better = [](const Sub& a, const Sub& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.length > b.length;
+  };
+
+  auto chain_of = [&](const trace::TaskLifetime& life, auto&& self) -> Sub {
     if (auto it = memo.find(life.id); it != memo.end()) return it->second;
-    Chain best;
-    if (auto it = children.find(life.id); it != children.end()) {
+    Sub best;
+    if (auto it = children_.find(life.id); it != children_.end()) {
       for (const trace::TaskLifetime* child : it->second) {
-        const Chain sub = self(*child, self);
-        if (sub.time > best.time) {
-          best.time = sub.time;
-          best.length = sub.length;
-          best.best_child = child->id;
-        }
+        Sub sub = self(*child, self);
+        sub.best_child = child->id;
+        if (better(sub, best)) best = sub;
       }
     }
-    const Chain result{life.active + best.time, 1 + best.length,
-                       best.best_child};
+    const Sub result{duration(life) + best.time, 1 + best.length,
+                     best.best_child};
     memo.emplace(life.id, result);
     return result;
   };
 
-  // The span starts at some task whose parent is not itself an explicit
-  // task on the chain: consider every task created by an implicit task a
-  // chain root, plus orphans whose parent never completed.
+  Chain out;
   const trace::TaskLifetime* span_root = nullptr;
-  Chain span_chain;
-  for (const trace::TaskLifetime& life : analysis.tasks) {
-    const bool is_root =
-        life.parent == kImplicitTaskId || by_id.count(life.parent) == 0;
-    if (!is_root) continue;
-    const Chain chain = chain_of(life, chain_of);
-    if (chain.time > span_chain.time ||
-        (chain.time == span_chain.time &&
-         (span_root == nullptr || life.id < span_root->id))) {
-      span_chain = chain;
-      span_root = &life;
+  Sub span_sub;
+  for (const trace::TaskLifetime* root : roots_) {
+    const Sub sub = chain_of(*root, chain_of);
+    // Roots are visited in id order, so strict `better` keeps the
+    // smallest root id on ties.
+    if (span_root == nullptr || better(sub, span_sub)) {
+      span_sub = sub;
+      span_root = root;
     }
   }
   if (span_root == nullptr) return out;
 
-  out.span = span_chain.time;
-  out.span_length = span_chain.length;
-
-  // Reconstruct the chain and attribute per construct.
-  std::unordered_map<RegionHandle, ConstructSpanShare> shares;
+  out.time = span_sub.time;
+  out.length = span_sub.length;
+  out.tasks.reserve(static_cast<std::size_t>(span_sub.length));
   const trace::TaskLifetime* node = span_root;
   while (node != nullptr) {
-    out.span_tasks.push_back(node->id);
+    out.tasks.push_back(node->id);
+    const Sub& sub = memo.at(node->id);
+    node = sub.best_child == kImplicitTaskId ? nullptr
+                                             : by_id_.at(sub.best_child);
+  }
+  return out;
+}
+
+WorkSpanSummary compute_workspan(const trace::TraceAnalysis& analysis,
+                                 const RegionRegistry& registry) {
+  return compute_workspan(analysis, CreationForest(analysis), registry);
+}
+
+WorkSpanSummary compute_workspan(const trace::TraceAnalysis& analysis,
+                                 const CreationForest& forest,
+                                 const RegionRegistry& registry) {
+  WorkSpanSummary out;
+  for (const trace::TaskLifetime& life : analysis.tasks) {
+    out.work += life.active;
+  }
+
+  const CreationForest::Chain chain = forest.heaviest_chain(
+      [](const trace::TaskLifetime& life) { return life.active; });
+  if (chain.tasks.empty()) return out;
+
+  out.span = chain.time;
+  out.span_length = chain.length;
+  out.span_tasks = chain.tasks;
+
+  // Attribute chain time per construct.
+  std::unordered_map<RegionHandle, ConstructSpanShare> shares;
+  for (const TaskInstanceId id : chain.tasks) {
+    const trace::TaskLifetime* node = forest.find(id);
     ConstructSpanShare& share = shares[node->region];
     share.region = node->region;
     share.on_span += node->active;
     share.instances += 1;
-    const Chain& chain = memo.at(node->id);
-    node = chain.best_child == kImplicitTaskId
-               ? nullptr
-               : by_id.at(chain.best_child);
   }
   for (auto& [region, share] : shares) {
-    if (region != kInvalidRegion && region < registry.size()) {
-      share.name = registry.info(region).name;
-    } else {
-      share.name = "region " + std::to_string(region);
-    }
+    share.name = construct_display_name(region, registry);
     out.shares.push_back(share);
   }
   std::sort(out.shares.begin(), out.shares.end(),

@@ -9,9 +9,15 @@
 // extract from the task structure; the per-construct span shares say
 // *which* task construct owns the critical path — the what-to-optimize
 // answer the plain profile cannot give.
+//
+// The chain machinery is factored into CreationForest so the what-if
+// projector (src/whatif) can re-query the heaviest chain under
+// hypothetical per-task durations without rebuilding the tree.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -19,6 +25,48 @@
 #include "trace/analysis.hpp"
 
 namespace taskprof::diag {
+
+/// Stable display name for a construct: the registry name when the
+/// handle resolves, "(unattributed)" for kInvalidRegion / out-of-range
+/// handles (tasks recorded without a region — degenerate traces, manual
+/// event streams).
+[[nodiscard]] std::string construct_display_name(RegionHandle region,
+                                                 const RegionRegistry& registry);
+
+/// The creation tree over a trace analysis's completed tasks, with
+/// memo-free repeatable heaviest-chain queries under caller-supplied
+/// duration models.  Holds pointers into the TraceAnalysis, which must
+/// outlive the forest.
+class CreationForest {
+ public:
+  CreationForest() = default;  ///< empty forest (no tasks)
+  explicit CreationForest(const trace::TraceAnalysis& analysis);
+
+  struct Chain {
+    Ticks time = 0;
+    int length = 0;  ///< tasks on the chain
+    /// Chain instance ids, outermost first (empty when no tasks).
+    std::vector<TaskInstanceId> tasks;
+  };
+
+  /// Heaviest root-to-leaf chain where task t contributes duration(t).
+  /// Zero-duration tasks still ride the chain (a chain always extends to
+  /// a leaf).  Deterministic: ties on time prefer the longer chain, then
+  /// the smaller instance id.
+  [[nodiscard]] Chain heaviest_chain(
+      const std::function<Ticks(const trace::TaskLifetime&)>& duration) const;
+
+  [[nodiscard]] const trace::TaskLifetime* find(TaskInstanceId id) const;
+  [[nodiscard]] bool empty() const noexcept { return roots_.empty(); }
+
+ private:
+  std::unordered_map<TaskInstanceId, std::vector<const trace::TaskLifetime*>>
+      children_;
+  std::unordered_map<TaskInstanceId, const trace::TaskLifetime*> by_id_;
+  /// Tasks created by implicit tasks, plus orphans whose parent never
+  /// completed; sorted by id.
+  std::vector<const trace::TaskLifetime*> roots_;
+};
 
 /// One construct's share of the critical path.
 struct ConstructSpanShare {
@@ -44,8 +92,13 @@ struct WorkSpanSummary {
 };
 
 /// Compute work/span from a finished trace analysis.  Deterministic: ties
-/// on chain weight break toward the smaller instance id.
+/// on chain weight break toward longer chains, then smaller instance ids.
 [[nodiscard]] WorkSpanSummary compute_workspan(
     const trace::TraceAnalysis& analysis, const RegionRegistry& registry);
+
+/// Same, reusing an already-built forest over the same analysis.
+[[nodiscard]] WorkSpanSummary compute_workspan(
+    const trace::TraceAnalysis& analysis, const CreationForest& forest,
+    const RegionRegistry& registry);
 
 }  // namespace taskprof::diag

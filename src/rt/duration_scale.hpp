@@ -1,0 +1,66 @@
+// Hypothetical-speedup duration scaling for the simulator.
+//
+// The what-if projector (src/whatif) asks "what happens if construct X
+// were N% faster?".  Analytically that is a work/span recomputation; to
+// *validate* the projection we re-run the same program on the sim engine
+// with the hypothesis applied to virtual task durations.  DurationScale
+// is that hypothesis: a per-region multiplicative factor applied to the
+// declared ctx.work() cost of explicit tasks running under that region.
+//
+// Style follows SchedulePolicy: the object is immutable during a run,
+// referenced from SimConfig by raw pointer, and must outlive every
+// runtime configured with it.  Factors are clamped to [0, 1] — the
+// what-if model only speaks about optimizations, and a factor above 1
+// would silently invert every invariant the projector proves.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace taskprof::rt {
+
+class DurationScale {
+ public:
+  /// Run `region`'s declared work at `factor` of its recorded cost
+  /// (0.5 = "twice as fast").  Overwrites any previous factor for the
+  /// region; factors are clamped to [0, 1].
+  void set_factor(RegionHandle region, double factor) {
+    factor = std::clamp(factor, 0.0, 1.0);
+    for (auto& entry : factors_) {
+      if (entry.first == region) {
+        entry.second = factor;
+        return;
+      }
+    }
+    factors_.emplace_back(region, factor);
+  }
+
+  /// Factor for `region`; 1.0 (unscaled) when none was set.
+  [[nodiscard]] double factor(RegionHandle region) const noexcept {
+    for (const auto& entry : factors_) {
+      if (entry.first == region) return entry.second;
+    }
+    return 1.0;
+  }
+
+  /// `cost` scaled by the region's factor, rounded to nearest tick.
+  [[nodiscard]] Ticks scale(RegionHandle region, Ticks cost) const noexcept {
+    const double f = factor(region);
+    if (f >= 1.0) return cost;
+    const double scaled = static_cast<double>(cost) * f + 0.5;
+    return static_cast<Ticks>(scaled);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return factors_.empty(); }
+
+ private:
+  // A what-if hypothesis names one or two constructs; linear scan over a
+  // flat vector beats a map at that size and keeps lookups allocation-free
+  // on the hot work() path.
+  std::vector<std::pair<RegionHandle, double>> factors_;
+};
+
+}  // namespace taskprof::rt

@@ -134,6 +134,17 @@ class SchedulerHooks {
     (void)id;
   }
 
+  /// The running task declared `cost` ticks of virtual computation
+  /// (simulator engines only: SimContext::work / replay equivalents).
+  /// `cost` is the *effective* cost after any configured duration
+  /// scaling, so observers see the same timings the virtual clock
+  /// advances by.  The real engine never fires this — its computation
+  /// is its own cost.
+  virtual void on_task_work(ThreadId thread, Ticks cost) {
+    (void)thread;
+    (void)cost;
+  }
+
   // -- Scheduling-point regions -------------------------------------------
 
   virtual void on_taskwait_begin(ThreadId thread) { (void)thread; }
@@ -224,6 +235,9 @@ class FanoutHooks final : public SchedulerHooks {
   void on_task_migrate(ThreadId from, ThreadId to,
                        TaskInstanceId id) override {
     for (auto* l : listeners_) l->on_task_migrate(from, to, id);
+  }
+  void on_task_work(ThreadId thread, Ticks cost) override {
+    for (auto* l : listeners_) l->on_task_work(thread, cost);
   }
   void on_taskwait_begin(ThreadId thread) override {
     for (auto* l : listeners_) l->on_taskwait_begin(thread);

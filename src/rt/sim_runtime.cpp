@@ -9,6 +9,7 @@
 #include "common/assert.hpp"
 #include "common/clock.hpp"
 #include "fiber/fiber.hpp"
+#include "rt/duration_scale.hpp"
 #include "rt/schedule_policy.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -380,7 +381,15 @@ class SimContext final : public TaskContext {
 
   void work(Ticks cost) override {
     TASKPROF_ASSERT(cost >= 0, "negative work cost");
-    rt_.current->time += cost;
+    Worker* w = rt_.current;
+    const SimTask* running = w->running;
+    if (rt_.config.duration_scale != nullptr && !running->implicit) {
+      cost = rt_.config.duration_scale->scale(running->attrs.region, cost);
+    }
+    // Observers see the effective (scaled) cost; no charge() here — the
+    // declaration itself is free, only the declared time advances.
+    if (rt_.hooks != nullptr) rt_.hooks->on_task_work(w->id, cost);
+    w->time += cost;
   }
 
   void region_enter(RegionHandle region, std::int64_t parameter) override {

@@ -27,6 +27,7 @@
 
 namespace taskprof::rt {
 
+class DurationScale;   // rt/duration_scale.hpp
 class SchedulePolicy;  // rt/schedule_policy.hpp
 
 /// Virtual-time cost model (all values in ticks = nanoseconds).  Defaults
@@ -75,6 +76,10 @@ struct SimConfig {
   /// deterministic, the same policy seed reproduces the exact same
   /// interleaving — this is the replay side of the seed protocol.
   const SchedulePolicy* policy = nullptr;
+  /// What-if hypothesis (src/whatif): per-region factors applied to the
+  /// declared ctx.work() cost of explicit tasks.  Not owned; must outlive
+  /// the runtime.  nullptr = no scaling.
+  const DurationScale* duration_scale = nullptr;
 };
 
 class SimRuntime final : public Runtime {

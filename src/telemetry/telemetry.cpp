@@ -224,6 +224,11 @@ void TimedHooks::on_task_migrate(ThreadId from, ThreadId to,
   inner_->on_task_migrate(from, to, id);
 }
 
+void TimedHooks::on_task_work(ThreadId thread, Ticks cost) {
+  const Timed timed(*this, thread);
+  inner_->on_task_work(thread, cost);
+}
+
 void TimedHooks::on_taskwait_begin(ThreadId thread) {
   const Timed timed(*this, thread);
   inner_->on_taskwait_begin(thread);

@@ -129,6 +129,14 @@ TraceAnalysis analyze_trace(const Trace& trace,
         case EventKind::kMigrate:
           lifetimes[event.task].migrations += 1;
           break;
+        case EventKind::kWork:
+          // Declared ctx.work() ticks; attribute to the task the thread
+          // is running.  Implicit-task work has no lifetime to land on.
+          if (state.current != kImplicitTaskId &&
+              event.parameter != kNoParameter) {
+            lifetimes[state.current].work += event.parameter;
+          }
+          break;
         case EventKind::kTaskwaitBegin:
         case EventKind::kBarrierBegin:
           state.sync_stack.push_back(

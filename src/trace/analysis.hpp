@@ -40,6 +40,9 @@ struct TaskLifetime {
   Ticks begin = 0;    ///< first fragment start
   Ticks end = 0;      ///< completion
   Ticks active = 0;   ///< sum of executed-fragment durations
+  /// Declared ctx.work() ticks executed by this task (kWork events;
+  /// 0 for traces from engines that do not emit them).
+  Ticks work = 0;
   int fragments = 0;
   int migrations = 0;
   bool started = false;

@@ -331,6 +331,10 @@ std::string render_chrome_trace(const Trace& trace,
           writer.end_event();
           break;
         }
+        case EventKind::kWork:
+          // Declared-work bookkeeping, not a visual slice; the enclosing
+          // task slice already covers the time.
+          break;
       }
     }
     // Close anything left open (truncated traces) so B/E stay balanced.

@@ -63,7 +63,7 @@ TraceEvent read_event(std::FILE* file, const std::string& path) {
   event.time = read_value<std::int64_t>(file, path);
   event.thread = read_value<std::uint32_t>(file, path);
   const auto kind = read_value<std::uint8_t>(file, path);
-  if (kind > static_cast<std::uint8_t>(EventKind::kSchedulerNote)) {
+  if (kind > static_cast<std::uint8_t>(EventKind::kWork)) {
     fail(path, "invalid event kind");
   }
   event.kind = static_cast<EventKind>(kind);

@@ -55,6 +55,10 @@ void TraceRecorder::on_task_migrate(ThreadId from, ThreadId to,
   record(from, EventKind::kMigrate, id, kInvalidRegion, kNoParameter, to);
 }
 
+void TraceRecorder::on_task_work(ThreadId thread, Ticks cost) {
+  record(thread, EventKind::kWork, kImplicitTaskId, kInvalidRegion, cost);
+}
+
 void TraceRecorder::on_taskwait_begin(ThreadId thread) {
   record(thread, EventKind::kTaskwaitBegin);
 }

@@ -31,6 +31,7 @@ class TraceRecorder final : public rt::SchedulerHooks {
   void on_task_end(ThreadId thread, TaskInstanceId id) override;
   void on_task_switch(ThreadId thread, TaskInstanceId id) override;
   void on_task_migrate(ThreadId from, ThreadId to, TaskInstanceId id) override;
+  void on_task_work(ThreadId thread, Ticks cost) override;
   void on_taskwait_begin(ThreadId thread) override;
   void on_taskwait_end(ThreadId thread) override;
   void on_barrier_begin(ThreadId thread, bool implicit) override;

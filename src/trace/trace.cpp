@@ -23,6 +23,7 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::kRegionEnter: return "region_enter";
     case EventKind::kRegionExit: return "region_exit";
     case EventKind::kSchedulerNote: return "scheduler_note";
+    case EventKind::kWork: return "work";
   }
   return "unknown";
 }

@@ -36,6 +36,8 @@ enum class EventKind : std::uint8_t {
   kRegionExit,
   kSchedulerNote,  ///< out-of-band scheduler condition; `parameter` =
                    ///< rt::SchedulerNote code, `task` = note detail
+  kWork,  ///< declared virtual work on `thread`'s running task;
+          ///< `parameter` = effective ticks (simulator engines only)
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind) noexcept;

@@ -1,0 +1,45 @@
+// Renderers for what-if projections: human-readable text and stable,
+// schema-versioned JSON (fixed key order, %.6g doubles — byte-identical
+// across runs of the same trace, the property the whatif corpus goldens
+// pin).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "whatif/whatif.hpp"
+
+namespace taskprof::whatif {
+
+/// Everything one `whatif` invocation reports.
+struct Report {
+  Ticks work = 0;
+  Ticks span = 0;
+  int span_length = 0;
+  double logical_parallelism = 0.0;
+  int measured_threads = 1;
+  bool work_basis = false;  ///< scaling basis: declared work vs active
+  /// Requested hypotheses (empty in ranking mode).
+  std::vector<Projection> projections;
+  /// Ranked per-path projections at `rank_fraction` (the "top
+  /// optimization targets" table); empty when explicit targets were given.
+  std::vector<Projection> top_targets;
+  double rank_fraction = 0.5;
+
+  /// Fill the summary fields from a built profile.
+  void summarize(const WhatIfProfile& profile);
+};
+
+/// Human-readable report.
+void render_whatif_text(const Report& report, std::ostream& os);
+
+/// Stable JSON, schema_version 1.
+[[nodiscard]] std::string render_whatif_json(const Report& report);
+
+/// Compact ranked-targets table for the classic trace report: the top
+/// `limit` paths by projected speedup.
+void render_top_targets_text(const Report& report, std::size_t limit,
+                             std::ostream& os);
+
+}  // namespace taskprof::whatif

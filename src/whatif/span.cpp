@@ -1,0 +1,316 @@
+#include "whatif/span.hpp"
+
+#include <algorithm>
+
+namespace taskprof::whatif {
+
+namespace {
+
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/// Per-thread replay cursor.
+struct ThreadCursor {
+  std::uint32_t current = kNoNode;    ///< node accruing executed time
+  std::uint32_t implicit = kNoNode;   ///< this thread's implicit node
+  Ticks fragment_start = 0;
+  int sync_depth = 0;
+  bool in_implicit = false;
+};
+
+}  // namespace
+
+SyncForest SyncForest::build(const trace::Trace& trace) {
+  SyncForest out;
+  std::vector<ThreadCursor> cursors(trace.thread_count());
+  std::map<TaskInstanceId, std::uint32_t> node_of;
+
+  auto ensure_node = [&](TaskInstanceId id, RegionHandle region,
+                         std::int64_t parameter) -> std::uint32_t {
+    auto [it, inserted] = node_of.emplace(
+        id, static_cast<std::uint32_t>(out.nodes_.size()));
+    if (inserted) {
+      Node node;
+      node.id = id;
+      node.key = {region, parameter};
+      out.nodes_.push_back(std::move(node));
+    } else if (region != kInvalidRegion &&
+               out.nodes_[it->second].key.first == kInvalidRegion) {
+      out.nodes_[it->second].key = {region, parameter};
+    }
+    return it->second;
+  };
+
+  // Move the open-segment accumulator of `node` into its item list.
+  auto flush = [&](std::uint32_t index) {
+    Node& node = out.nodes_[index];
+    if (node.pending_active == 0 && node.pending_work == 0) return;
+    Item item;
+    item.kind = Item::Kind::kSegment;
+    item.segment = {node.pending_active, node.pending_work};
+    node.items.push_back(item);
+    node.pending_active = 0;
+    node.pending_work = 0;
+  };
+
+  auto accrue = [&](ThreadCursor& cursor, Ticks now) {
+    if (cursor.current == kNoNode) return;
+    Node& node = out.nodes_[cursor.current];
+    const Ticks duration = now - cursor.fragment_start;
+    node.pending_active += duration;
+    if (node.implicit) out.implicit_active_ += duration;
+    cursor.fragment_start = now;
+  };
+
+  // After a task ends or switches away, the thread is back at its
+  // implicit task — but only accrues to it outside scheduling points
+  // (inside a barrier/taskwait the gap is waiting, not execution).
+  auto rest_node = [&](const ThreadCursor& cursor) -> std::uint32_t {
+    return cursor.in_implicit && cursor.sync_depth == 0 ? cursor.implicit
+                                                        : kNoNode;
+  };
+
+  for (const trace::TraceEvent& event : trace.merged()) {
+    ThreadCursor& cursor = cursors[event.thread];
+    const Ticks now = event.time;
+    switch (event.kind) {
+      case trace::EventKind::kImplicitBegin:
+        if (cursor.implicit == kNoNode) {
+          cursor.implicit =
+              static_cast<std::uint32_t>(out.nodes_.size());
+          Node node;
+          node.implicit = true;
+          out.nodes_.push_back(std::move(node));
+          out.roots_.push_back(cursor.implicit);
+        }
+        cursor.in_implicit = true;
+        cursor.sync_depth = 0;
+        cursor.current = cursor.implicit;
+        cursor.fragment_start = now;
+        break;
+      case trace::EventKind::kImplicitEnd:
+        accrue(cursor, now);
+        cursor.current = kNoNode;
+        cursor.in_implicit = false;
+        cursor.sync_depth = 0;
+        break;
+      case trace::EventKind::kCreateEnd: {
+        const std::uint32_t child =
+            ensure_node(event.task, event.region, event.parameter);
+        const std::uint32_t creator =
+            cursor.current != kNoNode ? cursor.current : rest_node(cursor);
+        if (creator != kNoNode) {
+          if (creator == cursor.current) accrue(cursor, now);
+          flush(creator);
+          Item item;
+          item.kind = Item::Kind::kCreate;
+          item.child = child;
+          out.nodes_[creator].items.push_back(item);
+          out.nodes_[child].has_parent = true;
+        }
+        break;
+      }
+      case trace::EventKind::kTaskBegin:
+        accrue(cursor, now);
+        cursor.current =
+            ensure_node(event.task, event.region, event.parameter);
+        cursor.fragment_start = now;
+        break;
+      case trace::EventKind::kTaskEnd:
+        accrue(cursor, now);
+        if (cursor.current != kNoNode) flush(cursor.current);
+        cursor.current = rest_node(cursor);
+        cursor.fragment_start = now;
+        break;
+      case trace::EventKind::kTaskSwitch:
+        accrue(cursor, now);
+        cursor.current = event.task == kImplicitTaskId
+                             ? rest_node(cursor)
+                             : ensure_node(event.task, event.region,
+                                           event.parameter);
+        cursor.fragment_start = now;
+        break;
+      case trace::EventKind::kWork:
+        if (cursor.current != kNoNode && event.parameter != kNoParameter &&
+            !out.nodes_[cursor.current].implicit) {
+          out.nodes_[cursor.current].pending_work += event.parameter;
+        }
+        break;
+      case trace::EventKind::kTaskwaitBegin:
+      case trace::EventKind::kBarrierBegin:
+        // An implicit task stops executing at the scheduling point; an
+        // explicit one keeps accruing until it is switched out (the
+        // pre-switch sliver is genuine sync-entry cost).
+        if (cursor.current != kNoNode &&
+            out.nodes_[cursor.current].implicit) {
+          accrue(cursor, now);
+          cursor.current = kNoNode;
+        }
+        cursor.sync_depth += 1;
+        break;
+      case trace::EventKind::kTaskwaitEnd:
+      case trace::EventKind::kBarrierEnd: {
+        if (cursor.sync_depth > 0) cursor.sync_depth -= 1;
+        std::uint32_t subject = cursor.current;
+        if (subject != kNoNode) {
+          accrue(cursor, now);
+        } else if (cursor.in_implicit) {
+          subject = cursor.implicit;
+        }
+        if (subject != kNoNode) {
+          flush(subject);
+          Item item;
+          item.kind = Item::Kind::kJoin;
+          out.nodes_[subject].items.push_back(item);
+        }
+        if (cursor.current == kNoNode) {
+          cursor.current = rest_node(cursor);
+          cursor.fragment_start = now;
+        }
+        break;
+      }
+      case trace::EventKind::kParallelBegin:
+      case trace::EventKind::kParallelEnd:
+      case trace::EventKind::kCreateBegin:
+      case trace::EventKind::kMigrate:
+      case trace::EventKind::kRegionEnter:
+      case trace::EventKind::kRegionExit:
+      case trace::EventKind::kSchedulerNote:
+        break;
+    }
+  }
+
+  for (std::uint32_t index = 0; index < out.nodes_.size(); ++index) {
+    flush(index);
+    // Tasks with no recorded creator (foreign traces, dropped events)
+    // still bound the program end; treat them as roots at offset 0,
+    // matching the creation-tree convention.
+    if (!out.nodes_[index].has_parent && !out.nodes_[index].implicit) {
+      out.roots_.push_back(index);
+    }
+  }
+  return out;
+}
+
+SyncForest::Evaluation SyncForest::evaluate(const CostFn& cost,
+                                            double task_overhead) const {
+  // The chain through a node can enter a child at its creation point and
+  // resume the node after the join, so chain attribution is a running
+  // state snapshotted at every create.
+  struct ChainState {
+    int tasks = 0;
+    std::map<PathKey, double> scalable;
+  };
+  struct NodeResult {
+    double completion = 0.0;  ///< subtree span from node start
+    ChainState chain;
+    bool done = false;
+  };
+  std::vector<NodeResult> results(nodes_.size());
+
+  auto eval_node = [&](std::uint32_t index) {
+    const Node& node = nodes_[index];
+    struct Pending {
+      double offset = 0.0;
+      std::uint32_t child = 0;
+      ChainState snapshot;
+    };
+    double clock = 0.0;
+    ChainState chain;
+    if (!node.implicit) {
+      chain.tasks = 1;
+      clock += task_overhead;
+    }
+    std::vector<Pending> pending;
+
+    auto fold = [&]() {
+      // max(clock, offset_i + completion_i); strict > keeps the node's
+      // own continuation (then the earliest child) on ties.
+      std::size_t best = pending.size();
+      double best_time = clock;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const double candidate =
+            pending[i].offset + results[pending[i].child].completion;
+        if (candidate > best_time) {
+          best_time = candidate;
+          best = i;
+        }
+      }
+      if (best != pending.size()) {
+        const NodeResult& sub = results[pending[best].child];
+        ChainState next = std::move(pending[best].snapshot);
+        next.tasks += sub.chain.tasks;
+        for (const auto& [key, ticks] : sub.chain.scalable) {
+          next.scalable[key] += ticks;
+        }
+        chain = std::move(next);
+        clock = best_time;
+      }
+      pending.clear();
+    };
+
+    for (const Item& item : node.items) {
+      switch (item.kind) {
+        case Item::Kind::kSegment:
+          if (node.implicit) {
+            clock += static_cast<double>(item.segment.active);
+          } else {
+            const SegmentCost sc = cost(node.key, item.segment);
+            clock += sc.duration;
+            chain.scalable[node.key] += sc.basis;
+          }
+          break;
+        case Item::Kind::kCreate:
+          pending.push_back(Pending{clock, item.child, chain});
+          break;
+        case Item::Kind::kJoin:
+          fold();
+          break;
+      }
+    }
+    fold();  // children never waited on gate the program end
+    results[index].completion = clock;
+    results[index].chain = std::move(chain);
+    results[index].done = true;
+  };
+
+  // Post-order over the forest (each node has at most one creator).
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (const std::uint32_t root : roots_) {
+    if (results[root].done) continue;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [index, item_cursor] = stack.back();
+      const Node& node = nodes_[index];
+      bool descended = false;
+      while (item_cursor < node.items.size()) {
+        const Item& item = node.items[item_cursor++];
+        if (item.kind == Item::Kind::kCreate &&
+            !results[item.child].done) {
+          stack.emplace_back(item.child, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      eval_node(index);
+      stack.pop_back();
+    }
+  }
+
+  Evaluation out;
+  std::uint32_t best_root = kNoNode;
+  for (const std::uint32_t root : roots_) {
+    if (best_root == kNoNode ||
+        results[root].completion > out.span) {
+      best_root = root;
+      out.span = results[root].completion;
+    }
+  }
+  if (best_root != kNoNode) {
+    out.tasks_on_chain = results[best_root].chain.tasks;
+    out.scalable_on_chain = std::move(results[best_root].chain.scalable);
+  }
+  return out;
+}
+
+}  // namespace taskprof::whatif

@@ -1,0 +1,128 @@
+// Sync-aware span: a series-parallel reconstruction of the task
+// structure from a recorded trace.
+//
+// The creation-tree chain (diagnose/workspan.hpp) treats every child of
+// a task as concurrent with its siblings.  That misses two serial
+// constraints that dominate real programs once a hypothesis shrinks the
+// task bodies:
+//
+//  * taskwait phasing — in sort/fft-style kernels the "merge" children
+//    are created only after a taskwait on the "split" children, so the
+//    two batches are sequential, not parallel.  The creation tree sees
+//    siblings and lets the span collapse far below what any schedule
+//    can reach, so a 90% hypothesis projects absurd speedups;
+//  * creation serialization — a flat task farm is spawned one create at
+//    a time by the implicit task.  Once the bodies shrink, the spawning
+//    thread is the bottleneck, and that time lives on the implicit
+//    task, which the creation tree does not model at all.
+//
+// SyncForest replays the trace event stream into one node per task
+// (explicit tasks and the per-thread implicit tasks) holding an ordered
+// item list:
+//
+//   Segment{active, work}  executed time between structural points
+//   Create{child}          a child task spawned here
+//   Join                   a taskwait/barrier completed here
+//
+// Span evaluation is then the classic max-plus recursion over that
+// structure: a node's clock advances through its segments; a Join
+// folds every child created since the previous Join as
+// max(clock, creation_offset + child_completion); the node's
+// completion additionally folds children never waited on (they gate
+// the enclosing barrier, i.e. the program end).  Segment durations are
+// supplied by a callback, so the same structure answers both "what is
+// the span?" and "what would the span be if path X were N% faster?" —
+// scaling is exact per segment because ctx.work() declarations (kWork
+// events) are attributed to the segment they occurred in.
+//
+// The evaluation also reports the realized critical chain: how many
+// distinct tasks lie on it and how much scalable (basis) time each call
+// path contributes to it, which feeds the Amdahl-style ceiling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace taskprof::whatif {
+
+class SyncForest {
+ public:
+  /// A call path: task construct plus instance parameter.
+  using PathKey = std::pair<RegionHandle, std::int64_t>;
+
+  /// Executed time between two structural points of one task.
+  struct Segment {
+    Ticks active = 0;  ///< executed ticks
+    Ticks work = 0;    ///< declared ctx.work() ticks within them
+  };
+
+  /// Hypothetical cost of one segment.
+  struct SegmentCost {
+    double duration = 0.0;  ///< (possibly scaled) executed ticks
+    double basis = 0.0;     ///< scalable basis ticks, unscaled
+  };
+  /// Maps a segment of a task on `key` to its cost under a hypothesis.
+  /// Never consulted for implicit tasks (they are not call paths and a
+  /// hypothesis cannot scale them).
+  using CostFn = std::function<SegmentCost(const PathKey&, const Segment&)>;
+
+  struct Evaluation {
+    double span = 0.0;        ///< series-parallel critical path
+    int tasks_on_chain = 0;   ///< distinct explicit tasks on it
+    /// Scalable basis ticks each call path contributes to the chain.
+    std::map<PathKey, double> scalable_on_chain;
+  };
+
+  SyncForest() = default;
+
+  /// Replay `trace` into the series-parallel structure.
+  [[nodiscard]] static SyncForest build(const trace::Trace& trace);
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  /// Total executed time of the implicit tasks (creation serialization
+  /// and other inline work); part of T1 but of no call path.
+  [[nodiscard]] Ticks implicit_active() const noexcept {
+    return implicit_active_;
+  }
+
+  /// Evaluate the span under `cost`.  `task_overhead` is an unscalable
+  /// per-task dispatch cost added to every explicit task on a chain —
+  /// keeping it inside the max-plus evaluation (rather than bolted onto
+  /// the result) means the chain choice accounts for it and the
+  /// old-chain-feasibility argument behind the Amdahl ceiling survives
+  /// scaling.  Deterministic: ties keep the earliest candidate in
+  /// creation order.
+  [[nodiscard]] Evaluation evaluate(const CostFn& cost,
+                                    double task_overhead = 0.0) const;
+
+ private:
+  struct Item {
+    enum class Kind : std::uint8_t { kSegment, kCreate, kJoin };
+    Kind kind = Kind::kSegment;
+    Segment segment;          ///< kSegment
+    std::uint32_t child = 0;  ///< kCreate: index into nodes_
+  };
+
+  struct Node {
+    TaskInstanceId id = kImplicitTaskId;
+    PathKey key{kInvalidRegion, kNoParameter};
+    bool implicit = false;
+    bool has_parent = false;
+    std::vector<Item> items;
+    // Build-time accumulators for the open segment.
+    Ticks pending_active = 0;
+    Ticks pending_work = 0;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> roots_;
+  Ticks implicit_active_ = 0;
+};
+
+}  // namespace taskprof::whatif

@@ -1,0 +1,159 @@
+// Work/span accounting regressions, focused on the degenerate traces
+// that used to mis-attribute: zero-duration tasks falling off the
+// critical chain, and region-less tasks rendered with a raw handle
+// number instead of a stable label.
+#include <gtest/gtest.h>
+
+#include "diagnose/workspan.hpp"
+#include "profile/region.hpp"
+#include "trace/analysis.hpp"
+
+namespace taskprof {
+namespace {
+
+trace::TaskLifetime make_task(TaskInstanceId id, TaskInstanceId parent,
+                              RegionHandle region, Ticks active) {
+  trace::TaskLifetime life;
+  life.id = id;
+  life.parent = parent;
+  life.region = region;
+  life.active = active;
+  life.started = true;
+  life.completed = true;
+  return life;
+}
+
+TEST(WorkSpan, EmptyAnalysisYieldsEmptySummary) {
+  trace::TraceAnalysis analysis;
+  RegionRegistry registry;
+  const diag::WorkSpanSummary ws = diag::compute_workspan(analysis, registry);
+  EXPECT_EQ(ws.work, 0);
+  EXPECT_EQ(ws.span, 0);
+  EXPECT_EQ(ws.span_length, 0);
+  EXPECT_TRUE(ws.span_tasks.empty());
+  EXPECT_TRUE(ws.shares.empty());
+  EXPECT_EQ(ws.logical_parallelism(), 0.0);
+}
+
+TEST(WorkSpan, ZeroDurationDescendantsStayOnTheChain) {
+  // 1(100) -> 2(0) -> 3(0): the heaviest chain must run to the leaf even
+  // though the subtree below 1 contributes no time.  The old
+  // implementation dropped ties (`sub.time > best.time`), cutting the
+  // chain at the first zero-duration child.
+  RegionRegistry registry;
+  const RegionHandle region =
+      registry.register_region("zero_chain", RegionType::kTask);
+  trace::TraceAnalysis analysis;
+  analysis.tasks.push_back(make_task(1, kImplicitTaskId, region, 100));
+  analysis.tasks.push_back(make_task(2, 1, region, 0));
+  analysis.tasks.push_back(make_task(3, 2, region, 0));
+
+  const diag::WorkSpanSummary ws = diag::compute_workspan(analysis, registry);
+  EXPECT_EQ(ws.work, 100);
+  EXPECT_EQ(ws.span, 100);
+  EXPECT_EQ(ws.span_length, 3);
+  ASSERT_EQ(ws.span_tasks.size(), 3u);
+  EXPECT_EQ(ws.span_tasks[0], 1u);
+  EXPECT_EQ(ws.span_tasks[1], 2u);
+  EXPECT_EQ(ws.span_tasks[2], 3u);
+  ASSERT_EQ(ws.shares.size(), 1u);
+  EXPECT_EQ(ws.shares[0].instances, 3);
+}
+
+TEST(WorkSpan, AllZeroDurationTasksStillFormAChain) {
+  RegionRegistry registry;
+  const RegionHandle region =
+      registry.register_region("all_zero", RegionType::kTask);
+  trace::TraceAnalysis analysis;
+  analysis.tasks.push_back(make_task(1, kImplicitTaskId, region, 0));
+  analysis.tasks.push_back(make_task(2, 1, region, 0));
+
+  const diag::WorkSpanSummary ws = diag::compute_workspan(analysis, registry);
+  EXPECT_EQ(ws.span, 0);
+  EXPECT_EQ(ws.span_length, 2);
+  ASSERT_EQ(ws.span_tasks.size(), 2u);
+  EXPECT_EQ(ws.span_tasks.front(), 1u);
+}
+
+TEST(WorkSpan, TieOnTimePrefersLongerChainThenSmallerId) {
+  // Root 1 has two subtrees of equal weight: child 2 (50, leaf) and
+  // child 3 (50) -> 4 (0).  Equal time, so the longer chain through 3
+  // wins; among equal-length equal-time chains the smaller id wins.
+  RegionRegistry registry;
+  const RegionHandle region =
+      registry.register_region("tie", RegionType::kTask);
+  trace::TraceAnalysis analysis;
+  analysis.tasks.push_back(make_task(1, kImplicitTaskId, region, 10));
+  analysis.tasks.push_back(make_task(2, 1, region, 50));
+  analysis.tasks.push_back(make_task(3, 1, region, 50));
+  analysis.tasks.push_back(make_task(4, 3, region, 0));
+
+  const diag::WorkSpanSummary ws = diag::compute_workspan(analysis, registry);
+  EXPECT_EQ(ws.span, 60);
+  EXPECT_EQ(ws.span_length, 3);
+  ASSERT_EQ(ws.span_tasks.size(), 3u);
+  EXPECT_EQ(ws.span_tasks[1], 3u);
+  EXPECT_EQ(ws.span_tasks[2], 4u);
+}
+
+TEST(WorkSpan, RegionlessTasksGetAStableLabel) {
+  // Tasks recorded without a region (hand-built or truncated traces) must
+  // not render as "region 4294967295".
+  RegionRegistry registry;
+  trace::TraceAnalysis analysis;
+  analysis.tasks.push_back(make_task(1, kImplicitTaskId, kInvalidRegion, 30));
+
+  const diag::WorkSpanSummary ws = diag::compute_workspan(analysis, registry);
+  ASSERT_EQ(ws.shares.size(), 1u);
+  EXPECT_EQ(ws.shares[0].name, "(unattributed)");
+  EXPECT_EQ(diag::construct_display_name(kInvalidRegion, registry),
+            "(unattributed)");
+}
+
+TEST(WorkSpan, OrphanedTasksAreChainRoots) {
+  // Task 7's parent (99) never completed: it must still be considered a
+  // chain root rather than vanish from the span.
+  RegionRegistry registry;
+  const RegionHandle region =
+      registry.register_region("orphan", RegionType::kTask);
+  trace::TraceAnalysis analysis;
+  analysis.tasks.push_back(make_task(7, 99, region, 80));
+  analysis.tasks.push_back(make_task(8, kImplicitTaskId, region, 20));
+
+  const diag::WorkSpanSummary ws = diag::compute_workspan(analysis, registry);
+  EXPECT_EQ(ws.span, 80);
+  ASSERT_EQ(ws.span_tasks.size(), 1u);
+  EXPECT_EQ(ws.span_tasks[0], 7u);
+}
+
+TEST(WorkSpan, ForestChainHonorsCustomDurations) {
+  // The what-if projector re-queries the chain under scaled durations:
+  // halving task 2's cost must move the span to the other subtree.
+  RegionRegistry registry;
+  const RegionHandle hot =
+      registry.register_region("hot", RegionType::kTask);
+  const RegionHandle cold =
+      registry.register_region("cold", RegionType::kTask);
+  trace::TraceAnalysis analysis;
+  analysis.tasks.push_back(make_task(1, kImplicitTaskId, cold, 10));
+  analysis.tasks.push_back(make_task(2, 1, hot, 100));
+  analysis.tasks.push_back(make_task(3, 1, cold, 70));
+
+  const diag::CreationForest forest(analysis);
+  const auto measured = forest.heaviest_chain(
+      [](const trace::TaskLifetime& t) { return t.active; });
+  EXPECT_EQ(measured.time, 110);
+  ASSERT_EQ(measured.tasks.size(), 2u);
+  EXPECT_EQ(measured.tasks[1], 2u);
+
+  const auto scaled = forest.heaviest_chain(
+      [hot](const trace::TaskLifetime& t) {
+        return t.region == hot ? t.active / 2 : t.active;
+      });
+  EXPECT_EQ(scaled.time, 80);
+  ASSERT_EQ(scaled.tasks.size(), 2u);
+  EXPECT_EQ(scaled.tasks[1], 3u);
+}
+
+}  // namespace
+}  // namespace taskprof

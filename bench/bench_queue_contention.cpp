@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "common/concurrency.hpp"
 #include "rt/real_runtime.hpp"
 
 using namespace taskprof;
@@ -300,7 +301,7 @@ int main(int argc, char** argv) {
   std::printf(
       "engine: real threads | size class: %s | host threads: %u | "
       "median of %d reps\n\n",
-      bench::size_name(size), std::thread::hardware_concurrency(), reps);
+      bench::size_name(size), taskprof::hardware_threads(), reps);
 
   RegionRegistry registry;
   const RegionHandle task = registry.register_region("t", RegionType::kTask);
@@ -339,7 +340,7 @@ int main(int argc, char** argv) {
   json.field("size", bench::size_name(size));
   json.field("seed", seed);
   json.field("host_threads",
-             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+             static_cast<std::uint64_t>(taskprof::hardware_threads()));
   json.field("reps", reps);
   json.field("sweep_measured_iters",
              static_cast<std::uint64_t>(kSweepMeasuredIters));
@@ -446,7 +447,7 @@ int main(int argc, char** argv) {
               ratio_sweep_4);
   std::printf("taskgraph / chase_lev throughput, sweep x8:          %.2fx\n",
               ratio_sweep_8);
-  if (std::thread::hardware_concurrency() <= 2) {
+  if (taskprof::hardware_threads() <= 2) {
     std::printf(
         "note: single-core host — the mutex is only contended across\n"
         "preemption boundaries, so the fib gap here is the per-task lock\n"

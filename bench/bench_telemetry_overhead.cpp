@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "common/concurrency.hpp"
 #include "rt/real_runtime.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -137,7 +138,7 @@ int main(int argc, char** argv) {
       "engine: real threads x%d | size class: %s | host threads: %u | "
       "median of %d reps\n\n",
       kThreads, bench::size_name(options.size),
-      std::thread::hardware_concurrency(), options.reps);
+      taskprof::hardware_threads(), options.reps);
 
   RegionRegistry registry;
   const RegionHandle task = registry.register_region("t", RegionType::kTask);
@@ -150,7 +151,7 @@ int main(int argc, char** argv) {
   json.field("threads", kThreads);
   json.field("reps", options.reps);
   json.field("host_threads",
-             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+             static_cast<std::uint64_t>(taskprof::hardware_threads()));
   json.begin_array("results");
 
   double sink_overhead_fib = 0.0;

@@ -31,6 +31,10 @@ namespace taskprof::bench {
 struct Options {
   bots::SizeClass size = bots::SizeClass::kSmall;
   std::uint64_t seed = 42;
+  /// Upper end of a bench's worker sweep (benches that sweep thread
+  /// counts double 1, 2, 4, ... up to here).  The simulator runs any
+  /// width on one OS thread, so 256+ virtual workers are fine.
+  int max_workers = 8;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -45,9 +49,21 @@ inline Options parse_options(int argc, char** argv) {
       options.size = bots::SizeClass::kMedium;
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--max-workers=", 0) == 0) {
+      try {
+        options.max_workers = std::stoi(arg.substr(14));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --max-workers value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      if (options.max_workers < 1 || options.max_workers > 1024) {
+        std::fprintf(stderr, "--max-workers must be in [1, 1024]\n");
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--size=test|small|medium] [--quick] [--seed=N]\n",
+          "usage: %s [--size=test|small|medium] [--quick] [--seed=N] "
+          "[--max-workers=N]\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -101,6 +101,14 @@ void usage(const char* argv0) {
       "  --snapshot-out=FILE   write a crash-safe .tpsnap profile snapshot\n"
       "                        (default <kernel>.tpsnap with\n"
       "                        --snapshot-every)\n"
+      "  --topology=DxW[:flat] machine topology: D locality domains of W\n"
+      "                        workers each (e.g. 2x4).  Steals prefer the\n"
+      "                        thief's own domain and escalate to batched\n"
+      "                        cross-domain steals; on the sim engine\n"
+      "                        cross-domain work additionally pays the\n"
+      "                        interconnect latency.  \":flat\" keeps the\n"
+      "                        simulated machine but disables the\n"
+      "                        hierarchical victim policy (A/B baseline)\n"
       "  --snapshot-every=MS   flush a partial snapshot every MS\n"
       "                        milliseconds during the run; the final flush\n"
       "                        replaces it with the complete profile\n"
@@ -144,7 +152,26 @@ struct CliOptions {
   std::string report_json;
   std::string snapshot_out;
   std::uint64_t snapshot_every_ms = 0;
+  std::string topology_spec;
 };
+
+/// Parses "--topology=DxW[:flat]" into a Topology.  The optional ":flat"
+/// suffix keeps the simulated machine (domains, latencies) but selects
+/// the flat victim policy — the A/B knob of bench_numa_scaling.
+bool parse_topology_spec(const std::string& spec, rt::Topology& out) {
+  std::string machine = spec;
+  bool hierarchical = true;
+  if (const auto colon = machine.rfind(":flat");
+      colon != std::string::npos && colon == machine.size() - 5) {
+    machine.resize(colon);
+    hierarchical = false;
+  }
+  const auto parsed = rt::Topology::parse(machine);
+  if (!parsed.has_value()) return false;
+  out = *parsed;
+  out.hierarchical = hierarchical;
+  return true;
+}
 
 bool parse(int argc, char** argv, CliOptions& cli) {
   cli.config.threads = 4;
@@ -202,6 +229,8 @@ bool parse(int argc, char** argv, CliOptions& cli) {
       cli.snapshot_out = value_of("--snapshot-out=");
     } else if (arg.rfind("--snapshot-every=", 0) == 0) {
       cli.snapshot_every_ms = std::stoull(value_of("--snapshot-every="));
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      cli.topology_spec = value_of("--topology=");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -964,6 +993,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  rt::Topology topology;
+  if (!cli.topology_spec.empty() &&
+      !parse_topology_spec(cli.topology_spec, topology)) {
+    std::fprintf(stderr, "bad --topology spec: %s (want DxW, e.g. 4x16)\n",
+                 cli.topology_spec.c_str());
+    return 2;
+  }
+
   std::unique_ptr<rt::Runtime> runtime;
   rt::RealRuntime* real_runtime = nullptr;
   if (cli.engine == "sim") {
@@ -971,9 +1008,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--scheduler applies to --engine=real only\n");
       return 2;
     }
-    runtime = std::make_unique<rt::SimRuntime>();
+    rt::SimConfig sim_config;
+    sim_config.topology = topology;
+    runtime = std::make_unique<rt::SimRuntime>(sim_config);
   } else if (cli.engine == "real") {
     rt::RealConfig config;
+    config.topology = topology;
     if (cli.scheduler == "chase_lev") {
       config.scheduler = rt::SchedulerKind::kChaseLev;
     } else if (cli.scheduler == "mutex_deque") {

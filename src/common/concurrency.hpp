@@ -1,0 +1,22 @@
+// Shared hardware-concurrency probe.
+//
+// std::thread::hardware_concurrency() is explicitly allowed to return 0
+// when the value is "not well defined or not computable" — and does so on
+// some containers and exotic kernels.  Every place that seeds a default
+// from it (worker counts, active-list caps, bench grids) must clamp the
+// answer, and they must all clamp it the same way; this helper is that
+// single clamp.
+#pragma once
+
+#include <thread>
+
+namespace taskprof {
+
+/// std::thread::hardware_concurrency(), clamped to >= 1 so it is always
+/// usable as a worker count or a divisor.
+[[nodiscard]] inline unsigned hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : hw;
+}
+
+}  // namespace taskprof

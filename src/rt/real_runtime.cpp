@@ -1,5 +1,6 @@
 #include "rt/real_runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -219,6 +220,13 @@ struct RealRuntime::Impl {
   // --- team state (valid during one parallel region) --------------------
   int nthreads = 0;
   std::vector<std::unique_ptr<WorkerQueue>> queues;
+  /// Hierarchical stealing (RealConfig::topology): true when the topology
+  /// splits this team across more than one populated locality domain.
+  /// False keeps steal_round() on the flat sweep, bit-identical to the
+  /// pre-topology engine.
+  bool hier_steal = false;
+  /// Worker ids of each locality domain (ascending), rebuilt per region.
+  std::vector<std::vector<ThreadId>> domain_members;
   std::atomic<std::uint64_t> outstanding{0};
   std::atomic<TaskInstanceId> next_id{1};
 
@@ -290,6 +298,13 @@ struct RealRuntime::Impl {
     std::uint64_t created = 0;
     std::uint64_t steals = 0;
     std::uint64_t steal_attempts = 0;
+    /// Hierarchical stealing: this worker's domain, its index inside
+    /// Impl::domain_members[domain], and the consecutive empty local
+    /// sweeps accumulated towards the escalation threshold
+    /// (Topology::local_miss_limit).
+    std::uint32_t domain = 0;
+    std::uint32_t domain_slot = 0;
+    std::uint32_t local_misses = 0;
     /// Cached telemetry handle (detached no-op unless a sink is set).
     telemetry::Registry::ThreadSlots telem;
     /// Seeded perturbation stream (detached no-op without a policy).
@@ -383,28 +398,144 @@ struct RealRuntime::Impl {
     return t;
   }
 
+  /// One FIFO steal from `victim_tid`'s queue (either scheduler variant).
+  TaskRecord* steal_one(ThreadId victim_tid) {
+    WorkerQueue& victim = *queues[victim_tid];
+    if (lock_free_queues()) {
+      return static_cast<TaskRecord*>(victim.deque.steal());
+    }
+    std::scoped_lock lock(victim.mutex);
+    if (victim.tasks.empty()) return nullptr;
+    TaskRecord* t = victim.tasks.front();
+    victim.tasks.pop_front();
+    return t;
+  }
+
+  /// Stack bound for one batched steal; Topology::steal_batch_max is
+  /// clamped to it.
+  static constexpr std::size_t kStealBatchCap = 32;
+
+  /// Cross-domain batch steal: take up to steal_batch_max tasks from
+  /// `victim_tid` (never more than half of what the victim appears to
+  /// hold — steal-half), return the oldest to run now and re-push the
+  /// rest onto the thief's own deque, where same-domain neighbours can
+  /// find them without crossing the boundary again.  Returns nullptr when
+  /// the victim yielded nothing.
+  TaskRecord* steal_batch_from(ThreadState& st, ThreadId victim_tid) {
+    TaskRecord* items[kStealBatchCap];
+    const std::size_t cap = std::min<std::size_t>(
+        std::max<std::uint32_t>(config.topology.steal_batch_max, 1),
+        kStealBatchCap);
+    std::size_t got = 0;
+    WorkerQueue& victim = *queues[victim_tid];
+    if (lock_free_queues()) {
+      void* raw[kStealBatchCap];
+      const std::size_t want = std::max<std::size_t>(
+          1, std::min(cap, (victim.deque.size() + 1) / 2));
+      got = victim.deque.steal_batch(raw, want);
+      for (std::size_t i = 0; i < got; ++i) {
+        items[i] = static_cast<TaskRecord*>(raw[i]);
+      }
+    } else {
+      // Mutex variant: one lock hold for the whole batch.  Items are
+      // buffered and re-pushed after unlocking — taking the thief's own
+      // queue mutex while holding the victim's would deadlock against a
+      // symmetric steal.
+      std::scoped_lock lock(victim.mutex);
+      const std::size_t want = std::max<std::size_t>(
+          1, std::min(cap, (victim.tasks.size() + 1) / 2));
+      while (got < want && !victim.tasks.empty()) {
+        items[got++] = victim.tasks.front();
+        victim.tasks.pop_front();
+      }
+    }
+    count_steal(st, got > 0);
+    if (got == 0) return nullptr;
+    st.steals += got;
+    st.telem.add(telemetry::Counter::kStealsCrossDomain, got);
+    st.telem.add(telemetry::Counter::kStealBatchTasks, got);
+    if (got > 1) {
+      WorkerQueue& own = *queues[st.tid];
+      if (lock_free_queues()) {
+        // Push deepest-age first so the next own pop() resumes with the
+        // batch's next-oldest task — the same continuation order a FIFO
+        // victim drain would produce.
+        for (std::size_t i = got; i-- > 1;) own.deque.push(items[i]);
+        if (st.telem.attached()) {
+          st.telem.gauge_max(telemetry::Gauge::kDequeDepth, own.deque.size());
+        }
+      } else {
+        std::scoped_lock lock(own.mutex);
+        for (std::size_t i = got; i-- > 1;) own.tasks.push_back(items[i]);
+      }
+    }
+    return items[0];
+  }
+
+  /// Hierarchical victim selection (RealConfig::topology, DESIGN.md §15):
+  /// probe the thief's own locality domain first with a seeded
+  /// within-domain rotation; only after Topology::local_miss_limit
+  /// consecutive empty local sweeps escalate to the remote domains
+  /// (seeded domain rotation), where the first victim with work loses a
+  /// whole batch.  All rotations draw from the worker's ScheduleStream,
+  /// so a given policy seed reproduces the exact victim sequence.
+  TaskRecord* steal_round_hierarchical(ThreadState& st) {
+    const std::vector<ThreadId>& local = domain_members[st.domain];
+    const auto lsize = static_cast<std::uint32_t>(local.size());
+    if (lsize > 1) {
+      const std::uint32_t lring = lsize - 1;
+      const std::uint32_t rotation = st.sched.victim_rotation(lsize);
+      for (std::uint32_t i = 0; i < lring; ++i) {
+        const std::uint32_t slot =
+            (st.domain_slot + 1 + (rotation + i) % lring) % lsize;
+        TaskRecord* t = steal_one(local[slot]);
+        count_steal(st, t != nullptr);
+        if (t != nullptr) {
+          ++st.steals;
+          st.local_misses = 0;
+          st.telem.add(telemetry::Counter::kStealsInDomain);
+          return t;
+        }
+      }
+    }
+    // A worker alone in its domain has no local victims and escalates on
+    // every sweep; everyone else accumulates misses first.
+    if (lsize > 1 && ++st.local_misses < config.topology.local_miss_limit) {
+      st.telem.add(telemetry::Counter::kStealAborts);
+      return nullptr;
+    }
+    st.local_misses = 0;
+    st.telem.add(telemetry::Counter::kStealEscalations);
+    const auto ndomains = static_cast<std::uint32_t>(domain_members.size());
+    const std::uint32_t dring = ndomains - 1;
+    const std::uint32_t drotation = st.sched.victim_rotation(ndomains);
+    for (std::uint32_t i = 0; i < dring; ++i) {
+      const std::uint32_t dom =
+          (st.domain + 1 + (drotation + i) % dring) % ndomains;
+      for (const ThreadId victim : domain_members[dom]) {
+        if (TaskRecord* t = steal_batch_from(st, victim)) return t;
+      }
+    }
+    st.telem.add(telemetry::Counter::kStealAborts);
+    return nullptr;
+  }
+
   /// One full FIFO-steal sweep over the other workers' queues.  The scan
   /// starts at neighbour offset 1 + rotation — rotation is 0 without a
-  /// schedule policy, preserving the historical clockwise order.
+  /// schedule policy, preserving the historical clockwise order.  With a
+  /// multi-domain topology the sweep is hierarchical instead (local
+  /// domain first, batched escalation); see steal_round_hierarchical.
   TaskRecord* steal_round(ThreadState& st) {
     if (!config.steal || nthreads <= 1) return nullptr;
+    if (hier_steal) return steal_round_hierarchical(st);
     const auto ring = static_cast<std::uint32_t>(nthreads - 1);
     const std::uint32_t rotation =
         st.sched.victim_rotation(static_cast<std::uint32_t>(nthreads));
     for (std::uint32_t i = 0; i < ring; ++i) {
       const ThreadId offset = 1 + (rotation + i) % ring;
-      WorkerQueue& victim =
-          *queues[(st.tid + offset) % static_cast<ThreadId>(nthreads)];
-      TaskRecord* t = nullptr;
-      if (lock_free_queues()) {
-        t = static_cast<TaskRecord*>(victim.deque.steal());
-      } else {
-        std::scoped_lock lock(victim.mutex);
-        if (!victim.tasks.empty()) {
-          t = victim.tasks.front();
-          victim.tasks.pop_front();
-        }
-      }
+      TaskRecord* t = steal_one(
+          static_cast<ThreadId>((st.tid + offset) %
+                                static_cast<ThreadId>(nthreads)));
       count_steal(st, t != nullptr);
       if (t != nullptr) {
         ++st.steals;
@@ -996,6 +1127,25 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
       }
     }
   }
+  // Hierarchical stealing only engages when the topology actually splits
+  // this team: with every worker in one populated domain the flat sweep
+  // is the correct (and bit-identical historical) behaviour.
+  rt.domain_members.clear();
+  rt.hier_steal = false;
+  if (rt.config.topology.multi_domain() && rt.config.steal &&
+      num_threads > 1) {
+    rt.domain_members.assign(rt.config.topology.domains, {});
+    for (int i = 0; i < num_threads; ++i) {
+      const auto dom = rt.config.topology.domain_of(
+          static_cast<std::uint32_t>(i));
+      rt.domain_members[dom].push_back(static_cast<ThreadId>(i));
+    }
+    std::size_t populated = 0;
+    for (const auto& members : rt.domain_members) {
+      if (!members.empty()) ++populated;
+    }
+    rt.hier_steal = populated > 1;
+  }
   for (int i = 0; i < num_threads; ++i) {
     rt.queues.push_back(std::make_unique<WorkerQueue>());
     auto st = std::make_unique<Impl::ThreadState>();
@@ -1004,6 +1154,17 @@ TeamStats RealRuntime::parallel(int num_threads, TaskFn body) {
     st->implicit_record.graph_node = kGraphRoot;
     if (rt.config.policy != nullptr) {
       st->sched = rt.config.policy->stream(st->tid);
+    }
+    if (rt.hier_steal) {
+      st->domain =
+          rt.config.topology.domain_of(static_cast<std::uint32_t>(i));
+      const auto& members = rt.domain_members[st->domain];
+      for (std::size_t slot = 0; slot < members.size(); ++slot) {
+        if (members[slot] == st->tid) {
+          st->domain_slot = static_cast<std::uint32_t>(slot);
+          break;
+        }
+      }
     }
     rt.threads.push_back(std::move(st));
   }

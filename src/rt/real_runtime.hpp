@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "rt/runtime.hpp"
+#include "rt/topology.hpp"
 
 namespace taskprof::rt {
 
@@ -56,6 +57,15 @@ struct RealConfig {
   /// injected yields) for the fuzzing harness in src/check/.  Not owned;
   /// must outlive the runtime.  nullptr leaves scheduling unperturbed.
   const SchedulePolicy* policy = nullptr;
+  /// Locality-domain layout for hierarchical victim selection
+  /// (rt/topology.hpp): idle workers probe their own domain first and
+  /// escalate to batched cross-domain steals only after repeated local
+  /// misses.  The default (one domain) keeps the flat steal sweep
+  /// bit-identical to the pre-topology engine.  Composes with `policy`
+  /// (rotations stay seeded-deterministic within the hierarchy) and with
+  /// the kTaskGraph divergence fallback (which steals through the same
+  /// path).
+  Topology topology;
 };
 
 class RealRuntime final : public Runtime {

@@ -78,6 +78,8 @@ struct Worker {
   SimTask* completed = nullptr;
   SimTask* enqueue_task = nullptr;
   Ticks last_lock_request = std::numeric_limits<Ticks>::min();
+  /// Which management-lock shard that last request went to.
+  std::uint32_t last_lock_shard = 0;
   /// Consecutive constrained scheduling attempts that found nothing;
   /// triggers the full descendant scan (see schedule()).
   int constraint_failures = 0;
@@ -88,6 +90,15 @@ struct Worker {
   std::uint64_t created = 0;
   std::uint64_t steals = 0;
   std::uint64_t migrations = 0;
+  /// Locality domain (SimConfig::topology; 0 on a flat machine).
+  std::uint32_t domain = 0;
+  /// Batched-transfer lease (hierarchical policy): the last cross-domain
+  /// take claimed a batch from `lease_domain`, and the next
+  /// `lease_remaining` takes from that domain drain it locally — no lock
+  /// op, no interconnect latency (the sim's central-queue analogue of
+  /// steal-half from a remote deque).
+  std::uint32_t lease_domain = 0;
+  std::uint32_t lease_remaining = 0;
   /// Seeded perturbation stream (detached no-op without a policy).
   ScheduleStream sched;
 };
@@ -130,17 +141,31 @@ struct SimRuntime::Impl {
   StackPool stack_pool;
   Ticks base_time = 0;
 
-  // Team state, valid during one parallel region.
+  // Team state, valid during one parallel region.  Per-worker state lives
+  // in indexed slabs (flat vectors sized once at region entry): with 256+
+  // virtual workers, pointer-chasing per event is what thrashes.
   int nthreads = 0;
   std::vector<Worker> workers;
-  std::vector<std::unique_ptr<WorkerClock>> clocks;
+  std::vector<WorkerClock> clocks;
+  /// True when the topology splits this team across more than one
+  /// populated locality domain; false keeps every cost bit-identical to
+  /// the flat pre-topology model.
+  bool topo_active = false;
   std::deque<SimTask*> queue;
   std::vector<SimTask*> untied_suspended;
   std::uint64_t outstanding = 0;
   TaskInstanceId next_id = 1;
   std::vector<int> barrier_arrived;
   std::vector<bool> single_claimed;
-  MgmtLock lock;
+  /// Management-lock shards.  One global server on a flat machine and
+  /// under the flat victim policy; one per locality domain under the
+  /// hierarchical policy.  Sharding the management structures — a
+  /// per-domain queue with a per-domain lock instead of one global lock
+  /// every worker fights over — is where a hierarchical scheduler's
+  /// management *throughput* comes from; local-first victim selection
+  /// alone only shortens individual probes.
+  std::vector<MgmtLock> locks;
+  bool lock_sharded = false;
   int done_count = 0;
   TaskFn body;
   std::unique_ptr<TaskContext> context;
@@ -149,6 +174,77 @@ struct SimRuntime::Impl {
   Request request = Request::kNone;
   SimTask* request_task = nullptr;
   Worker* current = nullptr;
+
+  /// Discrete-event dispatch index: a binary min-heap of worker ids keyed
+  /// on (time, id) with an id -> position slab, replacing the O(P) linear
+  /// scan per event.  An event only advances the dispatched worker's
+  /// clock, so each step is one O(log P) re-key — the other half of what
+  /// keeps P=256 virtual workers from thrashing.  The (time, id) order
+  /// reproduces the scan's pick (earliest time, lowest id on ties)
+  /// exactly, so event order — and therefore every profile — is
+  /// unchanged.
+  std::vector<int> heap;
+  std::vector<int> heap_pos;  ///< worker id -> heap index; -1 once done
+
+  [[nodiscard]] bool earlier(int a, int b) const noexcept {
+    const Ticks ta = workers[static_cast<std::size_t>(a)].time;
+    const Ticks tb = workers[static_cast<std::size_t>(b)].time;
+    return ta < tb || (ta == tb && a < b);
+  }
+
+  void heap_place(std::size_t at, int worker) noexcept {
+    heap[at] = worker;
+    heap_pos[static_cast<std::size_t>(worker)] = static_cast<int>(at);
+  }
+
+  void heap_sift_up(std::size_t at) noexcept {
+    const int moving = heap[at];
+    while (at > 0) {
+      const std::size_t parent = (at - 1) / 2;
+      if (!earlier(moving, heap[parent])) break;
+      heap_place(at, heap[parent]);
+      at = parent;
+    }
+    heap_place(at, moving);
+  }
+
+  void heap_sift_down(std::size_t at) noexcept {
+    const int moving = heap[at];
+    const std::size_t size = heap.size();
+    for (;;) {
+      std::size_t child = 2 * at + 1;
+      if (child >= size) break;
+      if (child + 1 < size && earlier(heap[child + 1], heap[child])) {
+        ++child;
+      }
+      if (!earlier(heap[child], moving)) break;
+      heap_place(at, heap[child]);
+      at = child;
+    }
+    heap_place(at, moving);
+  }
+
+  /// Re-key `worker` after its clock advanced.
+  void heap_update(int worker) noexcept {
+    const auto at =
+        static_cast<std::size_t>(heap_pos[static_cast<std::size_t>(worker)]);
+    heap_sift_down(at);
+    heap_sift_up(
+        static_cast<std::size_t>(heap_pos[static_cast<std::size_t>(worker)]));
+  }
+
+  /// Remove `worker` from the dispatch index (its implicit task is done).
+  void heap_remove(int worker) noexcept {
+    const auto at =
+        static_cast<std::size_t>(heap_pos[static_cast<std::size_t>(worker)]);
+    heap_pos[static_cast<std::size_t>(worker)] = -1;
+    const int last = heap.back();
+    heap.pop_back();
+    if (last != worker) {
+      heap_place(at, last);
+      heap_update(last);
+    }
+  }
 
   /// Per measurement event, instrumented runs pay a virtual cost.
   void charge(Worker& w) const noexcept {
@@ -162,33 +258,104 @@ struct SimRuntime::Impl {
 
   /// A dequeue that took a task created by another worker is the
   /// simulator's steal; attempts == successes here (the central queue
-  /// cannot probe empty victims).
+  /// cannot probe empty victims).  On a multi-domain machine the steal is
+  /// additionally classified by whether it crossed a domain boundary.
   void count_dequeue(Worker& w, const SimTask& task) const noexcept {
     if (task.creator == w.id) return;
     ++w.steals;
     if (telemetry != nullptr) {
       telemetry->add(w.id, telemetry::Counter::kStealAttempts);
       telemetry->add(w.id, telemetry::Counter::kStealSuccesses);
+      if (topo_active) {
+        const bool local =
+            config.topology.domain_of(task.creator) == w.domain;
+        telemetry->add(w.id, local ? telemetry::Counter::kStealsInDomain
+                                   : telemetry::Counter::kStealsCrossDomain);
+      }
     }
   }
 
-  /// Serve a management-lock operation for `w`: FIFO queueing plus
-  /// contention-dependent service inflation (see SimCosts).  Advances
-  /// w.time to the operation's completion.
-  void serve_lock(Worker& w, Ticks service) noexcept {
-    int competitors = 0;
+  /// Serve a management-lock operation for `w` against the shard that
+  /// owns `home_domain`'s management structures: FIFO queueing plus
+  /// contention-dependent service inflation (see SimCosts), counting
+  /// only competitors on the *same* shard.  Advances w.time to the
+  /// operation's completion.  On a multi-domain machine a *remote*
+  /// competitor inflates the service more than a local one
+  /// (Topology::remote_contention_weight): the lock's cache line bounces
+  /// across the interconnect instead of within one socket.  Flat
+  /// machines (and the flat victim policy) run a single shard and weight
+  /// every competitor 1.0, which reproduces the original integer count
+  /// bit-identically.
+  void serve_lock(Worker& w, Ticks service,
+                  std::uint32_t home_domain) noexcept {
+    const std::uint32_t shard =
+        lock_sharded ? home_domain : 0;
+    double competitors = 0.0;
     for (const Worker& other : workers) {
-      if (other.id != w.id &&
+      if (other.id != w.id && other.last_lock_shard == shard &&
           other.last_lock_request + config.costs.contention_window >=
               w.time) {
-        ++competitors;
+        competitors += (!topo_active || other.domain == w.domain)
+                           ? 1.0
+                           : config.topology.remote_contention_weight;
       }
     }
     w.last_lock_request = w.time;
+    w.last_lock_shard = shard;
     const auto effective = static_cast<Ticks>(
         static_cast<double>(service) *
         (1.0 + config.costs.contention_penalty * competitors));
-    w.time = lock.serve(w.time, effective);
+    w.time = locks[shard].serve(w.time, effective);
+  }
+
+  /// Cost of taking `task` from the central queue.  Flat machine: one
+  /// management-lock op (the original model, unchanged).  Multi-domain:
+  /// a same-domain take is the same lock op, but a cross-domain take
+  /// additionally pays the interconnect round trip
+  /// (Topology::remote_steal_latency) — and under the hierarchical
+  /// policy it claims a *batch*: the lease waives the lock and the
+  /// latency for the next steal_batch_max - 1 takes from that domain,
+  /// which drain locally (switch_local) like tasks from the worker's own
+  /// deque.  This is the central-queue analogue of steal-half from a
+  /// remote victim's deque top.  Every cross-domain task also pays the
+  /// cold-cache refill (cache_affinity_cost) regardless of policy — the
+  /// task's data crosses the interconnect no matter how it got here.
+  void charge_dequeue(Worker& w, const SimTask& task) noexcept {
+    if (!topo_active) {
+      serve_lock(w, config.costs.dequeue_service, w.domain);
+      return;
+    }
+    const Topology& topo = config.topology;
+    const std::uint32_t creator_dom = topo.domain_of(task.creator);
+    if (topo.hierarchical && w.lease_remaining > 0 &&
+        w.lease_domain == creator_dom) {
+      // Lease hit: the task is part of a batch this worker already
+      // claimed under one lock acquisition, so taking it is a local pop.
+      --w.lease_remaining;
+      w.time += config.costs.switch_local;
+      if (telemetry != nullptr) {
+        telemetry->add(w.id, telemetry::Counter::kStealBatchTasks);
+      }
+    } else {
+      serve_lock(w, config.costs.dequeue_service, creator_dom);
+      if (creator_dom != w.domain) {
+        w.time += topo.remote_steal_latency;
+      }
+      if (topo.hierarchical && topo.steal_batch_max > 1) {
+        // Open a lease on the creator's domain — own domain included:
+        // batch claiming amortizes the management lock no matter where
+        // the batch lives; only the interconnect round trip above is
+        // specific to a remote batch.
+        w.lease_domain = creator_dom;
+        w.lease_remaining = topo.steal_batch_max - 1;
+        if (telemetry != nullptr) {
+          telemetry->add(w.id, telemetry::Counter::kStealBatchTasks);
+        }
+      }
+    }
+    if (creator_dom != w.domain) {
+      w.time += topo.cache_affinity_cost;
+    }
   }
 
   /// Drop one lifetime reference; delete the record when none remain.
@@ -419,7 +586,7 @@ class SimContext final : public TaskContext {
 
 void SimRuntime::Impl::start_implicit(Worker& w) {
   if (hooks != nullptr) {
-    hooks->on_implicit_task_begin(w.id, *clocks[w.id]);
+    hooks->on_implicit_task_begin(w.id, clocks[w.id]);
     charge(w);
   }
   auto* imp = new SimTask();
@@ -519,7 +686,7 @@ void SimRuntime::Impl::serve_enqueue(Worker& w) {
   // Seeded jitter before the lock request perturbs enqueue/enqueue and
   // enqueue/dequeue ordering between workers (zero without a policy).
   w.time += w.sched.jitter(config.costs.create_service);
-  serve_lock(w, config.costs.create_service);
+  serve_lock(w, config.costs.create_service, w.domain);
   SimTask* rec = w.enqueue_task;
   w.enqueue_task = nullptr;
   // Both containers that will hold the pointer take a reference: the
@@ -538,7 +705,7 @@ void SimRuntime::Impl::serve_enqueue(Worker& w) {
 }
 
 void SimRuntime::Impl::serve_complete(Worker& w) {
-  serve_lock(w, config.costs.complete_service);
+  serve_lock(w, config.costs.complete_service, w.domain);
   SimTask* task = w.completed;
   w.completed = nullptr;
   SimTask* parent = task->parent;
@@ -618,7 +785,7 @@ void SimRuntime::Impl::schedule(Worker& w) {
   if (constraint != nullptr) {
     // 2a. Newest queued direct child of the waiting task.
     if (SimTask* child = take_direct_child(constraint)) {
-      serve_lock(w, config.costs.dequeue_service);
+      charge_dequeue(w, *child);
       count_dequeue(w, *child);
       start_task(w, child);
       return;
@@ -646,7 +813,7 @@ void SimRuntime::Impl::schedule(Worker& w) {
             !is_descendant_of(candidate, constraint)) {
           continue;
         }
-        serve_lock(w, config.costs.dequeue_service);
+        charge_dequeue(w, *candidate);
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
         candidate->in_queue = false;
         release_ref(candidate);  // the queue's reference
@@ -703,7 +870,10 @@ void SimRuntime::Impl::schedule(Worker& w) {
   };
   pop_stale(config.lifo_dequeue);
   if (!queue.empty()) {
-    serve_lock(w, config.costs.dequeue_service);
+    // The take is picked first and charged after (charge_dequeue):
+    // selection reads only queue state, never the clock, so the
+    // reordering is bit-identical on a flat machine — and a multi-domain
+    // machine must know the task's creator before it can price the take.
     SimTask* task = nullptr;
     if (config.lifo_dequeue) {
       if (w.sched.attached()) {
@@ -736,6 +906,44 @@ void SimRuntime::Impl::schedule(Worker& w) {
           queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
         }
       }
+      // Hierarchical victim selection: before crossing a domain
+      // boundary, prefer the newest task created *in this worker's
+      // domain* within the same scan window — the sim-side "probe your
+      // own domain first" of the hierarchical policy.
+      if (task == nullptr && topo_active && config.topology.hierarchical) {
+        // Drain an open transfer lease before anything else: the lease
+        // IS the claimed batch, so its remaining tasks are taken first.
+        // Without this, creator-domain alternation at the queue top
+        // would break every lease after one task and the batched
+        // transfer would never amortize anything.  These two scans are
+        // unbounded (unlike the racy-top windows above) because the
+        // hierarchical policy keeps per-domain structure — finding the
+        // newest task of a given domain is an O(1) sublist head in the
+        // runtime this models, not a linear probe.
+        if (w.lease_remaining > 0) {
+          for (std::size_t back_offset = 0;
+               task == nullptr && back_offset < queue.size(); ++back_offset) {
+            const std::size_t index = queue.size() - 1 - back_offset;
+            if (queue[index]->in_queue &&
+                config.topology.domain_of(queue[index]->creator) ==
+                    w.lease_domain) {
+              task = queue[index];
+              queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+            }
+          }
+        }
+        // Then prefer the newest task created *in this worker's domain*
+        // — the sim-side "probe your own domain first".
+        for (std::size_t back_offset = 0;
+             task == nullptr && back_offset < queue.size(); ++back_offset) {
+          const std::size_t index = queue.size() - 1 - back_offset;
+          if (queue[index]->in_queue &&
+              config.topology.domain_of(queue[index]->creator) == w.domain) {
+            task = queue[index];
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+          }
+        }
+      }
       if (task == nullptr) {
         task = queue.back();
         queue.pop_back();
@@ -746,6 +954,7 @@ void SimRuntime::Impl::schedule(Worker& w) {
     }
     task->in_queue = false;
     release_ref(task);  // the queue's reference
+    charge_dequeue(w, *task);
     count_dequeue(w, *task);
     start_task(w, task);
     return;
@@ -801,15 +1010,25 @@ TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
   rt.workers.clear();
   rt.workers.resize(static_cast<std::size_t>(num_threads));
   rt.clocks.clear();
+  rt.clocks.reserve(static_cast<std::size_t>(num_threads));
+  rt.topo_active = false;
   for (int i = 0; i < num_threads; ++i) {
-    rt.workers[static_cast<std::size_t>(i)].id = static_cast<ThreadId>(i);
-    rt.workers[static_cast<std::size_t>(i)].time = rt.base_time;
+    Worker& w = rt.workers[static_cast<std::size_t>(i)];
+    w.id = static_cast<ThreadId>(i);
+    w.time = rt.base_time;
     if (rt.config.policy != nullptr) {
-      rt.workers[static_cast<std::size_t>(i)].sched =
-          rt.config.policy->stream(static_cast<ThreadId>(i));
+      w.sched = rt.config.policy->stream(static_cast<ThreadId>(i));
     }
-    rt.clocks.push_back(std::make_unique<WorkerClock>(
-        &rt.workers[static_cast<std::size_t>(i)]));
+    w.domain = rt.config.topology.domain_of(static_cast<std::uint32_t>(i));
+    if (w.domain != rt.workers[0].domain) rt.topo_active = true;
+    rt.clocks.emplace_back(&w);
+  }
+  // Dispatch heap: all clocks start equal, so ascending ids already
+  // satisfy the (time, id) heap order.
+  rt.heap.assign(static_cast<std::size_t>(num_threads), 0);
+  rt.heap_pos.assign(static_cast<std::size_t>(num_threads), -1);
+  for (int i = 0; i < num_threads; ++i) {
+    rt.heap_place(static_cast<std::size_t>(i), i);
   }
   rt.queue.clear();
   rt.untied_suspended.clear();
@@ -817,7 +1036,11 @@ TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
   rt.next_id = 1;
   rt.barrier_arrived.clear();
   rt.single_claimed.clear();
-  rt.lock.free_at = rt.base_time;
+  rt.lock_sharded =
+      rt.topo_active && rt.config.topology.hierarchical;
+  rt.locks.assign(rt.lock_sharded ? rt.config.topology.domains : 1,
+                  MgmtLock{});
+  for (MgmtLock& lock : rt.locks) lock.free_at = rt.base_time;
   rt.done_count = 0;
   rt.body = std::move(body);
   rt.context = std::make_unique<SimContext>(rt);
@@ -827,15 +1050,16 @@ TeamStats SimRuntime::parallel(int num_threads, TaskFn body) {
   const Ticks t0 = rt.base_time;
 
   while (rt.done_count < num_threads) {
-    // Pick the earliest non-finished worker; ties break on lowest id for
-    // determinism.
-    Worker* next = nullptr;
-    for (Worker& w : rt.workers) {
-      if (w.action == Worker::Action::kDone) continue;
-      if (next == nullptr || w.time < next->time) next = &w;
+    // Dispatch the earliest non-finished worker (ties break on lowest id
+    // for determinism): the heap root, re-keyed after every event.
+    TASKPROF_ASSERT(!rt.heap.empty(), "no runnable worker");
+    Worker& next = rt.workers[static_cast<std::size_t>(rt.heap.front())];
+    rt.dispatch(next);
+    if (next.action == Worker::Action::kDone) {
+      rt.heap_remove(static_cast<int>(next.id));
+    } else {
+      rt.heap_update(static_cast<int>(next.id));
     }
-    TASKPROF_ASSERT(next != nullptr, "no runnable worker");
-    rt.dispatch(*next);
   }
 
   Ticks end = t0;

@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "rt/runtime.hpp"
+#include "rt/topology.hpp"
 
 namespace taskprof::rt {
 
@@ -80,6 +81,18 @@ struct SimConfig {
   /// declared ctx.work() cost of explicit tasks.  Not owned; must outlive
   /// the runtime.  nullptr = no scaling.
   const DurationScale* duration_scale = nullptr;
+  /// Simulated machine topology (rt/topology.hpp).  With more than one
+  /// locality domain the contention model becomes non-uniform: a dequeue
+  /// whose task was created in another domain pays the interconnect
+  /// latency plus a cold-cache refill, and remote competitors inflate
+  /// lock service times more than local ones.  Topology::hierarchical
+  /// selects the victim policy on that machine: workers prefer
+  /// same-domain work and amortize cross-domain takes through batched
+  /// transfer leases (DESIGN.md §15).  The default single-domain
+  /// topology is bit-identical to the pre-topology engine.  This is how
+  /// the simulator models machines we don't have — the 256-worker
+  /// scaling study of bench_numa_scaling.
+  Topology topology;
 };
 
 class SimRuntime final : public Runtime {

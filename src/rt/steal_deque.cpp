@@ -96,6 +96,25 @@ void* StealDeque::steal() {
   return item;
 }
 
+std::size_t StealDeque::steal_batch(void** out, std::size_t max_items) {
+  // Claim-per-item, not one CAS for k items: a multi-slot top claim
+  // (top -> top + k) is unsound in Chase–Lev.  The owner's pop() only
+  // synchronizes through top_ for the *single* last item; it takes any
+  // deeper slot with a plain bottom reservation, so a k-wide claim could
+  // hand the same task to both sides.  Looping steal() keeps the proven
+  // single-claim protocol; what a batch amortizes is the caller's
+  // victim-probe and cross-domain latency, not the CAS.
+  std::size_t got = 0;
+  while (got < max_items) {
+    void* item = steal();
+    // A lost claim race means another thief is draining the same victim;
+    // stop instead of fighting over the remainder.
+    if (item == nullptr) break;
+    out[got++] = item;
+  }
+  return got;
+}
+
 bool StealDeque::empty() const noexcept {
   return top_.load(std::memory_order_acquire) >=
          bottom_.load(std::memory_order_acquire);

@@ -44,6 +44,14 @@ class StealDeque {
   /// elsewhere / retry", never as "guaranteed empty".
   void* steal();
 
+  /// Any thread.  Takes up to `max_items` oldest items into `out`
+  /// (FIFO order) and returns how many were taken; 0 means empty or the
+  /// first claim race was lost.  Used by hierarchical stealing to
+  /// amortize a cross-domain probe over several tasks; items are claimed
+  /// one top-CAS at a time (see the .cpp note on why a multi-slot claim
+  /// would be unsound), so concurrent pop/steal stay correct.
+  std::size_t steal_batch(void** out, std::size_t max_items);
+
   /// Approximate (racy) emptiness check; exact when quiescent.
   [[nodiscard]] bool empty() const noexcept;
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/concurrency.hpp"
 
 namespace taskprof::rt {
 
@@ -99,8 +100,7 @@ StaticSchedule StaticSchedule::build(const TaskGraph& graph, int num_threads,
   TASKPROF_ASSERT(num_threads > 0, "schedule needs at least one worker");
   TASKPROF_ASSERT(block > 0, "zero block size");
   if (active_limit <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    active_limit = hw > 0 ? static_cast<int>(hw) : num_threads;
+    active_limit = static_cast<int>(hardware_threads());
   }
   const int active = std::min(num_threads, active_limit);
   StaticSchedule sched;

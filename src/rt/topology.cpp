@@ -1,0 +1,43 @@
+#include "rt/topology.hpp"
+
+namespace taskprof::rt {
+
+namespace {
+
+/// Parses a decimal run from `spec` starting at `pos`; advances `pos`.
+/// Returns nullopt when no digit is present or the value overflows the
+/// 4096 cap.
+std::optional<std::uint32_t> parse_count(std::string_view spec,
+                                         std::size_t& pos) {
+  constexpr std::uint32_t kMax = 4096;
+  if (pos >= spec.size() || spec[pos] < '0' || spec[pos] > '9') {
+    return std::nullopt;
+  }
+  std::uint32_t value = 0;
+  while (pos < spec.size() && spec[pos] >= '0' && spec[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint32_t>(spec[pos] - '0');
+    if (value > kMax) return std::nullopt;
+    ++pos;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<Topology> Topology::parse(std::string_view spec) {
+  std::size_t pos = 0;
+  const auto domains = parse_count(spec, pos);
+  if (!domains || *domains == 0) return std::nullopt;
+  if (pos >= spec.size() || (spec[pos] != 'x' && spec[pos] != 'X')) {
+    return std::nullopt;
+  }
+  ++pos;
+  const auto workers = parse_count(spec, pos);
+  if (!workers || *workers == 0 || pos != spec.size()) return std::nullopt;
+  Topology topo;
+  topo.domains = *domains;
+  topo.workers_per_domain = *workers;
+  return topo;
+}
+
+}  // namespace taskprof::rt

@@ -1,0 +1,88 @@
+// Machine-topology model for locality-aware scheduling.
+//
+// The paper's evaluation machine (2x quad-core Nehalem) is small enough
+// that flat random stealing works; on multi-socket many-core machines the
+// steal cost is *non-uniform* — a steal that crosses a socket pays
+// interconnect latency and cold-cache refills — and hierarchical,
+// locality-aware victim selection is what keeps fine-grained tasking
+// scaling (Wang et al., arXiv 2502.05293).  A Topology describes such a
+// machine as `domains` locality domains (sockets/NUMA nodes) of
+// `workers_per_domain` workers each, plus the per-edge costs the sim
+// engine charges and the escalation policy both engines follow:
+//
+//  * idle workers probe victims in their *own* domain first (randomized
+//    within-domain rotation, seeded-deterministic under a SchedulePolicy);
+//  * only after `local_miss_limit` consecutive empty local sweeps does a
+//    worker escalate to remote domains;
+//  * a remote steal takes a *batch* from the top of the victim's deque
+//    (steal-half, capped at `steal_batch_max`) so the cross-domain
+//    penalty is amortized over several tasks.
+//
+// A default-constructed Topology is flat (one domain): both engines
+// behave bit-identically to the pre-topology code in that case.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace taskprof::rt {
+
+struct Topology {
+  /// Locality domains (sockets).  1 = flat machine, no hierarchy.
+  std::uint32_t domains = 1;
+  /// Workers per domain.  0 is treated as "all workers in one block"
+  /// (only meaningful with domains == 1).
+  std::uint32_t workers_per_domain = 0;
+  /// Victim-selection policy: true = hierarchical (local-first probing,
+  /// escalation, batched remote steals); false = flat random stealing on
+  /// the same machine.  Only meaningful with domains > 1 — the bench A/Bs
+  /// the two policies on one simulated machine.
+  bool hierarchical = true;
+
+  // --- per-edge cost model (sim engine; ticks are virtual ns) -----------
+  /// Latency of a dequeue/steal that crosses a domain boundary: the
+  /// interconnect round trip for the remote deque's cache lines.
+  Ticks remote_steal_latency = 1'200;
+  /// Cold-cache refill charged when a worker executes a task created in
+  /// another domain (first touch of the task's data crosses the
+  /// interconnect regardless of how the task got here).
+  Ticks cache_affinity_cost = 300;
+  /// Contention weight of a *remote* competitor on a management-lock
+  /// operation: coherence traffic for the lock's cache line is costlier
+  /// across the interconnect, so remote competitors inflate the service
+  /// time more than local ones (1.0 = same as local).
+  double remote_contention_weight = 2.0;
+
+  // --- escalation policy (real engine; sim batch width) -----------------
+  /// Consecutive empty local sweeps before a worker escalates to remote
+  /// domains.
+  std::uint32_t local_miss_limit = 2;
+  /// Max tasks taken per cross-domain steal (the steal-half budget cap).
+  std::uint32_t steal_batch_max = 8;
+
+  /// True when the machine has more than one locality domain.
+  [[nodiscard]] bool multi_domain() const noexcept { return domains > 1; }
+
+  /// Domain of `worker`.  Workers are assigned in contiguous blocks of
+  /// `workers_per_domain`; ids past domains * workers_per_domain wrap
+  /// (block round-robin), so the mapping is total for any worker count.
+  [[nodiscard]] std::uint32_t domain_of(std::uint32_t worker) const noexcept {
+    if (domains <= 1 || workers_per_domain == 0) return 0;
+    return (worker / workers_per_domain) % domains;
+  }
+
+  /// domains * workers_per_domain — the worker count the spec names.
+  [[nodiscard]] std::uint32_t total_workers() const noexcept {
+    return domains * (workers_per_domain == 0 ? 1 : workers_per_domain);
+  }
+
+  /// Parse a "DxW" spec ("4x16" = 4 domains x 16 workers).  Returns
+  /// nullopt on malformed input or zero counts; both factors are capped
+  /// at 4096 (a spec, not a resource claim).
+  static std::optional<Topology> parse(std::string_view spec);
+};
+
+}  // namespace taskprof::rt

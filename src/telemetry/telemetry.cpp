@@ -37,6 +37,10 @@ std::string_view counter_name(Counter c) noexcept {
       return "taskgraph_diverge_short_spawn";
     case Counter::kTaskgraphDivergeResidue:
       return "taskgraph_diverge_residue";
+    case Counter::kStealsInDomain: return "steals_in_domain";
+    case Counter::kStealsCrossDomain: return "steals_cross_domain";
+    case Counter::kStealBatchTasks: return "steal_batch_tasks";
+    case Counter::kStealEscalations: return "steal_escalations";
     case Counter::kCount_: break;
   }
   return "?";

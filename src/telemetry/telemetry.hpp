@@ -63,6 +63,10 @@ enum class Counter : std::uint32_t {
   kTaskgraphDivergeStructure,  ///< divergences: recorded-shape mismatch
   kTaskgraphDivergeShortSpawn, ///< divergences: fewer children than recorded
   kTaskgraphDivergeResidue,    ///< divergences: unspawned residue at the end
+  kStealsInDomain,      ///< steals whose victim shares the thief's domain
+  kStealsCrossDomain,   ///< steals that crossed a locality-domain boundary
+  kStealBatchTasks,     ///< tasks moved by batched cross-domain steals
+  kStealEscalations,    ///< local-miss limits hit (worker went remote)
   kCount_
 };
 

@@ -114,5 +114,83 @@ TEST(StealDequeTest, GrowStealRaceDeliversEveryItemExactlyOnce) {
   EXPECT_TRUE(dq.empty());
 }
 
+TEST(StealBatchTest, TakesFifoPrefix) {
+  StealDeque dq;
+  for (std::uintptr_t i = 0; i < 10; ++i) dq.push(token(i));
+  void* items[4];
+  ASSERT_EQ(dq.steal_batch(items, 4), 4u);
+  for (std::uintptr_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(index_of(items[i]), i);  // oldest first
+  }
+  // The owner's end is untouched: pop still returns the newest.
+  EXPECT_EQ(index_of(dq.pop()), 9u);
+  EXPECT_EQ(index_of(dq.steal()), 4u);
+}
+
+TEST(StealBatchTest, StopsAtAvailableItems) {
+  StealDeque dq;
+  for (std::uintptr_t i = 0; i < 3; ++i) dq.push(token(i));
+  void* items[8];
+  EXPECT_EQ(dq.steal_batch(items, 8), 3u);
+  EXPECT_TRUE(dq.empty());
+  EXPECT_EQ(dq.steal_batch(items, 8), 0u);  // empty deque
+  dq.push(token(42));
+  EXPECT_EQ(dq.steal_batch(items, 0), 0u);  // zero-size request
+  EXPECT_EQ(index_of(dq.pop()), 42u);
+}
+
+/// steal_batch under the Chase-Lev top/bottom race: thieves batching
+/// away the top while the owner pushes and pops the bottom.  Every item
+/// must be delivered exactly once, batches must stay FIFO runs.
+TEST(StealBatchTest, OwnerRaceDeliversEveryItemExactlyOnce) {
+  constexpr std::uintptr_t kItems = 100000;
+  constexpr int kThieves = 3;
+  constexpr std::size_t kBatch = 8;
+  StealDeque dq(2);
+  std::vector<std::atomic<int>> delivered(kItems);
+  std::atomic<std::uintptr_t> taken{0};
+
+  auto take = [&](void* item) {
+    if (item == nullptr) return false;
+    delivered[index_of(item)].fetch_add(1, std::memory_order_relaxed);
+    taken.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      void* items[kBatch];
+      while (taken.load(std::memory_order_relaxed) < kItems) {
+        const std::size_t got = dq.steal_batch(items, kBatch);
+        if (got == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        // A batch is a FIFO run: strictly ascending indices.
+        for (std::size_t k = 1; k < got; ++k) {
+          EXPECT_LT(index_of(items[k - 1]), index_of(items[k]));
+        }
+        for (std::size_t k = 0; k < got; ++k) take(items[k]);
+      }
+    });
+  }
+
+  for (std::uintptr_t i = 0; i < kItems; ++i) {
+    dq.push(token(i));
+    if (i % 2 == 0) take(dq.pop());
+  }
+  while (taken.load(std::memory_order_relaxed) < kItems) {
+    if (!take(dq.pop())) std::this_thread::yield();
+  }
+  for (auto& t : thieves) t.join();
+
+  for (std::uintptr_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(delivered[i].load(), 1) << "item " << i;
+  }
+  EXPECT_TRUE(dq.empty());
+}
+
 }  // namespace
 }  // namespace taskprof::rt

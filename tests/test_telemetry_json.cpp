@@ -80,7 +80,11 @@ TEST(TelemetryJson, GoldenRendering) {
       "    \"taskgraph_dynamic_spawns\": 0,\n"
       "    \"taskgraph_diverge_structure\": 0,\n"
       "    \"taskgraph_diverge_short_spawn\": 0,\n"
-      "    \"taskgraph_diverge_residue\": 0\n"
+      "    \"taskgraph_diverge_residue\": 0,\n"
+      "    \"steals_in_domain\": 0,\n"
+      "    \"steals_cross_domain\": 0,\n"
+      "    \"steal_batch_tasks\": 0,\n"
+      "    \"steal_escalations\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"deque_depth_hwm\": 3,\n"
@@ -94,7 +98,7 @@ TEST(TelemetryJson, GoldenRendering) {
       "  },\n"
       "  \"per_thread\": [\n"
       "    [10, 10, 9, 1, 4, 2, 1, 5, 2, 1, 3, 10, 10, 2, 0, 4, 10, "
-      "0, 0, 0, 0, 0, 0, 0, 0, 0]\n"
+      "0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(telemetry::snapshot_to_json(golden_snapshot()), expected);

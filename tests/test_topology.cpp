@@ -1,0 +1,305 @@
+// Topology model and hierarchical victim selection (rt/topology.hpp,
+// DESIGN.md §15).
+//
+// Three layers of evidence that topology awareness is a pure scheduling
+// optimization:
+//  1. unit tests of the Topology value type (spec parsing, domain
+//     mapping) and of the seeded victim-rotation streams (same seed =>
+//     same victim sequence — the replay side of the seed protocol
+//     extends to hierarchical stealing);
+//  2. profile-projection equivalence: on both engines, the hierarchical
+//     policy must attribute exactly what the flat policy attributes —
+//     topology changes who runs a task, never what the profiler reports;
+//  3. the 256-worker scaling study's precondition: every BOTS kernel
+//     runs on a simulated 4x64 machine with a finalized profile that
+//     passes every check_profile() invariant.
+#include "rt/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bots/kernel.hpp"
+#include "check/differential.hpp"
+#include "check/invariants.hpp"
+#include "instrument/instrumentor.hpp"
+#include "profile/region.hpp"
+#include "rt/hooks.hpp"
+#include "rt/real_runtime.hpp"
+#include "rt/schedule_policy.hpp"
+#include "rt/sim_runtime.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace taskprof {
+namespace {
+
+// ---------------------------------------------------------------------
+// Layer 1: the Topology value type.
+// ---------------------------------------------------------------------
+
+TEST(TopologyParse, AcceptsDomainsByWorkers) {
+  const auto topo = rt::Topology::parse("4x16");
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->domains, 4u);
+  EXPECT_EQ(topo->workers_per_domain, 16u);
+  EXPECT_EQ(topo->total_workers(), 64u);
+  EXPECT_TRUE(topo->multi_domain());
+
+  const auto upper = rt::Topology::parse("2X4");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->domains, 2u);
+  EXPECT_EQ(upper->workers_per_domain, 4u);
+
+  const auto single = rt::Topology::parse("1x8");
+  ASSERT_TRUE(single.has_value());
+  EXPECT_FALSE(single->multi_domain());
+}
+
+TEST(TopologyParse, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "x", "4", "4x", "x16", "0x4", "4x0", "4x16x2", "4x16 ",
+        " 4x16", "4x16junk", "-1x4", "4x-1", "axb", "5000x2", "2x5000"}) {
+    EXPECT_FALSE(rt::Topology::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(TopologyDomainOf, MapsContiguousBlocks) {
+  rt::Topology topo;
+  topo.domains = 4;
+  topo.workers_per_domain = 16;
+  EXPECT_EQ(topo.domain_of(0), 0u);
+  EXPECT_EQ(topo.domain_of(15), 0u);
+  EXPECT_EQ(topo.domain_of(16), 1u);
+  EXPECT_EQ(topo.domain_of(63), 3u);
+  // Workers past the machine wrap instead of inventing a fifth domain.
+  EXPECT_EQ(topo.domain_of(64), 0u);
+
+  // Degenerate configurations collapse to one domain.
+  rt::Topology flat;
+  EXPECT_EQ(flat.domain_of(123), 0u);
+  rt::Topology zero_width;
+  zero_width.domains = 4;
+  zero_width.workers_per_domain = 0;
+  EXPECT_EQ(zero_width.domain_of(123), 0u);
+}
+
+/// Same seed => same victim sequence.  The hierarchical steal rotations
+/// draw from the same seeded ScheduleStream protocol as every other
+/// perturbation point, so a recorded seed replays the exact probe order.
+TEST(TopologyVictims, SameSeedSameRotationSequence) {
+  const rt::SchedulePolicy a(1234);
+  const rt::SchedulePolicy b(1234);
+  const rt::SchedulePolicy other(99);
+
+  for (ThreadId tid = 0; tid < 4; ++tid) {
+    rt::ScheduleStream sa = a.stream(tid);
+    rt::ScheduleStream sb = b.stream(tid);
+    rt::ScheduleStream sc = other.stream(tid);
+    std::vector<std::uint64_t> da;
+    std::vector<std::uint64_t> db;
+    std::vector<std::uint64_t> dc;
+    for (int i = 0; i < 256; ++i) {
+      da.push_back(sa.victim_rotation(64));
+      db.push_back(sb.victim_rotation(64));
+      dc.push_back(sc.victim_rotation(64));
+    }
+    EXPECT_EQ(da, db) << "tid " << tid;
+    EXPECT_NE(da, dc) << "tid " << tid;  // different seed, different order
+  }
+
+  // A detached stream (no policy) is the neutral rotation everywhere.
+  rt::ScheduleStream detached;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(detached.victim_rotation(64), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layers 2/3: whole-engine behaviour.
+// ---------------------------------------------------------------------
+
+/// One instrumented kernel run (the registry is not movable, so results
+/// are filled in place).
+struct Measured {
+  RegionRegistry registry;
+  bots::KernelResult result;
+  telemetry::Snapshot snapshot;
+  AggregateProfile profile;
+};
+
+void run_kernel(Measured& out, rt::Runtime& runtime,
+                const std::string& kernel_name, int threads) {
+  auto kernel = bots::make_kernel(kernel_name);
+  ASSERT_NE(kernel, nullptr) << kernel_name;
+  bots::KernelConfig config;
+  config.threads = threads;
+  config.size = bots::SizeClass::kTest;
+
+  Instrumentor instr(out.registry);
+  telemetry::Registry telem;
+  rt::FanoutHooks fanout({&instr});
+  runtime.set_hooks(&fanout);
+  runtime.set_telemetry(&telem);
+  out.result = kernel->run(runtime, out.registry, config);
+  runtime.set_hooks(nullptr);
+  runtime.set_telemetry(nullptr);
+  instr.finalize();
+  out.profile = instr.aggregate();
+  out.snapshot = telem.snapshot();
+}
+
+check::ProfileProjection project(const Measured& m, const char* label) {
+  check::ProfileProjection p =
+      check::project_profile(m.profile, m.registry, m.result.stats);
+  p.engine = label;
+  return p;
+}
+
+void expect_equivalent(const Measured& flat, const Measured& hier,
+                       const char* what) {
+  EXPECT_EQ(flat.result.checksum, hier.result.checksum) << what;
+  const std::vector<std::string> diffs =
+      check::diff_projections(project(flat, "flat"), project(hier, "hier"));
+  std::string joined;
+  for (const std::string& d : diffs) joined += d + "\n";
+  EXPECT_TRUE(diffs.empty()) << what << ":\n" << joined;
+}
+
+rt::Topology machine(std::uint32_t domains, std::uint32_t workers,
+                     bool hierarchical) {
+  rt::Topology topo;
+  topo.domains = domains;
+  topo.workers_per_domain = workers;
+  topo.hierarchical = hierarchical;
+  return topo;
+}
+
+/// A single-domain topology is defined to be the pre-topology engine:
+/// same virtual span to the tick, same profile.
+TEST(TopologySim, SingleDomainIsIdenticalToDefault) {
+  Measured base;
+  rt::SimRuntime plain;
+  run_kernel(base, plain, "fib", /*threads=*/8);
+  ASSERT_TRUE(base.result.ok) << base.result.check;
+
+  Measured single;
+  rt::SimConfig config;
+  config.topology = machine(1, 8, /*hierarchical=*/true);
+  rt::SimRuntime topo_rt(config);
+  run_kernel(single, topo_rt, "fib", /*threads=*/8);
+  ASSERT_TRUE(single.result.ok) << single.result.check;
+
+  EXPECT_EQ(base.result.stats.parallel_ticks,
+            single.result.stats.parallel_ticks);
+  expect_equivalent(base, single, "sim 1-domain vs default");
+}
+
+/// The victim policy changes which worker takes a task and what that
+/// take costs — never what the profiler attributes.
+TEST(TopologySim, HierarchicalProjectionEqualsFlat) {
+  for (const char* name : {"fib", "nqueens", "sparselu"}) {
+    SCOPED_TRACE(name);
+
+    Measured flat;
+    rt::SimConfig flat_config;
+    flat_config.topology = machine(2, 4, /*hierarchical=*/false);
+    rt::SimRuntime flat_rt(flat_config);
+    run_kernel(flat, flat_rt, name, /*threads=*/8);
+    ASSERT_TRUE(flat.result.ok) << flat.result.check;
+
+    Measured hier;
+    rt::SimConfig hier_config;
+    hier_config.topology = machine(2, 4, /*hierarchical=*/true);
+    rt::SimRuntime hier_rt(hier_config);
+    run_kernel(hier, hier_rt, name, /*threads=*/8);
+    ASSERT_TRUE(hier.result.ok) << hier.result.check;
+
+    expect_equivalent(flat, hier, name);
+  }
+}
+
+/// The scaling study's precondition: every BOTS kernel runs at 256
+/// virtual workers on a 4x64 machine and produces a finalized profile
+/// that passes every structural, conservation, and telemetry invariant.
+TEST(TopologySim, AllKernels256WorkersPassProfileInvariants) {
+  for (const auto& kernel : bots::make_all_kernels()) {
+    const std::string name(kernel->name());
+    SCOPED_TRACE(name);
+
+    Measured m;
+    rt::SimConfig config;
+    config.topology = machine(4, 64, /*hierarchical=*/true);
+    rt::SimRuntime runtime(config);
+    run_kernel(m, runtime, name, /*threads=*/256);
+    ASSERT_TRUE(m.result.ok) << m.result.check;
+
+    const check::InvariantReport report = check::check_profile(
+        m.profile, m.registry, &m.result.stats, &m.snapshot);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_GT(report.nodes_checked, 0u);
+  }
+}
+
+/// Real engine: hierarchical victim selection with batched remote
+/// steals must be projection-equal to the flat default on real threads.
+TEST(TopologyReal, HierarchicalProjectionEqualsFlat) {
+  for (const char* name : {"fib", "nqueens"}) {
+    SCOPED_TRACE(name);
+
+    Measured flat;
+    rt::RealRuntime flat_rt;  // default: one domain, flat stealing
+    run_kernel(flat, flat_rt, name, /*threads=*/4);
+    ASSERT_TRUE(flat.result.ok) << flat.result.check;
+
+    Measured hier;
+    rt::RealConfig config;
+    config.topology = machine(2, 2, /*hierarchical=*/true);
+    rt::RealRuntime hier_rt(config);
+    run_kernel(hier, hier_rt, name, /*threads=*/4);
+    ASSERT_TRUE(hier.result.ok) << hier.result.check;
+
+    expect_equivalent(flat, hier, name);
+  }
+}
+
+/// Seeded perturbation immunity: rotating the hierarchical probe order
+/// with different seeds must not change the finalized profile — victim
+/// choice decides placement and timing, not attribution.
+TEST(TopologyReal, HierarchicalIsImmuneToSchedulePerturbation) {
+  check::ProfileProjection reference;
+  std::uint64_t reference_checksum = 0;
+  bool have_reference = false;
+
+  for (const std::uint64_t seed : {1u, 7u, 99u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const rt::SchedulePolicy policy(seed);
+    rt::RealConfig config;
+    config.topology = machine(2, 2, /*hierarchical=*/true);
+    config.policy = &policy;
+    rt::RealRuntime runtime(config);
+
+    Measured m;
+    run_kernel(m, runtime, "fib", /*threads=*/4);
+    ASSERT_TRUE(m.result.ok) << m.result.check;
+
+    check::ProfileProjection p = project(m, "perturbed");
+    if (!have_reference) {
+      reference = p;
+      reference.engine = "reference";
+      reference_checksum = m.result.checksum;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(m.result.checksum, reference_checksum);
+    const std::vector<std::string> diffs =
+        check::diff_projections(reference, p);
+    std::string joined;
+    for (const std::string& d : diffs) joined += d + "\n";
+    EXPECT_TRUE(diffs.empty()) << joined;
+  }
+}
+
+}  // namespace
+}  // namespace taskprof

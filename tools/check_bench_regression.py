@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate committed bench JSONs against fresh runs (ratio-based).
 
-Two bench families are understood, dispatched on the file's "bench" id:
+Three bench families are understood, dispatched on the file's "bench" id:
 
 event_hotpath (BENCH_event_hotpath.json)
   The trajectory bench records every shape twice (mode=baseline, the
@@ -24,6 +24,17 @@ queue_contention (BENCH_queue_contention.json)
   JSON (and to fresh runs with a generous --min-ratio, since shared
   runners are noisy).
 
+numa_scaling (BENCH_numa_scaling.json)
+  Each (kernel, machine) cell records the same BOTS task graph run under
+  the flat and the hierarchical victim policy on one simulated NUMA
+  machine; the gated quantity is the virtual-span ratio flat/hier.  The
+  simulator is deterministic, so these ratios are exact, not noisy:
+  absolute floors apply (--numa-cell-floor, default 1.0 — the
+  hierarchical policy never loses a cell; --numa-wide-floor, default
+  1.5 — the wide-fanout kernel's minimum win on the widest machine),
+  and a --candidate run is additionally compared cell-by-cell against
+  the committed reference.
+
 With --absolute, raw events/sec are compared too -- only meaningful
 when the candidate was produced on the same machine as the committed
 reference (e.g. a local before/after check).
@@ -45,7 +56,7 @@ def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
     bench = doc.get("bench")
-    if bench not in ("event_hotpath", "queue_contention"):
+    if bench not in ("event_hotpath", "queue_contention", "numa_scaling"):
         raise SystemExit(f"{path}: unknown bench id {bench!r}")
     return doc
 
@@ -207,6 +218,87 @@ def gate_taskgraph_floor(summary, floor, label, quiet=False):
 
 
 # ----------------------------------------------------------------------
+# numa_scaling
+# ----------------------------------------------------------------------
+
+# The widest simulated machine of the sweep; the wide-fanout kernel must
+# clear --numa-wide-floor there.
+NUMA_WIDEST_MACHINE = "4x64"
+
+
+def load_numa(path, doc=None):
+    """Return ({(kernel, machine): ratio}, wide_fanout_kernel)."""
+    doc = doc if doc is not None else load_doc(path)
+    if doc.get("bench") != "numa_scaling":
+        raise SystemExit(f"{path}: not a numa_scaling bench file")
+    cells = {}
+    for entry in doc.get("results", []):
+        key = (entry["kernel"], entry["machine"])
+        ratio = float(entry["ratio"])
+        if ratio <= 0:
+            raise SystemExit(f"{path}: non-positive ratio for {key}")
+        if entry.get("counts_match") is not True:
+            raise SystemExit(f"{path}: counts_match is not true for {key} — "
+                             "the victim policies did not run the same work")
+        cells[key] = ratio
+    if not cells:
+        raise SystemExit(f"{path}: no results")
+    wide = doc.get("wide_fanout_kernel")
+    if not any(kernel == wide for kernel, _ in cells):
+        raise SystemExit(f"{path}: wide_fanout_kernel {wide!r} has no cells")
+    return cells, wide
+
+
+def gate_numa_floors(cells, wide_kernel, cell_floor, wide_floor, label,
+                     quiet=False):
+    """Absolute floors on one run's hierarchical/flat span ratios."""
+    failures = []
+    eps = 1e-9  # the ratios are exact (deterministic sim); eps absorbs
+    # only the JSON round trip
+    for (kernel, machine), ratio in sorted(cells.items()):
+        floor = cell_floor
+        kind = "cell"
+        if kernel == wide_kernel and machine == NUMA_WIDEST_MACHINE:
+            floor = max(cell_floor, wide_floor)
+            kind = "wide-fanout"
+        flag = ""
+        if ratio + eps < floor:
+            failures.append(
+                f"{label}: {kernel} @ {machine} hier/flat = {ratio:.2f}x "
+                f"is below the {floor:.2f}x {kind} floor")
+            flag = "  << FAIL"
+        if not quiet:
+            print(f"{label}: {kernel:<10} {machine:<6} {ratio:>6.2f}x "
+                  f"(floor {floor:.2f}x){flag}")
+    return failures
+
+
+def compare_numa(committed, candidate, min_ratio, quiet=False):
+    """Gate candidate per-cell ratios against committed ones."""
+    failures = []
+    if not quiet:
+        print(f"{'cell':<22} {'committed':>10} {'candidate':>10} "
+              f"{'ratio':>7}")
+    for key, ref_ratio in sorted(committed.items()):
+        kernel, machine = key
+        label = f"{kernel} @ {machine}"
+        if key not in candidate:
+            failures.append(f"{label}: missing from candidate run")
+            continue
+        ratio = candidate[key] / ref_ratio
+        flag = ""
+        if ratio < min_ratio:
+            failures.append(
+                f"{label}: {candidate[key]:.2f}x is below {min_ratio:.2f}x "
+                f"of committed {ref_ratio:.2f}x")
+            flag = "  << FAIL"
+        if not quiet:
+            print(f"{label:<22} {ref_ratio:>9.2f}x {candidate[key]:>9.2f}x "
+                  f"{ratio:>6.2f}{flag}")
+    return failures
+
+
+# ----------------------------------------------------------------------
 
 
 def self_test():
@@ -319,6 +411,67 @@ def self_test():
     finally:
         os.remove(path)
 
+    # --- numa_scaling ----------------------------------------------------
+    ncells = {
+        ("fib", "1x8"): 1.0,
+        ("fib", "4x64"): 2.0,
+        ("nqueens", "1x8"): 1.0,
+        ("nqueens", "4x64"): 5.2,
+    }
+    # Floors: clean pass, including the exact-1.0 single-domain control.
+    assert gate_numa_floors(ncells, "nqueens", 1.0, 1.5, "t",
+                            quiet=True) == []
+    # Hierarchical losing a cell: caught.
+    losing = dict(ncells)
+    losing[("fib", "4x64")] = 0.9
+    fails = gate_numa_floors(losing, "nqueens", 1.0, 1.5, "t", quiet=True)
+    assert len(fails) == 1 and "fib @ 4x64" in fails[0], fails
+    # Wide-fanout kernel under its higher floor: caught.
+    shallow = dict(ncells)
+    shallow[("nqueens", "4x64")] = 1.2
+    fails = gate_numa_floors(shallow, "nqueens", 1.0, 1.5, "t", quiet=True)
+    assert len(fails) == 1 and "wide-fanout" in fails[0], fails
+    # Candidate comparison: identical passes, eroded and missing caught.
+    assert compare_numa(ncells, dict(ncells), 0.9, quiet=True) == []
+    eroded_n = dict(ncells)
+    eroded_n[("nqueens", "4x64")] = 2.0
+    fails = compare_numa(ncells, eroded_n, 0.9, quiet=True)
+    assert len(fails) == 1 and "nqueens @ 4x64" in fails[0], fails
+    fails = compare_numa(ncells, {("fib", "1x8"): 1.0}, 0.9, quiet=True)
+    assert len(fails) == 3, fails
+
+    # load_numa round trip, plus its rejects.
+    ndoc = {"bench": "numa_scaling", "wide_fanout_kernel": "nqueens",
+            "results": [
+                {"kernel": "nqueens", "machine": m, "ratio": r,
+                 "counts_match": True}
+                for m, r in (("1x8", 1.0), ("4x64", 5.2))]}
+    fd, path = tempfile.mkstemp(suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(ndoc, f)
+        cells, wide = load_numa(path)
+        assert wide == "nqueens" and cells[("nqueens", "4x64")] == 5.2
+        bad = {"bench": "numa_scaling", "wide_fanout_kernel": "nqueens",
+               "results": [dict(ndoc["results"][0], counts_match=False)]}
+        with open(path, "w") as f:
+            json.dump(bad, f)
+        try:
+            load_numa(path)
+            raise AssertionError("count mismatch accepted")
+        except SystemExit:
+            pass
+        bad = dict(ndoc, wide_fanout_kernel="sort")
+        with open(path, "w") as f:
+            json.dump(bad, f)
+        try:
+            load_numa(path)
+            raise AssertionError("absent wide-fanout kernel accepted")
+        except SystemExit:
+            pass
+    finally:
+        os.remove(path)
+
     print("self-test passed")
     return 0
 
@@ -340,6 +493,14 @@ def main():
                         help="absolute floor for the queue_contention "
                              "summary taskgraph replay speedups at >=4 "
                              "threads (0 = off)")
+    parser.add_argument("--numa-cell-floor", type=float, default=1.0,
+                        help="numa_scaling: minimum hierarchical/flat span "
+                             "ratio for every (kernel, machine) cell "
+                             "(default: 1.0 — hierarchical never loses)")
+    parser.add_argument("--numa-wide-floor", type=float, default=1.5,
+                        help="numa_scaling: minimum ratio for the wide-"
+                             "fanout kernel on the widest machine "
+                             "(default: 1.5)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in checks on synthetic data "
                              "and exit")
@@ -361,6 +522,16 @@ def main():
         candidate = load_speedups(args.candidate)
         failures += compare(committed, candidate, args.min_ratio,
                             args.absolute)
+    elif bench == "numa_scaling":
+        committed, wide = load_numa(args.committed, committed_doc)
+        failures += gate_numa_floors(committed, wide, args.numa_cell_floor,
+                                     args.numa_wide_floor, "committed")
+        if args.candidate:
+            candidate, cand_wide = load_numa(args.candidate)
+            failures += compare_numa(committed, candidate, args.min_ratio)
+            failures += gate_numa_floors(
+                candidate, cand_wide, args.numa_cell_floor * args.min_ratio,
+                args.numa_wide_floor * args.min_ratio, "candidate")
     else:
         committed, ref_summary = load_contention(args.committed,
                                                  committed_doc)

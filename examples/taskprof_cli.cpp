@@ -29,6 +29,7 @@
 #include "report/text_report.hpp"
 #include "rt/real_runtime.hpp"
 #include "rt/sim_runtime.hpp"
+#include "ingest/client.hpp"
 #include "snapshot/flusher.hpp"
 #include "snapshot/merge.hpp"
 #include "snapshot/snapshot.hpp"
@@ -112,6 +113,10 @@ void usage(const char* argv0) {
       "  --snapshot-every=MS   flush a partial snapshot every MS\n"
       "                        milliseconds during the run; the final flush\n"
       "                        replaces it with the complete profile\n"
+      "  --ingest=SOCKET       stream every flush to a running taskprofd\n"
+      "                        as a delta snapshot over the Unix socket\n"
+      "                        (combine with --snapshot-every; without\n"
+      "                        --snapshot-out no local file is written)\n"
       "  --report-json=FILE    write the profile analysis (construct stats,\n"
       "                        scheduling points, advisor findings) as JSON\n"
       "  --uninstrumented      run without measurement (timing baseline)\n"
@@ -151,6 +156,7 @@ struct CliOptions {
   std::string chrome_trace;
   std::string report_json;
   std::string snapshot_out;
+  std::string ingest_socket;
   std::uint64_t snapshot_every_ms = 0;
   std::string topology_spec;
 };
@@ -229,6 +235,8 @@ bool parse(int argc, char** argv, CliOptions& cli) {
       cli.snapshot_out = value_of("--snapshot-out=");
     } else if (arg.rfind("--snapshot-every=", 0) == 0) {
       cli.snapshot_every_ms = std::stoull(value_of("--snapshot-every="));
+    } else if (arg.rfind("--ingest=", 0) == 0) {
+      cli.ingest_socket = value_of("--ingest=");
     } else if (arg.rfind("--topology=", 0) == 0) {
       cli.topology_spec = value_of("--topology=");
     } else if (arg == "--help" || arg == "-h") {
@@ -243,7 +251,8 @@ bool parse(int argc, char** argv, CliOptions& cli) {
     std::fprintf(stderr, "--kernel (or --analyze-trace) is required\n");
     return false;
   }
-  if (cli.snapshot_every_ms > 0 && cli.snapshot_out.empty()) {
+  if (cli.snapshot_every_ms > 0 && cli.snapshot_out.empty() &&
+      cli.ingest_socket.empty()) {
     cli.snapshot_out = cli.kernel + ".tpsnap";
   }
   if (cli.repeat < 1) {
@@ -1040,7 +1049,7 @@ int main(int argc, char** argv) {
   rt::FanoutHooks fanout;
   if (cli.instrumented) {
     MeasureOptions measure;
-    if (!cli.snapshot_out.empty()) {
+    if (!cli.snapshot_out.empty() || !cli.ingest_socket.empty()) {
       // Non-zero arms the capture handshake in every profiler's event
       // path; the actual cadence lives in the flusher.
       measure.snapshot_every = static_cast<Ticks>(
@@ -1066,12 +1075,24 @@ int main(int argc, char** argv) {
   }
   if (telem != nullptr) runtime->set_telemetry(telem.get());
   std::unique_ptr<snapshot::SnapshotFlusher> flusher;
-  if (instrumentor != nullptr && !cli.snapshot_out.empty()) {
+  std::unique_ptr<ingest::IngestFlushSink> ingest_sink;
+  if (instrumentor != nullptr &&
+      (!cli.snapshot_out.empty() || !cli.ingest_socket.empty())) {
     snapshot::FlusherOptions flush_options;
     flush_options.path = cli.snapshot_out;
     flush_options.interval =
         static_cast<Ticks>(cli.snapshot_every_ms) * 1'000'000;
     flush_options.telemetry = telem.get();
+    if (!cli.ingest_socket.empty()) {
+      ingest::ClientOptions client_options;
+      client_options.socket_path = cli.ingest_socket;
+      client_options.producer_name = cli.kernel;
+      ingest_sink =
+          std::make_unique<ingest::IngestFlushSink>(std::move(client_options));
+      flush_options.sink = ingest_sink.get();
+      // Fleet producers de-synchronize their flush cadence.
+      flush_options.jitter_fraction = 0.1;
+    }
     flusher = std::make_unique<snapshot::SnapshotFlusher>(
         *instrumentor, registry, std::move(flush_options));
     snapshot::install_crash_flush(flusher.get());
@@ -1179,12 +1200,23 @@ int main(int argc, char** argv) {
   const AggregateProfile profile = instrumentor->aggregate();
   if (flusher != nullptr) {
     if (flusher->flush_final()) {
-      std::printf("snapshot written to %s (%llu flushes)\n",
-                  cli.snapshot_out.c_str(),
-                  static_cast<unsigned long long>(flusher->flush_count()));
+      if (!cli.snapshot_out.empty()) {
+        std::printf("snapshot written to %s (%llu flushes)\n",
+                    cli.snapshot_out.c_str(),
+                    static_cast<unsigned long long>(flusher->flush_count()));
+      }
     } else {
       std::fprintf(stderr, "snapshot write failed: %s\n",
                    flusher->last_error().c_str());
+    }
+    if (ingest_sink != nullptr) {
+      std::printf("ingest: streamed %llu snapshot(s) to %s "
+                  "(%llu rebase(s))\n",
+                  static_cast<unsigned long long>(
+                      ingest_sink->client().total_sends()),
+                  cli.ingest_socket.c_str(),
+                  static_cast<unsigned long long>(
+                      ingest_sink->client().total_rebases()));
     }
     snapshot::install_crash_flush(nullptr);
   }

@@ -1,0 +1,192 @@
+// taskprofd: fleet-scale continuous profile ingestion daemon.
+//
+//   taskprofd serve  --socket=PATH [--shards=N] [--memory-budget-mb=N]
+//                    [--keep-partial] [--max-seconds=N] [--quiet]
+//   taskprofd report --socket=PATH [--kind=text|json|stats]
+//   taskprofd export --socket=PATH --out=FILE.tpsnap
+//
+// serve runs the aggregation service on a Unix-domain socket until
+// SIGINT/SIGTERM (or --max-seconds, for scripted runs) and prints the
+// ingestion stats on exit.  report/export are one-shot query clients:
+// report prints the daemon's current merged view, export writes it as
+// ordinary .tpsnap bytes that `taskprof_cli load` (or another merge)
+// consumes like any offline snapshot.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/client.hpp"
+#include "ingest/daemon.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+using namespace taskprof;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void stop_handler(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage:\n"
+      "  %s serve  --socket=PATH [--shards=N] [--memory-budget-mb=N]\n"
+      "            [--keep-partial] [--max-seconds=N] [--quiet]\n"
+      "  %s report --socket=PATH [--kind=text|json|stats]\n"
+      "  %s export --socket=PATH --out=FILE.tpsnap\n"
+      "\n"
+      "serve accepts streaming delta snapshots from profiled processes\n"
+      "(taskprof_cli --ingest=PATH) and maintains the merged fleet\n"
+      "profile; --memory-budget-mb bounds the live call-tree memory by\n"
+      "folding cold call paths into [evicted] stubs (totals stay exact).\n"
+      "report/export query a running daemon over the same socket.\n",
+      argv0, argv0, argv0);
+}
+
+std::string arg_value(const std::string& arg, const char* prefix) {
+  return arg.substr(std::strlen(prefix));
+}
+
+int run_serve(const std::vector<std::string>& args) {
+  ingest::DaemonOptions options;
+  long max_seconds = 0;
+  bool quiet = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg_value(arg, "--socket=");
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = std::atoi(arg_value(arg, "--shards=").c_str());
+    } else if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+      options.memory_budget_bytes =
+          std::strtoull(arg_value(arg, "--memory-budget-mb=").c_str(),
+                        nullptr, 10) *
+          (1ull << 20);
+    } else if (arg == "--keep-partial") {
+      options.keep_partial_sessions = true;
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      max_seconds = std::atol(arg_value(arg, "--max-seconds=").c_str());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown serve option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --socket=PATH\n");
+    return 2;
+  }
+  std::signal(SIGINT, stop_handler);
+  std::signal(SIGTERM, stop_handler);
+  try {
+    ingest::IngestDaemon daemon(options);
+    daemon.start();
+    if (!quiet) {
+      std::printf("taskprofd: listening on %s (%d shard(s))\n",
+                  options.socket_path.c_str(), options.shards);
+      std::fflush(stdout);
+    }
+    long elapsed_ms = 0;
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      elapsed_ms += 50;
+      if (max_seconds > 0 && elapsed_ms >= max_seconds * 1000) break;
+    }
+    daemon.stop();
+    if (!quiet) {
+      const ingest::DaemonStats stats = daemon.stats();
+      std::printf(
+          "taskprofd: %llu session(s) (%llu clean, %llu dropped), "
+          "%llu delta(s) applied, %llu visit(s) ingested, "
+          "%llu subtree(s) evicted\n",
+          static_cast<unsigned long long>(stats.sessions_opened),
+          static_cast<unsigned long long>(stats.sessions_closed_clean),
+          static_cast<unsigned long long>(stats.sessions_dropped),
+          static_cast<unsigned long long>(stats.deltas_applied),
+          static_cast<unsigned long long>(stats.visits_ingested),
+          static_cast<unsigned long long>(stats.evicted_subtrees));
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "taskprofd: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_query(const std::string& mode, const std::vector<std::string>& args) {
+  std::string socket_path;
+  std::string kind_name = "text";
+  std::string out_path;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg_value(arg, "--socket=");
+    } else if (arg.rfind("--kind=", 0) == 0) {
+      kind_name = arg_value(arg, "--kind=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg_value(arg, "--out=");
+    } else {
+      std::fprintf(stderr, "unknown %s option: %s\n", mode.c_str(),
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "%s requires --socket=PATH\n", mode.c_str());
+    return 2;
+  }
+  ingest::ReportKind kind = ingest::ReportKind::kText;
+  if (mode == "export") {
+    kind = ingest::ReportKind::kSnapshot;
+    if (out_path.empty()) {
+      std::fprintf(stderr, "export requires --out=FILE\n");
+      return 2;
+    }
+  } else if (kind_name == "json") {
+    kind = ingest::ReportKind::kJson;
+  } else if (kind_name == "stats") {
+    kind = ingest::ReportKind::kStats;
+  } else if (kind_name != "text") {
+    std::fprintf(stderr, "unknown --kind=%s (text|json|stats)\n",
+                 kind_name.c_str());
+    return 2;
+  }
+  try {
+    const std::vector<std::uint8_t> body =
+        ingest::query_report(socket_path, kind);
+    if (mode == "export") {
+      snapshot::atomic_write_file(out_path, body);
+      std::printf("aggregate snapshot written to %s (%zu bytes)\n",
+                  out_path.c_str(), body.size());
+    } else {
+      std::fwrite(body.data(), 1, body.size(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "taskprofd %s: %s\n", mode.c_str(), error.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (mode == "serve") return run_serve(args);
+  if (mode == "report" || mode == "export") return run_query(mode, args);
+  if (mode == "--help" || mode == "-h") {
+    usage(argv[0]);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+  usage(argv[0]);
+  return 2;
+}

@@ -2,11 +2,49 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdlib>
 
 namespace taskprof::snapshot {
+
+FlushSchedule::FlushSchedule(FlushScheduleOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
+  if (options_.max_backoff_exponent < 0) options_.max_backoff_exponent = 0;
+  options_.jitter_fraction = std::clamp(options_.jitter_fraction, 0.0, 1.0);
+}
+
+void FlushSchedule::record(FlushOutcome outcome) noexcept {
+  switch (outcome) {
+    case FlushOutcome::kWritten:
+      consecutive_failures_ = 0;
+      return;
+    case FlushOutcome::kSkipped:
+      // Benign: an empty capture is not a reason to flush less often.
+      return;
+    case FlushOutcome::kFailed:
+      if (consecutive_failures_ < options_.max_backoff_exponent) {
+        ++consecutive_failures_;
+      }
+      return;
+  }
+}
+
+Ticks FlushSchedule::next_delay() noexcept {
+  double delay = static_cast<double>(options_.interval) *
+                 std::pow(options_.backoff_multiplier, consecutive_failures_);
+  if (options_.jitter_fraction > 0.0) {
+    // Uniform in [1 - f, 1 + f): fleet producers started together drift
+    // apart instead of flushing in lockstep.
+    const double unit = rng_.next_double() * 2.0 - 1.0;
+    delay *= 1.0 + options_.jitter_fraction * unit;
+  }
+  if (delay < 1.0) delay = 1.0;
+  return static_cast<Ticks>(delay);
+}
 
 namespace {
 
@@ -71,11 +109,17 @@ void SnapshotFlusher::stop() noexcept {
 }
 
 void SnapshotFlusher::run() {
-  flush_now();  // a run that dies inside its first interval leaves a file
+  FlushSchedule schedule({options_.interval, options_.jitter_fraction,
+                          options_.backoff_multiplier,
+                          options_.max_backoff_exponent,
+                          options_.schedule_seed});
+  // A run that dies inside its first interval still leaves a file.
+  schedule.record(flush_tick());
   std::unique_lock lock(cv_mutex_);
   for (;;) {
     if (options_.interval > 0) {
-      if (cv_.wait_for(lock, std::chrono::nanoseconds(options_.interval),
+      const Ticks delay = schedule.next_delay();
+      if (cv_.wait_for(lock, std::chrono::nanoseconds(delay),
                        [this] { return stop_requested_; })) {
         return;
       }
@@ -84,32 +128,46 @@ void SnapshotFlusher::run() {
       return;
     }
     lock.unlock();
-    flush_now();
+    schedule.record(flush_tick());
     lock.lock();
   }
 }
 
 bool SnapshotFlusher::flush_now() noexcept {
+  return flush_tick() == FlushOutcome::kWritten;
+}
+
+FlushOutcome SnapshotFlusher::flush_tick() noexcept {
   std::unique_lock lock(flush_mutex_, std::try_to_lock);
-  if (!lock.owns_lock()) return false;
-  if (final_written_.load(std::memory_order_acquire)) return false;
+  if (!lock.owns_lock()) return FlushOutcome::kSkipped;
+  if (final_written_.load(std::memory_order_acquire)) {
+    return FlushOutcome::kSkipped;
+  }
   try {
     Instrumentor::CaptureResult captured = instrumentor_->capture_snapshot();
+    bool skip = false;
     if (captured.profile.implicit_root == nullptr) {
       // Nothing measured yet: an empty profile is worth less than no
       // file, and strictly less than whatever is already on disk.
-      return false;
-    }
-    if (captured.profilers_captured == 0 && captured.profilers_live > 0 &&
-        flushes_.load(std::memory_order_relaxed) > 0) {
+      skip = true;
+    } else if (captured.profilers_captured == 0 &&
+               captured.profilers_live > 0 &&
+               flushes_.load(std::memory_order_relaxed) > 0) {
       // Every live profiler refused to quiesce: keep the data-bearing
       // snapshot already on disk instead of overwriting it with less.
-      return false;
+      skip = true;
     }
-    return write_locked(captured.profile);
+    if (skip) {
+      if (options_.sink != nullptr && options_.heartbeat_on_empty) {
+        options_.sink->heartbeat();
+      }
+      return FlushOutcome::kSkipped;
+    }
+    return write_locked(captured.profile, false) ? FlushOutcome::kWritten
+                                                 : FlushOutcome::kFailed;
   } catch (const std::exception& error) {
     last_error_ = error.what();
-    return false;
+    return FlushOutcome::kFailed;
   }
 }
 
@@ -117,7 +175,7 @@ bool SnapshotFlusher::flush_final() noexcept {
   std::scoped_lock lock(flush_mutex_);
   try {
     const AggregateProfile profile = instrumentor_->aggregate();
-    const bool written = write_locked(profile);
+    const bool written = write_locked(profile, true);
     if (written) final_written_.store(true, std::memory_order_release);
     return written;
   } catch (const std::exception& error) {
@@ -126,7 +184,8 @@ bool SnapshotFlusher::flush_final() noexcept {
   }
 }
 
-bool SnapshotFlusher::write_locked(const AggregateProfile& profile) {
+bool SnapshotFlusher::write_locked(const AggregateProfile& profile,
+                                   bool final) {
   SnapshotMeta meta;
   meta.flush_seq = flushes_.load(std::memory_order_relaxed) + 1;
   meta.process_id = options_.process_id;
@@ -136,13 +195,24 @@ bool SnapshotFlusher::write_locked(const AggregateProfile& profile) {
     telemetry_snapshot = options_.telemetry->snapshot();
     telemetry_ptr = &telemetry_snapshot;
   }
-  try {
-    write_snapshot_file(options_.path, profile, *registry_, meta,
-                        telemetry_ptr);
-  } catch (const std::exception& error) {
-    last_error_ = error.what();
-    return false;
+  bool ok = true;
+  if (!options_.path.empty()) {
+    try {
+      write_snapshot_file(options_.path, profile, *registry_, meta,
+                          telemetry_ptr);
+    } catch (const std::exception& error) {
+      last_error_ = error.what();
+      ok = false;
+    }
   }
+  if (options_.sink != nullptr) {
+    if (!options_.sink->ship(profile, *registry_, meta, telemetry_ptr,
+                             final)) {
+      last_error_ = "flush sink rejected the snapshot";
+      ok = false;
+    }
+  }
+  if (!ok) return false;
   last_error_.clear();
   flushes_.fetch_add(1, std::memory_order_relaxed);
   return true;

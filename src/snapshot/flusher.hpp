@@ -31,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "instrument/instrumentor.hpp"
 #include "profile/region.hpp"
@@ -39,12 +40,77 @@
 
 namespace taskprof::snapshot {
 
+/// What one periodic flush tick accomplished — the schedule's input.
+enum class FlushOutcome : std::uint8_t {
+  kWritten,  ///< at least one target got the snapshot
+  kSkipped,  ///< benign no-op (empty capture, final already written)
+  kFailed,   ///< a target errored; the schedule backs off
+};
+
+struct FlushScheduleOptions {
+  Ticks interval = 0;            ///< base ns between flushes
+  double jitter_fraction = 0.0;  ///< uniform ±fraction of the interval,
+                                 ///< de-synchronizing fleet producers
+  double backoff_multiplier = 2.0;  ///< per consecutive failure
+  int max_backoff_exponent = 6;     ///< cap: interval * mult^max
+  std::uint64_t seed = 0x5eedf1a5;  ///< jitter RNG (deterministic tests)
+};
+
+/// Pure flush-cadence policy: base interval, seeded jitter, exponential
+/// backoff on consecutive failures.  Time-free by construction (it
+/// returns delays, it never sleeps), so the unit test drives it against
+/// a fake clock.
+class FlushSchedule {
+ public:
+  explicit FlushSchedule(FlushScheduleOptions options);
+
+  /// Feed the outcome of the flush that just ran.  kFailed deepens the
+  /// backoff, kWritten resets it, kSkipped (benign) leaves it alone.
+  void record(FlushOutcome outcome) noexcept;
+
+  /// Delay until the next flush: interval * backoff, jittered, >= 1ns.
+  [[nodiscard]] Ticks next_delay() noexcept;
+
+  [[nodiscard]] int consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
+ private:
+  FlushScheduleOptions options_;
+  int consecutive_failures_ = 0;
+  Xoshiro256 rng_;
+};
+
+/// Destination for captured snapshots beyond the .tpsnap file — the
+/// ingest client implements this to stream deltas to taskprofd (the
+/// hook lives here so taskprof_snapshot need not link taskprof_ingest).
+class FlushSink {
+ public:
+  virtual ~FlushSink() = default;
+
+  /// Ship one cumulative capture.  `final` marks the clean post-run
+  /// profile (flush_final).  Must not throw.
+  virtual bool ship(const AggregateProfile& profile,
+                    const RegionRegistry& registry, const SnapshotMeta& meta,
+                    const telemetry::Snapshot* telemetry, bool final) noexcept = 0;
+
+  /// Liveness signal for a tick that had nothing new to ship.
+  virtual bool heartbeat() noexcept { return true; }
+};
+
 struct FlusherOptions {
-  std::string path;          ///< target .tpsnap file
+  std::string path;          ///< target .tpsnap file ("" with a sink:
+                             ///< stream-only, no file writes)
   Ticks interval = 0;        ///< ns between periodic flushes (0: only
                              ///< explicit flush_now/flush_final calls)
   const telemetry::Registry* telemetry = nullptr;  ///< optional section
   std::uint64_t process_id = 0;                    ///< 0: use getpid()
+  FlushSink* sink = nullptr;   ///< optional streaming destination
+  bool heartbeat_on_empty = true;  ///< sink heartbeat on skipped ticks
+  double jitter_fraction = 0.0;    ///< see FlushScheduleOptions
+  double backoff_multiplier = 2.0;
+  int max_backoff_exponent = 6;
+  std::uint64_t schedule_seed = 0x5eedf1a5;
 };
 
 class SnapshotFlusher {
@@ -88,7 +154,8 @@ class SnapshotFlusher {
 
  private:
   void run();
-  bool write_locked(const AggregateProfile& profile);
+  FlushOutcome flush_tick() noexcept;
+  bool write_locked(const AggregateProfile& profile, bool final);
 
   const Instrumentor* instrumentor_;
   const RegionRegistry* registry_;

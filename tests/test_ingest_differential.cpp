@@ -1,0 +1,175 @@
+// Differential test per BOTS kernel: the profile streamed through the
+// daemon as a chain of delta snapshots is byte-identical to the locally
+// aggregated one — same .tpsnap bytes, same rendered report — and with
+// an aggressive memory budget the evicted aggregate still conserves
+// every visit and every root tick.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bots/kernel.hpp"
+#include "ingest/client.hpp"
+#include "ingest/daemon.hpp"
+#include "ingest/delta.hpp"
+#include "instrument/instrumentor.hpp"
+#include "measure/aggregate.hpp"
+#include "report/text_report.hpp"
+#include "rt/sim_runtime.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace taskprof::ingest {
+namespace {
+
+using snapshot::SnapshotData;
+
+struct KernelRun {
+  RegionRegistry registry;
+  rt::SimRuntime runtime;
+  std::unique_ptr<Instrumentor> instr;  ///< owns the trees the views lend
+  std::vector<ThreadProfileView> views;
+};
+
+/// Run one BOTS kernel under the simulated runtime and keep the
+/// per-thread views: their prefix aggregations form a pointwise
+/// monotone chain of cumulative profiles, exactly what a producer
+/// flushing mid-run would capture.
+std::unique_ptr<KernelRun> run_kernel(const std::string& name, int threads) {
+  auto run = std::make_unique<KernelRun>();
+  run->instr = std::make_unique<Instrumentor>(run->registry);
+  rt::FanoutHooks fanout({run->instr.get()});
+  run->runtime.set_hooks(&fanout);
+  auto kernel = bots::make_kernel(name);
+  bots::KernelConfig config;
+  config.threads = threads;
+  config.size = bots::SizeClass::kTest;
+  const bots::KernelResult result =
+      kernel->run(run->runtime, run->registry, config);
+  EXPECT_TRUE(result.ok) << name;
+  run->runtime.set_hooks(nullptr);
+  run->instr->finalize();
+  run->views = run->instr->views();
+  return run;
+}
+
+/// Cumulative capture after the first `upto` threads' work, as the
+/// owning SnapshotData the client streams.
+SnapshotData capture_prefix(const KernelRun& run, std::size_t upto,
+                            std::uint64_t flush_seq) {
+  const std::vector<ThreadProfileView> prefix(run.views.begin(),
+                                              run.views.begin() + upto);
+  const AggregateProfile profile = aggregate_profiles(prefix);
+  snapshot::SnapshotMeta meta;
+  meta.flush_seq = flush_seq;
+  meta.process_id = 77;
+  const std::vector<std::uint8_t> bytes =
+      snapshot::encode_snapshot(profile, run.registry, meta, nullptr);
+  return snapshot::decode_snapshot(bytes, "capture");
+}
+
+std::string socket_path(const std::string& name) {
+  return testing::TempDir() + "taskprofd_diff_" + name + ".scratch.sock";
+}
+
+class IngestDifferential : public testing::TestWithParam<const char*> {};
+
+TEST_P(IngestDifferential, StreamedAggregateIsByteIdenticalToLocal) {
+  const std::string name = GetParam();
+  const auto run = run_kernel(name, 4);
+  ASSERT_EQ(run->views.size(), 4u);
+
+  DaemonOptions options;
+  options.socket_path = socket_path(name);
+  options.shards = 1;
+  IngestDaemon daemon(options);
+  daemon.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  copts.process_id = 77;
+  copts.producer_name = name;
+  IngestClient client(copts);
+
+  // Flush after every thread's worth of work: rebase, then real deltas.
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t rebase_bytes = 0;
+  for (std::size_t k = 1; k <= run->views.size(); ++k) {
+    const SnapshotData cum = capture_prefix(*run, k, k);
+    const SendResult sent = client.send_snapshot(cum);
+    EXPECT_EQ(sent.rebased, k == 1) << name << " flush " << k;
+    if (sent.rebased) {
+      rebase_bytes += sent.wire_bytes;
+    } else {
+      delta_bytes += sent.wire_bytes;
+    }
+  }
+  client.finish(nullptr);
+
+  const SnapshotData local = capture_prefix(*run, run->views.size(), 4);
+  const std::vector<std::uint8_t> local_bytes =
+      snapshot::encode_snapshot(local);
+
+  // Byte identity end to end: export AND the wire report agree with the
+  // locally aggregated snapshot, and the rendered reports match.
+  EXPECT_EQ(snapshot::encode_snapshot(daemon.export_aggregate()), local_bytes)
+      << name;
+  EXPECT_EQ(query_report(options.socket_path, ReportKind::kSnapshot),
+            local_bytes)
+      << name;
+  const auto report = query_report(options.socket_path, ReportKind::kText);
+  EXPECT_EQ(std::string(report.begin(), report.end()),
+            render_profile(local.profile, *local.registry))
+      << name;
+
+  // The whole point of deltas: follow-up flushes are cheaper than the
+  // rebase for every kernel whose profile stabilizes (all of BOTS).
+  EXPECT_GT(rebase_bytes, 0u);
+  EXPECT_GT(delta_bytes, 0u);
+  daemon.stop();
+}
+
+TEST_P(IngestDifferential, EvictedAggregateConservesTotalMass) {
+  const std::string name = GetParam();
+  const auto run = run_kernel(name, 4);
+  ASSERT_EQ(run->views.size(), 4u);
+
+  DaemonOptions options;
+  options.socket_path = socket_path(name + "_evict");
+  options.shards = 1;
+  options.memory_budget_bytes = 1;  // force eviction after every delta
+  IngestDaemon daemon(options);
+  daemon.start();
+
+  ClientOptions copts;
+  copts.socket_path = options.socket_path;
+  copts.process_id = 77;
+  IngestClient client(copts);
+  for (std::size_t k = 1; k <= run->views.size(); ++k) {
+    (void)client.send_snapshot(capture_prefix(*run, k, k));
+  }
+  client.finish(nullptr);
+
+  const SnapshotData local = capture_prefix(*run, run->views.size(), 4);
+  const SnapshotData exported = daemon.export_aggregate();
+  const DaemonStats stats = daemon.stats();
+
+  // Path detail was folded away, but not one visit or tick went missing.
+  EXPECT_GT(stats.evicted_subtrees, 0u) << name;
+  EXPECT_GT(stats.evicted_nodes, 0u) << name;
+  EXPECT_EQ(total_visits(exported.profile), total_visits(local.profile))
+      << name;
+  EXPECT_EQ(total_root_inclusive(exported.profile),
+            total_root_inclusive(local.profile))
+      << name;
+  daemon.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, IngestDifferential,
+                         testing::Values("alignment", "fft", "fib",
+                                         "floorplan", "health", "nqueens",
+                                         "sort", "sparselu", "strassen"),
+                         [](const auto& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace taskprof::ingest

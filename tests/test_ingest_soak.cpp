@@ -1,0 +1,225 @@
+// Multi-producer crash-injection soak: 8 forked producers stream
+// deltas concurrently, a seeded subset is SIGKILLed mid-stream (they
+// never say Bye), and the daemon's aggregate must equal the offline
+// snapshot::merge of the survivors' final snapshots — the dirty
+// sessions' partial contributions are dropped, nothing of the
+// survivors' is lost or double-counted.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "ingest/client.hpp"
+#include "ingest/daemon.hpp"
+#include "ingest/delta.hpp"
+#include "rt/runtime.hpp"
+#include "snapshot/merge.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace taskprof::ingest {
+namespace {
+
+using snapshot::SnapshotData;
+
+constexpr int kProducers = 8;
+constexpr int kStagesBeforeDoom = 3;
+// Seeded, deterministic subset that gets SIGKILLed mid-stream.
+const std::set<int> kDoomed = {1, 4, 6};
+
+/// Deterministic synthetic cumulative for producer `index` at `stage`:
+/// counters grow strictly with stage, each producer contributes its own
+/// region (so the merge exercises handle remapping) plus one shared one.
+SnapshotData producer_capture(int index, int stage) {
+  SnapshotData data;
+  data.registry = std::make_unique<RegionRegistry>();
+  const RegionHandle implicit = data.registry->register_region(
+      "implicit task", RegionType::kImplicitTask);
+  const RegionHandle shared =
+      data.registry->register_region("shared_phase", RegionType::kFunction);
+  const RegionHandle own = data.registry->register_region(
+      "worker_" + std::to_string(index), RegionType::kFunction);
+  AggregateProfile& p = data.profile;
+  p.thread_count = 1;
+  p.max_concurrent_per_thread = {1};
+  p.max_concurrent_any_thread = 1;
+  p.total_task_switches = static_cast<std::uint64_t>(stage) * (index + 1);
+  p.implicit_root = p.pool.allocate(implicit, kNoParameter, false, nullptr);
+  const std::uint64_t visits = static_cast<std::uint64_t>(stage + 1) * 2;
+  p.implicit_root->visits = visits;
+  p.implicit_root->inclusive = static_cast<Ticks>(visits * (10 + index));
+  for (std::uint64_t v = 0; v < visits; ++v) {
+    p.implicit_root->visit_stats.add(static_cast<Ticks>(10 + index));
+  }
+  CallNode* mid =
+      p.pool.allocate(shared, kNoParameter, false, p.implicit_root);
+  mid->visits = visits;
+  mid->inclusive = static_cast<Ticks>(visits * 3);
+  for (std::uint64_t v = 0; v < visits; ++v) mid->visit_stats.add(3);
+  CallNode* leaf = p.pool.allocate(own, kNoParameter, false, mid);
+  leaf->visits = static_cast<std::uint64_t>(stage) + 1;
+  leaf->inclusive = static_cast<Ticks>((stage + 1) * (index + 1));
+  for (int v = 0; v <= stage; ++v) {
+    leaf->visit_stats.add(static_cast<Ticks>(index + 1));
+  }
+  data.meta.flush_seq = static_cast<std::uint64_t>(stage) + 1;
+  data.meta.process_id = 100 + static_cast<std::uint64_t>(index);
+  return data;
+}
+
+std::string final_path(int index) {
+  return testing::TempDir() + "soak_final_" + std::to_string(index) +
+         ".scratch.tpsnap";
+}
+
+/// Child process body.  Doomed producers stream their deltas and then
+/// hang without Bye, waiting for SIGKILL; survivors stream one more
+/// stage, persist it, and close cleanly.
+[[noreturn]] void producer_main(int index, bool doomed,
+                                const std::string& socket) {
+  try {
+    ClientOptions copts;
+    copts.socket_path = socket;
+    copts.process_id = 100 + static_cast<std::uint64_t>(index);
+    copts.producer_name = "soak_" + std::to_string(index);
+    copts.connect_retries = 200;  // the daemon starts after the fork
+    copts.retry_delay_ms = 25;
+    IngestClient client(copts);
+    for (int stage = 0; stage < kStagesBeforeDoom; ++stage) {
+      (void)client.send_snapshot(producer_capture(index, stage));
+    }
+    if (doomed) {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    const SnapshotData final_cum =
+        producer_capture(index, kStagesBeforeDoom);
+    (void)client.send_snapshot(final_cum);
+    snapshot::atomic_write_file(final_path(index),
+                                snapshot::encode_snapshot(final_cum));
+    client.finish(nullptr);
+    _exit(0);
+  } catch (...) {
+    _exit(1);
+  }
+}
+
+template <typename Pred>
+bool wait_for(Pred pred, int timeout_ms = 20000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(IngestSoak, DaemonAggregateEqualsOfflineMergeOfSurvivors) {
+  const std::string socket =
+      testing::TempDir() + "taskprofd_soak.scratch.sock";
+  std::remove(socket.c_str());
+  for (int i = 0; i < kProducers; ++i) std::remove(final_path(i).c_str());
+
+  // Fork every producer BEFORE the daemon spawns its threads.
+  std::vector<pid_t> pids(kProducers, -1);
+  for (int i = 0; i < kProducers; ++i) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) producer_main(i, kDoomed.count(i) != 0, socket);
+    pids[i] = pid;
+  }
+
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.shards = 4;
+  IngestDaemon daemon(options);
+  daemon.start();
+
+  // Every producer (doomed ones included) must have all of its
+  // pre-doom deltas durably applied before the kill.
+  ASSERT_TRUE(wait_for([&] {
+    const DaemonStats stats = daemon.stats();
+    return stats.sessions_opened >=
+               static_cast<std::uint64_t>(kProducers) &&
+           stats.deltas_applied >= static_cast<std::uint64_t>(
+                                       kProducers * kStagesBeforeDoom);
+  })) << "producers did not all stream in time";
+
+  for (const int doomed : kDoomed) {
+    ASSERT_EQ(::kill(pids[doomed], SIGKILL), 0);
+  }
+  for (int i = 0; i < kProducers; ++i) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pids[i], &status, 0), pids[i]);
+    if (kDoomed.count(i) != 0) {
+      EXPECT_TRUE(WIFSIGNALED(status)) << "producer " << i;
+    } else {
+      ASSERT_TRUE(WIFEXITED(status)) << "producer " << i;
+      ASSERT_EQ(WEXITSTATUS(status), 0) << "producer " << i;
+    }
+  }
+
+  const std::uint64_t survivors =
+      static_cast<std::uint64_t>(kProducers - kDoomed.size());
+  ASSERT_TRUE(wait_for([&] {
+    const DaemonStats stats = daemon.stats();
+    return stats.sessions_closed_clean == survivors &&
+           stats.sessions_dropped == kDoomed.size() &&
+           stats.live_sessions == 0;
+  })) << "sessions did not settle";
+
+  // Offline ground truth: merge the survivors' own final snapshots.
+  std::vector<std::string> paths;
+  for (int i = 0; i < kProducers; ++i) {
+    if (kDoomed.count(i) == 0) paths.push_back(final_path(i));
+  }
+  const SnapshotData offline = snapshot::merge_snapshot_files(paths);
+  const SnapshotData streamed = daemon.export_aggregate();
+  daemon.stop();
+  for (const std::string& path : paths) std::remove(path.c_str());
+
+  // Exact conserved mass...
+  EXPECT_EQ(total_visits(streamed.profile), total_visits(offline.profile));
+  EXPECT_EQ(total_root_inclusive(streamed.profile),
+            total_root_inclusive(offline.profile));
+  EXPECT_EQ(streamed.profile.total_task_switches,
+            offline.profile.total_task_switches);
+
+  // ...and an order-insensitive structural match (fold order differs
+  // between the daemon and the left-to-right file merge).
+  const rt::TeamStats stats{};
+  check::ProfileProjection a =
+      check::project_profile(streamed.profile, *streamed.registry, stats);
+  a.engine = "daemon";
+  check::ProfileProjection b =
+      check::project_profile(offline.profile, *offline.registry, stats);
+  b.engine = "offline";
+  std::string joined;
+  for (const std::string& diff : check::diff_projections(a, b)) {
+    joined += diff + "\n";
+  }
+  EXPECT_TRUE(joined.empty()) << joined;
+
+  // The doomed producers' region names must not haunt the aggregate.
+  for (const int doomed : kDoomed) {
+    const std::string ghost = "worker_" + std::to_string(doomed);
+    bool found = false;
+    for (std::size_t h = 0; h < streamed.registry->size(); ++h) {
+      if (streamed.registry->info(static_cast<RegionHandle>(h)).name == ghost) {
+        found = true;
+      }
+    }
+    EXPECT_FALSE(found) << ghost;
+  }
+}
+
+}  // namespace
+}  // namespace taskprof::ingest

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate committed bench JSONs against fresh runs (ratio-based).
 
-Three bench families are understood, dispatched on the file's "bench" id:
+Four bench families are understood, dispatched on the file's "bench" id:
 
 event_hotpath (BENCH_event_hotpath.json)
   The trajectory bench records every shape twice (mode=baseline, the
@@ -35,6 +35,19 @@ numa_scaling (BENCH_numa_scaling.json)
   and a --candidate run is additionally compared cell-by-cell against
   the committed reference.
 
+ingest (BENCH_ingest.json)
+  Each cell is one producer count of the {1, 8, 32} sweep through the
+  in-process ingestion daemon.  Raw snapshots/sec and events/sec are
+  machine-dependent trajectory numbers; the gated quantities are the
+  deterministic ones: totals_exact / clean_stream must be true in every
+  cell (not one visit lost or double-counted, exactly one rebase per
+  producer), and delta_to_rebase_ratio — the mean delta wire cost over
+  the mean rebase wire cost, a pure function of the builder, the codec
+  and the difference encoder — must stay below --ingest-delta-ceiling
+  (default 0.8: deltas are strictly cheaper than rebases) and, for a
+  --candidate run, must match the committed value almost exactly (the
+  encoders are deterministic; only JSON rounding is absorbed).
+
 With --absolute, raw events/sec are compared too -- only meaningful
 when the candidate was produced on the same machine as the committed
 reference (e.g. a local before/after check).
@@ -56,7 +69,8 @@ def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
     bench = doc.get("bench")
-    if bench not in ("event_hotpath", "queue_contention", "numa_scaling"):
+    if bench not in ("event_hotpath", "queue_contention", "numa_scaling",
+                     "ingest"):
         raise SystemExit(f"{path}: unknown bench id {bench!r}")
     return doc
 
@@ -299,6 +313,100 @@ def compare_numa(committed, candidate, min_ratio, quiet=False):
 
 
 # ----------------------------------------------------------------------
+# ingest
+# ----------------------------------------------------------------------
+
+# JSON stores doubles with 6 significant digits; the wire-byte ratios
+# are otherwise deterministic, so this is the whole tolerance.
+INGEST_RATIO_TOLERANCE = 1e-3
+
+
+def load_ingest(path, doc=None):
+    """Return {producers: {"ratio": r, "events_per_sec": e,
+    "snapshots_per_sec": s}} after validating the exactness flags."""
+    doc = doc if doc is not None else load_doc(path)
+    if doc.get("bench") != "ingest":
+        raise SystemExit(f"{path}: not an ingest bench file")
+    cells = {}
+    for entry in doc.get("results", []):
+        producers = int(entry["producers"])
+        if entry.get("totals_exact") is not True:
+            raise SystemExit(
+                f"{path}: totals_exact is not true at {producers} producers "
+                "— the daemon lost or double-counted mass")
+        if entry.get("clean_stream") is not True:
+            raise SystemExit(
+                f"{path}: clean_stream is not true at {producers} producers "
+                "— a producer re-rebased or was rejected mid-run")
+        ratio = float(entry["delta_to_rebase_ratio"])
+        eps = float(entry["events_per_sec"])
+        sps = float(entry["snapshots_per_sec"])
+        if ratio <= 0 or eps <= 0 or sps <= 0:
+            raise SystemExit(f"{path}: non-positive measurement at "
+                             f"{producers} producers")
+        cells[producers] = {"ratio": ratio, "events_per_sec": eps,
+                            "snapshots_per_sec": sps}
+    if not cells:
+        raise SystemExit(f"{path}: no results")
+    if doc.get("all_totals_exact") is not True:
+        raise SystemExit(f"{path}: all_totals_exact is not true")
+    return cells
+
+
+def gate_ingest_ceiling(cells, ceiling, label, quiet=False):
+    """Absolute ceiling on every cell's delta/rebase wire-cost ratio."""
+    failures = []
+    for producers, cell in sorted(cells.items()):
+        ratio = cell["ratio"]
+        flag = ""
+        if ratio > ceiling:
+            failures.append(
+                f"{label}: {producers} producers delta/rebase = "
+                f"{ratio:.3f} exceeds the {ceiling:.2f} ceiling — deltas "
+                "are no longer cheaper than rebases")
+            flag = "  << FAIL"
+        if not quiet:
+            print(f"{label}: {producers:>3} producers d/r {ratio:>6.3f} "
+                  f"(ceiling {ceiling:.2f}){flag}")
+    return failures
+
+
+def compare_ingest(committed, candidate, absolute=False, min_ratio=0.85,
+                   quiet=False):
+    """Candidate delta/rebase ratios must match the committed ones to
+    within JSON rounding (they are deterministic); throughputs are gated
+    only with --absolute (same-machine runs)."""
+    failures = []
+    if not quiet:
+        print(f"{'producers':<10} {'committed':>10} {'candidate':>10} "
+              f"{'drift':>9}")
+    for producers, ref in sorted(committed.items()):
+        if producers not in candidate:
+            failures.append(f"{producers} producers: missing from candidate "
+                            "run")
+            continue
+        cand = candidate[producers]
+        drift = abs(cand["ratio"] - ref["ratio"]) / ref["ratio"]
+        flag = ""
+        if drift > INGEST_RATIO_TOLERANCE:
+            failures.append(
+                f"{producers} producers: delta/rebase {cand['ratio']:.4f} "
+                f"drifted from committed {ref['ratio']:.4f} — the delta "
+                "encoder changed behavior")
+            flag = "  << FAIL"
+        if not quiet:
+            print(f"{producers:<10} {ref['ratio']:>10.4f} "
+                  f"{cand['ratio']:>10.4f} {drift:>8.1e}{flag}")
+        if absolute and cand["events_per_sec"] < (min_ratio *
+                                                  ref["events_per_sec"]):
+            failures.append(
+                f"{producers} producers: {cand['events_per_sec']:.3e} "
+                f"events/sec is below {min_ratio:.2f}x of committed "
+                f"{ref['events_per_sec']:.3e}")
+    return failures
+
+
+# ----------------------------------------------------------------------
 
 
 def self_test():
@@ -472,6 +580,67 @@ def self_test():
     finally:
         os.remove(path)
 
+    # --- ingest ----------------------------------------------------------
+    icells = {
+        1: {"ratio": 0.66, "events_per_sec": 4.0e5,
+            "snapshots_per_sec": 2.0e3},
+        8: {"ratio": 0.66, "events_per_sec": 3.5e5,
+            "snapshots_per_sec": 1.6e3},
+        32: {"ratio": 0.661, "events_per_sec": 3.9e5,
+             "snapshots_per_sec": 1.8e3},
+    }
+    # Ceiling: clean pass at 0.8, every cell caught at 0.5.
+    assert gate_ingest_ceiling(icells, 0.8, "t", quiet=True) == []
+    fails = gate_ingest_ceiling(icells, 0.5, "t", quiet=True)
+    assert len(fails) == 3 and "no longer cheaper" in fails[0], fails
+    # Candidate: identical passes; a drifted encoder is caught.
+    assert compare_ingest(icells, dict(icells), quiet=True) == []
+    drifted = {k: dict(v) for k, v in icells.items()}
+    drifted[8]["ratio"] = 0.7
+    fails = compare_ingest(icells, drifted, quiet=True)
+    assert len(fails) == 1 and "delta encoder changed" in fails[0], fails
+    # Missing cell: caught.
+    fails = compare_ingest(icells, {1: icells[1]}, quiet=True)
+    assert len(fails) == 2, fails
+    # Absolute mode: same ratios but halved throughput is caught.
+    halved_i = {k: dict(v, events_per_sec=v["events_per_sec"] / 2)
+                for k, v in icells.items()}
+    assert compare_ingest(icells, halved_i, quiet=True) == []
+    fails = compare_ingest(icells, halved_i, absolute=True, quiet=True)
+    assert len(fails) == 3 and "events/sec" in fails[0], fails
+
+    # load_ingest round trip, plus its rejects.
+    idoc = {"bench": "ingest", "all_totals_exact": True, "results": [
+        {"producers": p, "delta_to_rebase_ratio": c["ratio"],
+         "events_per_sec": c["events_per_sec"],
+         "snapshots_per_sec": c["snapshots_per_sec"],
+         "totals_exact": True, "clean_stream": True}
+        for p, c in icells.items()]}
+    fd, path = tempfile.mkstemp(suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(idoc, f)
+        assert load_ingest(path) == icells
+        bad = {**idoc, "results": [
+            dict(idoc["results"][0], totals_exact=False)]}
+        with open(path, "w") as f:
+            json.dump(bad, f)
+        try:
+            load_ingest(path)
+            raise AssertionError("lost mass accepted")
+        except SystemExit:
+            pass
+        bad = {**idoc, "all_totals_exact": False}
+        with open(path, "w") as f:
+            json.dump(bad, f)
+        try:
+            load_ingest(path)
+            raise AssertionError("all_totals_exact=false accepted")
+        except SystemExit:
+            pass
+    finally:
+        os.remove(path)
+
     print("self-test passed")
     return 0
 
@@ -501,6 +670,10 @@ def main():
                         help="numa_scaling: minimum ratio for the wide-"
                              "fanout kernel on the widest machine "
                              "(default: 1.5)")
+    parser.add_argument("--ingest-delta-ceiling", type=float, default=0.8,
+                        help="ingest: maximum delta/rebase wire-cost ratio "
+                             "per producer cell (default: 0.8 — deltas must "
+                             "stay cheaper than rebases)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in checks on synthetic data "
                              "and exit")
@@ -532,6 +705,17 @@ def main():
             failures += gate_numa_floors(
                 candidate, cand_wide, args.numa_cell_floor * args.min_ratio,
                 args.numa_wide_floor * args.min_ratio, "candidate")
+    elif bench == "ingest":
+        committed = load_ingest(args.committed, committed_doc)
+        failures += gate_ingest_ceiling(committed, args.ingest_delta_ceiling,
+                                        "committed")
+        if args.candidate:
+            candidate = load_ingest(args.candidate)
+            failures += compare_ingest(committed, candidate, args.absolute,
+                                       args.min_ratio)
+            failures += gate_ingest_ceiling(candidate,
+                                            args.ingest_delta_ceiling,
+                                            "candidate")
     else:
         committed, ref_summary = load_contention(args.committed,
                                                  committed_doc)
